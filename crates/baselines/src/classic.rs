@@ -1,0 +1,544 @@
+//! Classic dynamic shutdown predictors from the paper's related-work
+//! section (§2), implemented as extension baselines.
+
+use pcap_core::{IdlePredictor, ShutdownVote};
+use pcap_types::{DiskAccess, SimDuration, SimTime};
+
+/// Hwang & Wu's exponential-average predictor: the next idle period is
+/// estimated as a weighted average of the previous estimate and the
+/// previous actual idle period,
+/// `Iₙ₊₁ = a·iₙ + (1 − a)·Iₙ` (§2: "the length of an idle period could
+/// be predicted using a weighted average of the predicted and the
+/// actual lengths of the previous idle period").
+///
+/// A shutdown is predicted (after the wait-window) whenever the estimate
+/// exceeds the breakeven time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExponentialAverage {
+    alpha: f64,
+    wait_window: SimDuration,
+    breakeven: SimDuration,
+    estimate: SimDuration,
+}
+
+impl ExponentialAverage {
+    /// Creates a predictor with smoothing factor `alpha` ∈ (0, 1].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is outside (0, 1].
+    pub fn new(alpha: f64, wait_window: SimDuration, breakeven: SimDuration) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        ExponentialAverage {
+            alpha,
+            wait_window,
+            breakeven,
+            estimate: SimDuration::ZERO,
+        }
+    }
+
+    /// The common configuration: α = 0.5, 1 s wait-window, 5.43 s
+    /// breakeven.
+    pub fn paper_setting() -> Self {
+        ExponentialAverage::new(
+            0.5,
+            SimDuration::from_secs(1),
+            SimDuration::from_secs_f64(5.43),
+        )
+    }
+
+    /// The current idle-length estimate.
+    pub fn estimate(&self) -> SimDuration {
+        self.estimate
+    }
+}
+
+impl IdlePredictor for ExponentialAverage {
+    fn name(&self) -> String {
+        "ExpAvg".to_owned()
+    }
+
+    fn on_access(&mut self, _access: &DiskAccess, _upcoming_idle: SimDuration) -> ShutdownVote {
+        if self.estimate > self.breakeven {
+            ShutdownVote::after(self.wait_window)
+        } else {
+            ShutdownVote::NO_PREDICTION
+        }
+    }
+
+    fn on_idle_end(&mut self, idle: SimDuration) {
+        let next =
+            self.alpha * idle.as_secs_f64() + (1.0 - self.alpha) * self.estimate.as_secs_f64();
+        self.estimate = SimDuration::from_secs_f64(next);
+    }
+
+    fn on_run_end(&mut self) {
+        self.estimate = SimDuration::ZERO;
+    }
+}
+
+/// A feedback-adjusted timeout in the style of Douglis et al. and
+/// Golding et al. (§2: "Both methods used feedback to enlarge or to
+/// reduce the timeout based on whether the previous prediction was
+/// correct. If it was correct, the timeout was reduced; otherwise, it
+/// was enlarged.")
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptiveTimeout {
+    timeout: SimDuration,
+    min: SimDuration,
+    max: SimDuration,
+    breakeven: SimDuration,
+    /// Multiplicative decrease on a correct shutdown.
+    shrink: f64,
+    /// Multiplicative increase on a wasteful shutdown.
+    grow: f64,
+}
+
+impl AdaptiveTimeout {
+    /// Creates an adaptive timeout starting at `initial`, clamped to
+    /// `[min, max]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min > max` or `initial` lies outside the range.
+    pub fn new(
+        initial: SimDuration,
+        min: SimDuration,
+        max: SimDuration,
+        breakeven: SimDuration,
+    ) -> Self {
+        assert!(min <= max, "min timeout must not exceed max");
+        assert!(
+            (min..=max).contains(&initial),
+            "initial timeout outside [min, max]"
+        );
+        AdaptiveTimeout {
+            timeout: initial,
+            min,
+            max,
+            breakeven,
+            shrink: 0.9,
+            grow: 2.0,
+        }
+    }
+
+    /// A sensible default: start at 10 s, range [1 s, 60 s], 5.43 s
+    /// breakeven.
+    pub fn paper_setting() -> Self {
+        AdaptiveTimeout::new(
+            SimDuration::from_secs(10),
+            SimDuration::from_secs(1),
+            SimDuration::from_secs(60),
+            SimDuration::from_secs_f64(5.43),
+        )
+    }
+
+    /// The current timeout value.
+    pub fn timeout(&self) -> SimDuration {
+        self.timeout
+    }
+
+    fn clamp(&self, t: f64) -> SimDuration {
+        SimDuration::from_secs_f64(t.clamp(self.min.as_secs_f64(), self.max.as_secs_f64()))
+    }
+}
+
+impl IdlePredictor for AdaptiveTimeout {
+    fn name(&self) -> String {
+        "AdaptTO".to_owned()
+    }
+
+    fn on_access(&mut self, _access: &DiskAccess, _upcoming_idle: SimDuration) -> ShutdownVote {
+        ShutdownVote::after(self.timeout)
+    }
+
+    fn on_idle_end(&mut self, idle: SimDuration) {
+        if idle <= self.timeout {
+            // The timeout never fired: no feedback.
+            return;
+        }
+        let off = idle - self.timeout;
+        let t = self.timeout.as_secs_f64();
+        self.timeout = if off > self.breakeven {
+            // Correct shutdown: be more aggressive next time.
+            self.clamp(t * self.shrink)
+        } else {
+            // The device-off interval did not pay for the power cycle:
+            // back off.
+            self.clamp(t * self.grow)
+        };
+    }
+}
+
+/// Srivastava, Chandrakasan & Brodersen's "L-shape" rule (§2: "A long
+/// idle period often followed a short busy period").
+///
+/// A *busy period* is a burst of accesses separated by gaps no longer
+/// than the burst threshold. When a burst has been running for less
+/// than `busy_threshold` at the time an access completes, the following
+/// idle period is predicted long.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LastBusy {
+    busy_threshold: SimDuration,
+    burst_gap: SimDuration,
+    wait_window: SimDuration,
+    burst_start: Option<SimTime>,
+    last_access: Option<SimTime>,
+}
+
+impl LastBusy {
+    /// Creates the predictor: bursts are separated by gaps longer than
+    /// `burst_gap`; bursts shorter than `busy_threshold` predict a long
+    /// idle period `wait_window` after their last access.
+    pub fn new(
+        busy_threshold: SimDuration,
+        burst_gap: SimDuration,
+        wait_window: SimDuration,
+    ) -> Self {
+        LastBusy {
+            busy_threshold,
+            burst_gap,
+            wait_window,
+            burst_start: None,
+            last_access: None,
+        }
+    }
+
+    /// A sensible default: 2 s busy threshold, 1 s burst gap, 1 s
+    /// wait-window.
+    pub fn paper_setting() -> Self {
+        LastBusy::new(
+            SimDuration::from_secs(2),
+            SimDuration::from_secs(1),
+            SimDuration::from_secs(1),
+        )
+    }
+}
+
+impl IdlePredictor for LastBusy {
+    fn name(&self) -> String {
+        "LastBusy".to_owned()
+    }
+
+    fn on_access(&mut self, access: &DiskAccess, _upcoming_idle: SimDuration) -> ShutdownVote {
+        let now = access.time;
+        let burst_start = match (self.burst_start, self.last_access) {
+            (Some(start), Some(last)) if now.saturating_since(last) <= self.burst_gap => start,
+            _ => now,
+        };
+        self.burst_start = Some(burst_start);
+        self.last_access = Some(now);
+        if now.saturating_since(burst_start) < self.busy_threshold {
+            ShutdownVote::after(self.wait_window)
+        } else {
+            ShutdownVote::NO_PREDICTION
+        }
+    }
+
+    fn on_run_end(&mut self) {
+        self.burst_start = None;
+        self.last_access = None;
+    }
+}
+
+/// A stationary stochastic predictor in the spirit of Benini et
+/// al. / Chung et al. (§2): model idle-period lengths as draws from a
+/// stationary distribution estimated online, and shut down when the
+/// *expected* energy of spinning down beats spinning idle.
+///
+/// With `p = P(idle > breakeven)` estimated over a sliding window of
+/// recent idle periods, shutting down after the wait-window pays off
+/// when `p · E[saving | long] > (1 − p) · E[loss | short]`. Both
+/// conditional expectations are estimated from the same window, so the
+/// policy adapts when the workload drifts — the non-stationarity
+/// problem §2 notes for offline stochastic methods.
+#[derive(Debug, Clone)]
+pub struct Stochastic {
+    window: std::collections::VecDeque<SimDuration>,
+    capacity: usize,
+    wait_window: SimDuration,
+    breakeven: SimDuration,
+    /// Minimum observations before the model dares to predict.
+    warmup: usize,
+}
+
+impl Stochastic {
+    /// Creates a predictor with a sliding window of `capacity` idle
+    /// periods.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize, wait_window: SimDuration, breakeven: SimDuration) -> Stochastic {
+        assert!(capacity > 0, "window capacity must be positive");
+        Stochastic {
+            window: std::collections::VecDeque::with_capacity(capacity),
+            capacity,
+            wait_window,
+            breakeven,
+            warmup: 8.min(capacity),
+        }
+    }
+
+    /// A sensible default: 64-period window, 1 s wait-window, 5.43 s
+    /// breakeven.
+    pub fn paper_setting() -> Stochastic {
+        Stochastic::new(
+            64,
+            SimDuration::from_secs(1),
+            SimDuration::from_secs_f64(5.43),
+        )
+    }
+
+    /// The current estimate of `P(idle > breakeven)` (0.0 before any
+    /// observation).
+    pub fn p_long(&self) -> f64 {
+        if self.window.is_empty() {
+            return 0.0;
+        }
+        let long = self.window.iter().filter(|g| **g > self.breakeven).count();
+        long as f64 / self.window.len() as f64
+    }
+
+    /// Expected-benefit test: positive iff shutting down after the
+    /// wait-window is expected to save energy under the estimated
+    /// distribution.
+    fn expected_benefit_positive(&self) -> bool {
+        if self.window.len() < self.warmup {
+            return false;
+        }
+        let be = self.breakeven.as_secs_f64();
+        let ww = self.wait_window.as_secs_f64();
+        let mut gain = 0.0;
+        for gap in &self.window {
+            let g = gap.as_secs_f64();
+            if g > ww {
+                // Off interval if we shut down at the wait-window; the
+                // saving is proportional to (off − breakeven), which is
+                // negative (a loss) for short periods.
+                gain += (g - ww) - be;
+            }
+        }
+        gain > 0.0
+    }
+}
+
+impl IdlePredictor for Stochastic {
+    fn name(&self) -> String {
+        "Stochastic".to_owned()
+    }
+
+    fn on_access(&mut self, _access: &DiskAccess, _upcoming_idle: SimDuration) -> ShutdownVote {
+        if self.expected_benefit_positive() {
+            ShutdownVote::after(self.wait_window)
+        } else {
+            ShutdownVote::NO_PREDICTION
+        }
+    }
+
+    fn on_idle_end(&mut self, idle: SimDuration) {
+        if self.window.len() == self.capacity {
+            self.window.pop_front();
+        }
+        self.window.push_back(idle);
+    }
+
+    fn on_run_end(&mut self) {
+        self.window.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcap_types::{Fd, IoKind, Pc, Pid};
+
+    fn access_at(t_ms: u64) -> DiskAccess {
+        DiskAccess {
+            time: SimTime::from_millis(t_ms),
+            pid: Pid(1),
+            pc: Pc(1),
+            fd: Fd(0),
+            kind: IoKind::Read,
+            pages: 1,
+        }
+    }
+
+    #[test]
+    fn exp_avg_tracks_long_idles() {
+        let mut p = ExponentialAverage::paper_setting();
+        let v = p.on_access(&access_at(0), SimDuration::ZERO);
+        assert_eq!(v, ShutdownVote::NO_PREDICTION, "estimate starts at zero");
+        // Two 20 s idles push the estimate over breakeven.
+        p.on_idle_end(SimDuration::from_secs(20)); // est 10
+        let v = p.on_access(&access_at(1), SimDuration::ZERO);
+        assert_eq!(v.delay, Some(SimDuration::from_secs(1)));
+        // A string of short idles pulls it back down.
+        for _ in 0..4 {
+            p.on_idle_end(SimDuration::from_millis(200));
+        }
+        let v = p.on_access(&access_at(2), SimDuration::ZERO);
+        assert_eq!(v, ShutdownVote::NO_PREDICTION);
+        assert!(p.estimate() < SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn exp_avg_resets_per_run() {
+        let mut p = ExponentialAverage::paper_setting();
+        p.on_idle_end(SimDuration::from_secs(60));
+        p.on_run_end();
+        assert_eq!(p.estimate(), SimDuration::ZERO);
+        assert_eq!(p.name(), "ExpAvg");
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn bad_alpha_panics() {
+        let _ = ExponentialAverage::new(0.0, SimDuration::ZERO, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn adaptive_timeout_shrinks_on_success() {
+        let mut p = AdaptiveTimeout::paper_setting();
+        let before = p.timeout();
+        p.on_idle_end(SimDuration::from_secs(60)); // off = 50 s ≫ breakeven
+        assert!(p.timeout() < before);
+    }
+
+    #[test]
+    fn adaptive_timeout_grows_on_waste() {
+        let mut p = AdaptiveTimeout::paper_setting();
+        // Idle 12 s with a 10 s timeout: off interval 2 s < breakeven.
+        p.on_idle_end(SimDuration::from_secs(12));
+        assert_eq!(p.timeout(), SimDuration::from_secs(20));
+        // Clamped at the maximum.
+        for _ in 0..10 {
+            p.on_idle_end(p.timeout() + SimDuration::from_secs(1));
+        }
+        assert!(p.timeout() <= SimDuration::from_secs(60));
+    }
+
+    #[test]
+    fn adaptive_timeout_ignores_unfired_idles() {
+        let mut p = AdaptiveTimeout::paper_setting();
+        p.on_idle_end(SimDuration::from_secs(5)); // below timeout
+        assert_eq!(p.timeout(), SimDuration::from_secs(10));
+        assert_eq!(
+            p.on_access(&access_at(0), SimDuration::ZERO).delay,
+            Some(SimDuration::from_secs(10))
+        );
+        assert_eq!(p.name(), "AdaptTO");
+    }
+
+    #[test]
+    #[should_panic(expected = "min timeout")]
+    fn adaptive_timeout_bad_range_panics() {
+        let _ = AdaptiveTimeout::new(
+            SimDuration::from_secs(5),
+            SimDuration::from_secs(9),
+            SimDuration::from_secs(1),
+            SimDuration::from_secs(5),
+        );
+    }
+
+    #[test]
+    fn last_busy_predicts_after_short_burst() {
+        let mut p = LastBusy::paper_setting();
+        // Burst of three accesses 100 ms apart: total burst 200 ms < 2 s.
+        p.on_access(&access_at(0), SimDuration::ZERO);
+        p.on_access(&access_at(100), SimDuration::ZERO);
+        let v = p.on_access(&access_at(200), SimDuration::ZERO);
+        assert_eq!(v.delay, Some(SimDuration::from_secs(1)));
+    }
+
+    #[test]
+    fn last_busy_abstains_after_long_burst() {
+        let mut p = LastBusy::paper_setting();
+        let mut v = ShutdownVote::NO_PREDICTION;
+        // A 3-second burst of accesses 100 ms apart.
+        for i in 0..31 {
+            v = p.on_access(&access_at(i * 100), SimDuration::ZERO);
+        }
+        assert_eq!(v, ShutdownVote::NO_PREDICTION);
+        // A gap above burst_gap starts a new burst: predicting again.
+        let v = p.on_access(&access_at(31 * 100 + 5000), SimDuration::ZERO);
+        assert_eq!(v.delay, Some(SimDuration::from_secs(1)));
+    }
+
+    #[test]
+    fn stochastic_needs_warmup() {
+        let mut p = Stochastic::paper_setting();
+        assert_eq!(
+            p.on_access(&access_at(0), SimDuration::ZERO),
+            ShutdownVote::NO_PREDICTION
+        );
+        assert_eq!(p.p_long(), 0.0);
+    }
+
+    #[test]
+    fn stochastic_predicts_under_long_heavy_distributions() {
+        let mut p = Stochastic::paper_setting();
+        for _ in 0..16 {
+            p.on_idle_end(SimDuration::from_secs(60));
+        }
+        let v = p.on_access(&access_at(0), SimDuration::ZERO);
+        assert_eq!(v.delay, Some(SimDuration::from_secs(1)));
+        assert!((p.p_long() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stochastic_abstains_under_short_heavy_distributions() {
+        let mut p = Stochastic::paper_setting();
+        for _ in 0..32 {
+            p.on_idle_end(SimDuration::from_secs(2));
+        }
+        assert_eq!(
+            p.on_access(&access_at(0), SimDuration::ZERO),
+            ShutdownVote::NO_PREDICTION
+        );
+    }
+
+    #[test]
+    fn stochastic_adapts_to_drift() {
+        let mut p = Stochastic::new(
+            16,
+            SimDuration::from_secs(1),
+            SimDuration::from_secs_f64(5.43),
+        );
+        for _ in 0..16 {
+            p.on_idle_end(SimDuration::from_secs(60));
+        }
+        assert!(p
+            .on_access(&access_at(0), SimDuration::ZERO)
+            .delay
+            .is_some());
+        // The workload turns bursty: the window slides, the policy flips.
+        for _ in 0..16 {
+            p.on_idle_end(SimDuration::from_secs(2));
+        }
+        assert_eq!(
+            p.on_access(&access_at(1), SimDuration::ZERO),
+            ShutdownVote::NO_PREDICTION
+        );
+        p.on_run_end();
+        assert_eq!(p.p_long(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "window capacity")]
+    fn stochastic_zero_capacity_panics() {
+        let _ = Stochastic::new(0, SimDuration::ZERO, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn last_busy_resets_per_run() {
+        let mut p = LastBusy::paper_setting();
+        for i in 0..31 {
+            p.on_access(&access_at(i * 100), SimDuration::ZERO);
+        }
+        p.on_run_end();
+        let v = p.on_access(&access_at(3100), SimDuration::ZERO);
+        assert_eq!(v.delay, Some(SimDuration::from_secs(1)));
+        assert_eq!(p.name(), "LastBusy");
+    }
+}

@@ -1,0 +1,365 @@
+//! The adaptive Learning Tree of Chung, Benini & De Micheli (ICCAD
+//! 1999), as configured by the paper for its LT comparison.
+//!
+//! LT predicts the class of the next idle period from the *pattern of
+//! recent idle periods*: idle lengths are discretized (here into
+//! short/long around the breakeven time, with sub-wait-window periods
+//! filtered out, exactly as the paper's PCAPh history does), and a tree
+//! over recent-period sequences holds a saturating confidence counter
+//! per observed pattern. The paper runs LT with a history length of
+//! eight ("longer history lengths do not improve accuracy").
+
+use pcap_core::history::HistoryBits;
+use pcap_core::{HistoryTracker, IdlePredictor, ShutdownVote};
+use pcap_trace::idle::GapClass;
+use pcap_types::{DiskAccess, SimDuration};
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Configuration of a [`LearningTree`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LtConfig {
+    /// Idle-period history length (the paper uses 8).
+    pub history_len: usize,
+    /// Sliding wait-window (shared with PCAP; 1 s).
+    pub wait_window: SimDuration,
+    /// Breakeven time (5.43 s for the Table 2 disk).
+    pub breakeven: SimDuration,
+    /// Saturating-counter ceiling.
+    pub counter_max: u8,
+    /// Counter value at or above which "long" is predicted.
+    pub predict_threshold: u8,
+    /// Counter value assigned when a pattern is first observed to
+    /// precede a long idle period (≥ `predict_threshold` makes LT
+    /// predict after a single observation, the fast learning the paper
+    /// notes in §6.1).
+    pub initial_confidence: u8,
+}
+
+impl LtConfig {
+    /// The paper's configuration: history 8, 1 s wait-window, 5.43 s
+    /// breakeven, 2-bit counters predicting at ≥ 2 and starting at 2.
+    pub fn paper() -> LtConfig {
+        LtConfig {
+            history_len: 8,
+            wait_window: SimDuration::from_secs(1),
+            breakeven: SimDuration::from_secs_f64(5.43),
+            counter_max: 3,
+            predict_threshold: 2,
+            initial_confidence: 2,
+        }
+    }
+}
+
+impl Default for LtConfig {
+    fn default() -> Self {
+        LtConfig::paper()
+    }
+}
+
+/// The learned tree: observed idle-period patterns → confidence that a
+/// long idle period follows.
+///
+/// Patterns of every length up to the history length are stored, so a
+/// partially filled history (early in a run) can still match.
+#[derive(Debug, Clone, Default)]
+pub struct TreeTable {
+    nodes: HashMap<HistoryBits, u8>,
+}
+
+impl TreeTable {
+    /// Number of learned patterns (the LT analogue of Table 3 storage).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if nothing was learned yet.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Discards all learned patterns (LTa configuration).
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+    }
+}
+
+/// A [`TreeTable`] shared by all processes of one application, like
+/// PCAP's [`SharedTable`](pcap_core::SharedTable).
+#[derive(Debug, Clone, Default)]
+pub struct SharedTree(Rc<RefCell<TreeTable>>);
+
+impl SharedTree {
+    /// A fresh empty shared tree.
+    pub fn new() -> SharedTree {
+        SharedTree::default()
+    }
+
+    /// Number of learned patterns.
+    pub fn len(&self) -> usize {
+        self.0.borrow().len()
+    }
+
+    /// True if nothing was learned yet.
+    pub fn is_empty(&self) -> bool {
+        self.0.borrow().is_empty()
+    }
+
+    /// Discards all learned patterns.
+    pub fn clear(&self) {
+        self.0.borrow_mut().clear()
+    }
+
+    /// True if the tree predicts a long idle period for the current
+    /// history: tree descent along the most recent periods — the
+    /// **deepest stored suffix** is the most specific context observed
+    /// before, and its confidence decides.
+    fn predict(&self, history: HistoryBits, config: &LtConfig) -> bool {
+        let table = self.0.borrow();
+        for k in (1..=history.len).rev() {
+            if let Some(&c) = table.nodes.get(&suffix(history, k)) {
+                return c >= config.predict_threshold;
+            }
+        }
+        false
+    }
+
+    /// Trains every suffix of the history on the observed outcome:
+    /// existing nodes saturate up (long) or decay down (short); unseen
+    /// contexts enter the tree confident after a long outcome and
+    /// pessimistic after a short one, so the deepest-suffix descent can
+    /// veto shallow over-generalizations.
+    fn train(&self, history: HistoryBits, long: bool, config: &LtConfig) {
+        let mut table = self.0.borrow_mut();
+        for k in 1..=history.len {
+            match table.nodes.entry(suffix(history, k)) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    let c = e.get_mut();
+                    if long {
+                        *c = (*c + 1).min(config.counter_max);
+                    } else {
+                        *c = c.saturating_sub(1);
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(if long { config.initial_confidence } else { 0 });
+                }
+            }
+        }
+    }
+}
+
+/// The `k` most recent periods of a history window.
+fn suffix(history: HistoryBits, k: u8) -> HistoryBits {
+    HistoryBits {
+        bits: history.bits & ((1u32 << k) - 1),
+        len: k,
+    }
+}
+
+/// One process's Learning Tree predictor.
+///
+/// ```
+/// use pcap_baselines::{LearningTree, LtConfig, SharedTree};
+/// use pcap_core::IdlePredictor;
+/// use pcap_types::SimDuration;
+/// # let access = pcap_types::DiskAccess {
+/// #     time: pcap_types::SimTime::ZERO, pid: pcap_types::Pid(1),
+/// #     pc: pcap_types::Pc(1), fd: pcap_types::Fd(0),
+/// #     kind: pcap_types::IoKind::Read, pages: 1 };
+///
+/// let mut lt = LearningTree::new(LtConfig::paper(), SharedTree::new());
+/// // Two short periods then a long one (Figure 2's repetitive pattern).
+/// for gap in [3u64, 3, 20, 3, 3] {
+///     lt.on_access(&access, SimDuration::ZERO);
+///     lt.on_idle_end(SimDuration::from_secs(gap));
+/// }
+/// // The [short, short] context was learned to precede a long period.
+/// let vote = lt.on_access(&access, SimDuration::ZERO);
+/// assert_eq!(vote.delay, Some(SimDuration::from_secs(1)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LearningTree {
+    config: LtConfig,
+    tree: SharedTree,
+    history: HistoryTracker,
+}
+
+impl LearningTree {
+    /// Creates a predictor for one process sharing `tree` with the rest
+    /// of the application.
+    pub fn new(config: LtConfig, tree: SharedTree) -> LearningTree {
+        let history = HistoryTracker::new(config.history_len);
+        LearningTree {
+            config,
+            tree,
+            history,
+        }
+    }
+
+    /// The shared tree.
+    pub fn tree(&self) -> &SharedTree {
+        &self.tree
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &LtConfig {
+        &self.config
+    }
+}
+
+impl IdlePredictor for LearningTree {
+    fn name(&self) -> String {
+        "LT".to_owned()
+    }
+
+    fn on_access(&mut self, _access: &DiskAccess, _upcoming_idle: SimDuration) -> ShutdownVote {
+        if self.history.is_empty() {
+            return ShutdownVote::NO_PREDICTION;
+        }
+        if self.tree.predict(self.history.bits(), &self.config) {
+            ShutdownVote::after(self.config.wait_window)
+        } else {
+            ShutdownVote::NO_PREDICTION
+        }
+    }
+
+    fn on_idle_end(&mut self, idle: SimDuration) {
+        let class = GapClass::of(idle, self.config.wait_window, self.config.breakeven);
+        let Some(bit) = class.history_bit() else {
+            return; // sub-wait-window periods are filtered out
+        };
+        if !self.history.is_empty() {
+            self.tree
+                .train(self.history.bits(), class == GapClass::Long, &self.config);
+        }
+        self.history.push(bit);
+    }
+
+    fn on_run_end(&mut self) {
+        // History is per-execution; the tree persists (reuse is managed
+        // by the owner, as with PCAP's table).
+        self.history.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcap_types::{Fd, IoKind, Pc, Pid, SimTime};
+
+    fn access() -> DiskAccess {
+        DiskAccess {
+            time: SimTime::ZERO,
+            pid: Pid(1),
+            pc: Pc(1),
+            fd: Fd(0),
+            kind: IoKind::Read,
+            pages: 1,
+        }
+    }
+
+    const SHORT: SimDuration = SimDuration(3_000_000); // 3 s
+    const LONG: SimDuration = SimDuration(20_000_000); // 20 s
+    const TINY: SimDuration = SimDuration(100_000); // 0.1 s
+
+    fn drive(lt: &mut LearningTree, gaps: &[SimDuration]) -> Vec<ShutdownVote> {
+        gaps.iter()
+            .map(|&g| {
+                let v = lt.on_access(&access(), SimDuration::ZERO);
+                lt.on_idle_end(g);
+                v
+            })
+            .collect()
+    }
+
+    #[test]
+    fn figure2_pattern_learned() {
+        let mut lt = LearningTree::new(LtConfig::paper(), SharedTree::new());
+        // short, short, LONG — then repeat the two shorts.
+        drive(&mut lt, &[SHORT, SHORT, LONG, SHORT, SHORT]);
+        let v = lt.on_access(&access(), SimDuration::ZERO);
+        assert_eq!(
+            v.delay,
+            Some(SimDuration::from_secs(1)),
+            "two shorts now predict a long period"
+        );
+    }
+
+    #[test]
+    fn no_prediction_before_any_history() {
+        let mut lt = LearningTree::new(LtConfig::paper(), SharedTree::new());
+        let v = lt.on_access(&access(), SimDuration::ZERO);
+        assert_eq!(v, ShutdownVote::NO_PREDICTION);
+    }
+
+    #[test]
+    fn sub_window_gaps_do_not_enter_history() {
+        let mut lt = LearningTree::new(LtConfig::paper(), SharedTree::new());
+        drive(&mut lt, &[SHORT, TINY, TINY, LONG]);
+        // The history at training time was [short] (the tiny gaps were
+        // filtered), so a fresh [short] context predicts.
+        let mut lt2 = LearningTree::new(LtConfig::paper(), lt.tree().clone());
+        drive(&mut lt2, &[SHORT]);
+        let v = lt2.on_access(&access(), SimDuration::ZERO);
+        assert_eq!(v.delay, Some(SimDuration::from_secs(1)));
+    }
+
+    #[test]
+    fn mispredicting_pattern_loses_confidence() {
+        let config = LtConfig::paper();
+        let mut lt = LearningTree::new(config, SharedTree::new());
+        // Learn: [short] → long (confidence 2).
+        drive(&mut lt, &[SHORT, LONG]);
+        // Contradict twice: [short] → short. Confidence 2 → 1 → 0.
+        drive(&mut lt, &[SHORT, SHORT, SHORT]);
+        // Context is [short] again; prediction must be gone.
+        drive(&mut lt, &[SHORT]);
+        let v = lt.on_access(&access(), SimDuration::ZERO);
+        assert_eq!(v, ShutdownVote::NO_PREDICTION);
+    }
+
+    #[test]
+    fn short_only_patterns_enter_pessimistic() {
+        let mut lt = LearningTree::new(LtConfig::paper(), SharedTree::new());
+        drive(&mut lt, &[SHORT, SHORT, SHORT, SHORT]);
+        assert!(!lt.tree().is_empty());
+        // ...and never predict a shutdown.
+        let v = lt.on_access(&access(), SimDuration::ZERO);
+        assert_eq!(v, ShutdownVote::NO_PREDICTION);
+    }
+
+    #[test]
+    fn tree_is_shared_between_processes() {
+        let tree = SharedTree::new();
+        let mut a = LearningTree::new(LtConfig::paper(), tree.clone());
+        drive(&mut a, &[SHORT, LONG]);
+        let mut b = LearningTree::new(LtConfig::paper(), tree.clone());
+        drive(&mut b, &[SHORT]);
+        let v = b.on_access(&access(), SimDuration::ZERO);
+        assert_eq!(v.delay, Some(SimDuration::from_secs(1)));
+        assert_eq!(tree.len(), 1);
+    }
+
+    #[test]
+    fn run_end_clears_history_keeps_tree() {
+        let mut lt = LearningTree::new(LtConfig::paper(), SharedTree::new());
+        drive(&mut lt, &[SHORT, LONG]);
+        lt.on_run_end();
+        assert!(!lt.tree().is_empty());
+        let v = lt.on_access(&access(), SimDuration::ZERO);
+        assert_eq!(v, ShutdownVote::NO_PREDICTION, "fresh history after exit");
+    }
+
+    #[test]
+    fn clear_emulates_lta() {
+        let mut lt = LearningTree::new(LtConfig::paper(), SharedTree::new());
+        drive(&mut lt, &[SHORT, LONG]);
+        lt.tree().clear();
+        assert!(lt.tree().is_empty());
+        assert_eq!(lt.config().history_len, 8);
+        assert_eq!(lt.name(), "LT");
+    }
+}

@@ -1,0 +1,36 @@
+//! Baseline shutdown predictors the paper compares PCAP against, plus
+//! the classic dynamic predictors from its related-work section (§2).
+//!
+//! * [`TimeoutPredictor`] — the fixed timeout (TP) every OS ships; the
+//!   paper's yardstick at 10 s (and 5.43 s = breakeven in §6.3),
+//! * [`LearningTree`] — Chung et al.'s adaptive learning tree over
+//!   discretized idle-period sequences (LT),
+//! * [`Oracle`] — the ideal predictor of Figure 8, shutting down at the
+//!   instant a long idle period begins and never otherwise,
+//! * [`ExponentialAverage`] — Hwang & Wu's weighted-average idle-length
+//!   predictor,
+//! * [`AdaptiveTimeout`] — Douglis et al. / Golding et al.'s
+//!   feedback-adjusted timeout,
+//! * [`LastBusy`] — Srivastava et al.'s "short busy period ⇒ long idle
+//!   period" (L-shape) rule,
+//! * [`Stochastic`] — a stationary expected-benefit policy in the
+//!   spirit of the Markov-model family (Benini/Chung/Qiu/Simunic),
+//!   estimated online over a sliding window.
+//!
+//! All implement [`pcap_core::IdlePredictor`] from
+//! [`pcap-core`](https://docs.rs/pcap-core), so the simulator, the
+//! global predictor and the backup-timeout composition treat them
+//! uniformly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod classic;
+mod learning_tree;
+mod oracle;
+mod timeout;
+
+pub use classic::{AdaptiveTimeout, ExponentialAverage, LastBusy, Stochastic};
+pub use learning_tree::{LearningTree, LtConfig, SharedTree, TreeTable};
+pub use oracle::Oracle;
+pub use timeout::TimeoutPredictor;

@@ -1,0 +1,77 @@
+//! The ideal predictor of Figure 8.
+
+use pcap_core::{IdlePredictor, ShutdownVote};
+use pcap_types::{DiskAccess, SimDuration};
+
+/// A clairvoyant predictor: shuts the disk down at the instant an idle
+/// period longer than breakeven begins, and never touches it otherwise.
+///
+/// The paper's "Ideal" bar in Figure 8 — it still pays the power-cycle
+/// energy of every (always correct) shutdown, so even it cannot save
+/// 100%. This is the only predictor allowed to read the `upcoming_idle`
+/// argument of [`IdlePredictor::on_access`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Oracle {
+    breakeven: SimDuration,
+}
+
+impl Oracle {
+    /// An oracle for a disk with the given breakeven time.
+    pub fn new(breakeven: SimDuration) -> Oracle {
+        Oracle { breakeven }
+    }
+
+    /// The Table 2 disk's oracle (5.43 s breakeven).
+    pub fn paper() -> Oracle {
+        Oracle::new(SimDuration::from_secs_f64(5.43))
+    }
+}
+
+impl IdlePredictor for Oracle {
+    fn name(&self) -> String {
+        "Ideal".to_owned()
+    }
+
+    fn on_access(&mut self, _access: &DiskAccess, upcoming_idle: SimDuration) -> ShutdownVote {
+        if upcoming_idle > self.breakeven {
+            ShutdownVote::after(SimDuration::ZERO)
+        } else {
+            ShutdownVote::never()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcap_types::{Fd, IoKind, Pc, Pid, SimTime};
+
+    fn access() -> DiskAccess {
+        DiskAccess {
+            time: SimTime::ZERO,
+            pid: Pid(1),
+            pc: Pc(1),
+            fd: Fd(0),
+            kind: IoKind::Read,
+            pages: 1,
+        }
+    }
+
+    #[test]
+    fn shuts_down_immediately_for_long_gaps() {
+        let mut o = Oracle::paper();
+        let v = o.on_access(&access(), SimDuration::from_secs(60));
+        assert_eq!(v.delay, Some(SimDuration::ZERO));
+    }
+
+    #[test]
+    fn never_mispredicts_short_gaps() {
+        let mut o = Oracle::paper();
+        // Exactly breakeven does not pay off — strictly longer required.
+        let v = o.on_access(&access(), SimDuration::from_secs_f64(5.43));
+        assert_eq!(v.delay, None);
+        let v = o.on_access(&access(), SimDuration::from_secs(1));
+        assert_eq!(v.delay, None);
+        assert_eq!(o.name(), "Ideal");
+    }
+}

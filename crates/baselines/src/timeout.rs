@@ -1,0 +1,99 @@
+//! The fixed timeout predictor (TP).
+
+use pcap_core::{IdlePredictor, ShutdownVote};
+use pcap_types::{DiskAccess, SimDuration};
+
+/// The simple timeout predictor: after every access, vote to shut down
+/// once the device has been idle for a fixed timeout.
+///
+/// The paper uses 10 s ("results in low mispredictions and good energy
+/// savings in our applications") and examines the aggressive
+/// breakeven-valued timeout of Karlin et al. in §6.3.
+///
+/// ```
+/// use pcap_baselines::TimeoutPredictor;
+/// use pcap_core::IdlePredictor;
+/// use pcap_types::SimDuration;
+/// # let access = pcap_types::DiskAccess {
+/// #     time: pcap_types::SimTime::ZERO, pid: pcap_types::Pid(1),
+/// #     pc: pcap_types::Pc(1), fd: pcap_types::Fd(0),
+/// #     kind: pcap_types::IoKind::Read, pages: 1 };
+///
+/// let mut tp = TimeoutPredictor::paper(); // 10 s
+/// let vote = tp.on_access(&access, SimDuration::ZERO);
+/// assert_eq!(vote.delay, Some(SimDuration::from_secs(10)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimeoutPredictor {
+    timeout: SimDuration,
+}
+
+impl TimeoutPredictor {
+    /// A timeout predictor with the given timeout.
+    pub fn new(timeout: SimDuration) -> TimeoutPredictor {
+        TimeoutPredictor { timeout }
+    }
+
+    /// The paper's 10-second configuration.
+    pub fn paper() -> TimeoutPredictor {
+        TimeoutPredictor::new(SimDuration::from_secs(10))
+    }
+
+    /// The Karlin-style competitive configuration: timeout = breakeven
+    /// (5.43 s for the Table 2 disk).
+    pub fn breakeven() -> TimeoutPredictor {
+        TimeoutPredictor::new(SimDuration::from_secs_f64(5.43))
+    }
+
+    /// The configured timeout.
+    pub fn timeout(&self) -> SimDuration {
+        self.timeout
+    }
+}
+
+impl IdlePredictor for TimeoutPredictor {
+    fn name(&self) -> String {
+        "TP".to_owned()
+    }
+
+    fn on_access(&mut self, _access: &DiskAccess, _upcoming_idle: SimDuration) -> ShutdownVote {
+        ShutdownVote::after(self.timeout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcap_types::{Fd, IoKind, Pc, Pid, SimTime};
+
+    fn access() -> DiskAccess {
+        DiskAccess {
+            time: SimTime::ZERO,
+            pid: Pid(1),
+            pc: Pc(1),
+            fd: Fd(0),
+            kind: IoKind::Read,
+            pages: 1,
+        }
+    }
+
+    #[test]
+    fn always_votes_timeout() {
+        let mut tp = TimeoutPredictor::paper();
+        for _ in 0..3 {
+            let v = tp.on_access(&access(), SimDuration::from_secs(100));
+            assert_eq!(v.delay, Some(SimDuration::from_secs(10)));
+        }
+        tp.on_idle_end(SimDuration::from_secs(1));
+        tp.on_run_end();
+        assert_eq!(tp.name(), "TP");
+    }
+
+    #[test]
+    fn breakeven_variant() {
+        assert_eq!(
+            TimeoutPredictor::breakeven().timeout(),
+            SimDuration::from_secs_f64(5.43)
+        );
+    }
+}

@@ -1,0 +1,76 @@
+//! One Criterion benchmark per table and figure of the paper: each
+//! bench regenerates its experiment from the already-generated trace
+//! suite (and prints the regenerated rows once, so `cargo bench` output
+//! doubles as a results log).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pcap_bench::{full_workbench, reduced_workbench};
+use pcap_report::{Experiment, Workbench};
+use std::hint::black_box;
+use std::sync::OnceLock;
+
+fn full() -> &'static Workbench {
+    static BENCH: OnceLock<Workbench> = OnceLock::new();
+    BENCH.get_or_init(full_workbench)
+}
+
+fn reduced() -> &'static Workbench {
+    static BENCH: OnceLock<Workbench> = OnceLock::new();
+    BENCH.get_or_init(reduced_workbench)
+}
+
+/// Registers one bench that regenerates `experiment`. The full suite's
+/// rows are printed once (the actual results); timing runs on the
+/// reduced suite so a `cargo bench` sweep stays tractable.
+fn bench_experiment(c: &mut Criterion, experiment: Experiment) {
+    for table in experiment.run(full()) {
+        println!("{table}");
+    }
+    let reduced = reduced();
+    c.bench_function(&format!("regenerate/{experiment}"), |b| {
+        b.iter(|| {
+            // Workbench memoization would hide the work; re-run the
+            // experiment against a fresh view each iteration.
+            let fresh = Workbench::from_traces(reduced.traces().to_vec(), reduced.config().clone());
+            black_box(experiment.run(&fresh))
+        })
+    });
+}
+
+fn table1(c: &mut Criterion) {
+    bench_experiment(c, Experiment::Table1);
+}
+fn table2(c: &mut Criterion) {
+    bench_experiment(c, Experiment::Table2);
+}
+fn fig6(c: &mut Criterion) {
+    bench_experiment(c, Experiment::Fig6);
+}
+fn fig7(c: &mut Criterion) {
+    bench_experiment(c, Experiment::Fig7);
+}
+fn fig8(c: &mut Criterion) {
+    bench_experiment(c, Experiment::Fig8);
+}
+fn fig9(c: &mut Criterion) {
+    bench_experiment(c, Experiment::Fig9);
+}
+fn fig10(c: &mut Criterion) {
+    bench_experiment(c, Experiment::Fig10);
+}
+fn table3(c: &mut Criterion) {
+    bench_experiment(c, Experiment::Table3);
+}
+fn ablations(c: &mut Criterion) {
+    bench_experiment(c, Experiment::Ablations);
+}
+fn system(c: &mut Criterion) {
+    bench_experiment(c, Experiment::System);
+}
+
+criterion_group! {
+    name = experiments;
+    config = Criterion::default().sample_size(10);
+    targets = table1, table2, fig6, fig7, fig8, fig9, fig10, table3, ablations, system
+}
+criterion_main!(experiments);

@@ -1,0 +1,146 @@
+//! Micro-benchmarks for the paper's constant-factor claims: signature
+//! maintenance and table lookup (§3.2.2's "insignificant" per-I/O
+//! overhead), PC capture strategies (§3.2.1), cache filtering, and raw
+//! simulator throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pcap_bench::sample_trace;
+use pcap_cache::{CacheConfig, FileCache};
+use pcap_capture::{CallStack, CaptureStrategy, FrameKind};
+use pcap_core::{
+    IdlePredictor, Pcap, PcapConfig, PredictionTable, SharedTable, SignatureTracker, TableKey,
+};
+use pcap_sim::{evaluate_app, PowerManagerKind, SimConfig};
+use pcap_types::{
+    DiskAccess, Fd, FileId, IoEvent, IoKind, Pc, Pid, Signature, SimDuration, SimTime,
+};
+use std::hint::black_box;
+
+/// §3.2.2: obtaining the PC and folding it into the signature.
+fn signature_update(c: &mut Criterion) {
+    c.bench_function("micro/signature_update", |b| {
+        let mut tracker = SignatureTracker::new();
+        let mut pc = 0u32;
+        b.iter(|| {
+            pc = pc.wrapping_add(0x9e37_79b9);
+            black_box(tracker.observe(Pc(pc)))
+        })
+    });
+}
+
+/// §3.2.2: "the predictor lookup consists of a hash table access and
+/// the comparison of signatures".
+fn table_lookup(c: &mut Criterion) {
+    let mut table = PredictionTable::unbounded();
+    for i in 0..139 {
+        // The largest table the paper reports (mozilla PCAPfh).
+        table.learn(TableKey::plain(Signature(i * 0x0101)));
+    }
+    c.bench_function("micro/table_lookup_hit", |b| {
+        b.iter(|| black_box(table.lookup(TableKey::plain(Signature(0x0101)))))
+    });
+    c.bench_function("micro/table_lookup_miss", |b| {
+        b.iter(|| black_box(table.lookup(TableKey::plain(Signature(0xdead_beef)))))
+    });
+}
+
+/// Full per-I/O predictor work: signature + lookup + vote.
+fn pcap_on_access(c: &mut Criterion) {
+    c.bench_function("micro/pcap_on_access", |b| {
+        let mut pcap = Pcap::new(PcapConfig::paper(), SharedTable::unbounded());
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            let access = DiskAccess {
+                time: SimTime::from_millis(t),
+                pid: Pid(1),
+                pc: Pc(0x1000 + (t % 7) as u32),
+                fd: Fd(3),
+                kind: IoKind::Read,
+                pages: 1,
+            };
+            black_box(pcap.on_access(&access, SimDuration::ZERO))
+        })
+    });
+}
+
+/// §3.2.1: the three capture strategies on a realistic stack.
+fn capture_strategies(c: &mut Criterion) {
+    let mut stack = CallStack::new();
+    stack.push(Pc(0x1000), FrameKind::Application);
+    stack.push(Pc(0x1100), FrameKind::Application);
+    for i in 0..3 {
+        stack.push(Pc(0x7f00_0000 + i), FrameKind::Library);
+    }
+    stack.push(Pc(0xc000_0000), FrameKind::Kernel);
+    for strategy in [
+        CaptureStrategy::LibraryHook,
+        CaptureStrategy::SyscallInterception,
+        CaptureStrategy::KernelHook,
+    ] {
+        c.bench_function(&format!("micro/capture/{strategy}"), |b| {
+            b.iter(|| black_box(strategy.capture(&stack).expect("app frame")))
+        });
+    }
+}
+
+/// File-cache filtering throughput (events per second).
+fn cache_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro/cache");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("filter_10k_events", |b| {
+        b.iter(|| {
+            let mut cache = FileCache::new(CacheConfig::paper());
+            for i in 0..10_000u64 {
+                let event = IoEvent {
+                    time: SimTime::from_millis(i * 3),
+                    pid: Pid(1),
+                    pc: Pc(0x1000),
+                    kind: if i % 5 == 0 {
+                        IoKind::Write
+                    } else {
+                        IoKind::Read
+                    },
+                    fd: Fd(3),
+                    file: FileId(i % 16),
+                    offset: (i % 64) * 4096,
+                    len: 4096,
+                };
+                black_box(cache.access(&event));
+            }
+        })
+    });
+    group.finish();
+}
+
+/// Whole-pipeline throughput: one application trace through the global
+/// simulator (Table 1 "mozilla"-shaped input).
+fn simulator_throughput(c: &mut Criterion) {
+    let trace = sample_trace();
+    let events = trace.total_ios() as u64;
+    let config = SimConfig::paper();
+    let mut group = c.benchmark_group("micro/simulator");
+    group.throughput(Throughput::Elements(events));
+    group.sample_size(10);
+    for kind in [
+        PowerManagerKind::Timeout,
+        PowerManagerKind::LT,
+        PowerManagerKind::PCAP,
+    ] {
+        group.bench_function(format!("evaluate/{kind}"), |b| {
+            b.iter(|| black_box(evaluate_app(&trace, &config, kind)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    micro,
+    signature_update,
+    table_lookup,
+    pcap_on_access,
+    capture_strategies,
+    cache_throughput,
+    simulator_throughput
+);
+criterion_main!(micro);

@@ -1,0 +1,59 @@
+//! Shared helpers for the Criterion benchmarks that regenerate the
+//! paper's tables and figures.
+//!
+//! The benches measure how long each experiment takes to regenerate
+//! (and, once per run, print the regenerated rows); the CLI (`pcap run
+//! <experiment>`) is the canonical way to read the results themselves.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use pcap_report::Workbench;
+use pcap_sim::SimConfig;
+use pcap_trace::ApplicationTrace;
+use pcap_workload::{AppModel, PaperApp};
+
+/// Deterministic seed shared by every benchmark.
+pub const BENCH_SEED: u64 = 42;
+
+/// The full paper suite (all executions) — used by the per-figure
+/// regeneration benches.
+///
+/// # Panics
+///
+/// Panics if a workload spec fails validation (a bug).
+pub fn full_workbench() -> Workbench {
+    Workbench::generate(BENCH_SEED, SimConfig::paper()).expect("valid workload specs")
+}
+
+/// A reduced suite (a handful of executions per application) for
+/// micro-iteration benches where full regeneration would dominate.
+///
+/// # Panics
+///
+/// Panics if a workload spec fails validation (a bug).
+pub fn reduced_workbench() -> Workbench {
+    let traces: Vec<ApplicationTrace> = PaperApp::ALL
+        .iter()
+        .map(|app| {
+            let mut trace = app.spec().generate_trace(BENCH_SEED).expect("valid");
+            trace.runs.truncate(6);
+            trace
+        })
+        .collect();
+    Workbench::from_traces(traces, SimConfig::paper())
+}
+
+/// One moderately sized trace for cache/simulator throughput benches.
+///
+/// # Panics
+///
+/// Panics if the workload spec fails validation (a bug).
+pub fn sample_trace() -> ApplicationTrace {
+    let mut trace = PaperApp::Mozilla
+        .spec()
+        .generate_trace(BENCH_SEED)
+        .expect("valid");
+    trace.runs.truncate(8);
+    trace
+}

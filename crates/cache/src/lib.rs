@@ -1,0 +1,655 @@
+//! Linux-like file cache simulator.
+//!
+//! The paper's evaluation filters every traced I/O operation through a
+//! model of the Linux file cache: "The file cache size is 256 Kbytes. We
+//! use the LRU mechanism for cache replacement and the default timer of
+//! 30 seconds between cache flushes of dirty data. … only cache misses
+//! are treated as actual disk accesses" (§6).
+//!
+//! [`FileCache`] reproduces that model: a 4 KB-page LRU cache with
+//! write-back dirty pages flushed by a periodic daemon. Feeding it a
+//! time-ordered stream of [`IoEvent`]s yields the stream of
+//! [`DiskAccess`]es the power manager actually observes.
+//!
+//! # Example
+//!
+//! ```
+//! use pcap_cache::{CacheConfig, FileCache};
+//! use pcap_types::{Fd, FileId, IoEvent, IoKind, Pc, Pid, SimTime};
+//!
+//! let mut cache = FileCache::new(CacheConfig::paper());
+//! let read = IoEvent {
+//!     time: SimTime::from_secs(1),
+//!     pid: Pid(1),
+//!     pc: Pc(0x42),
+//!     kind: IoKind::Read,
+//!     fd: Fd(3),
+//!     file: FileId(7),
+//!     offset: 0,
+//!     len: 8192,
+//! };
+//! let cold = cache.access(&read);
+//! assert_eq!(cold.len(), 1); // one coalesced 2-page miss
+//! assert_eq!(cold[0].pages, 2);
+//! let warm = cache.access(&IoEvent { time: SimTime::from_secs(2), ..read });
+//! assert!(warm.is_empty()); // served from cache
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod prefetch;
+
+pub use pcap_types::LruMap;
+pub use prefetch::{PcReadahead, ReadaheadConfig};
+
+use pcap_types::{DiskAccess, Fd, FileId, IoEvent, IoKind, Pid, SimDuration, SimTime, TraceEvent};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the file cache.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total cache capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Page size in bytes.
+    pub page_size: u64,
+    /// Age at which a dirty page is written back (the "default timer of
+    /// 30 seconds": Linux's dirty_expire interval).
+    pub flush_interval: SimDuration,
+    /// How often the flush daemon wakes to look for expired pages
+    /// (Linux's writeback wakeup; 5 s).
+    pub flush_wakeup: SimDuration,
+    /// If true, writes bypass the dirty mechanism and hit the disk
+    /// immediately (used by the flush-policy ablation).
+    pub write_through: bool,
+    /// PC-based readahead (§7 future work; `None` = the paper's plain
+    /// demand-fetch cache).
+    pub readahead: Option<ReadaheadConfig>,
+}
+
+impl CacheConfig {
+    /// The paper's configuration: 256 KB, 4 KB pages, 30 s flush timer,
+    /// write-back.
+    pub fn paper() -> CacheConfig {
+        CacheConfig {
+            capacity_bytes: 256 * 1024,
+            page_size: 4096,
+            flush_interval: SimDuration::from_secs(30),
+            flush_wakeup: SimDuration::from_secs(5),
+            write_through: false,
+            readahead: None,
+        }
+    }
+
+    /// Number of pages the cache holds.
+    pub fn capacity_pages(&self) -> u64 {
+        self.capacity_bytes / self.page_size
+    }
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig::paper()
+    }
+}
+
+/// Counters describing cache behaviour over a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Pages served from the cache.
+    pub page_hits: u64,
+    /// Pages that had to be read from disk.
+    pub page_misses: u64,
+    /// Pages written back by the flush daemon.
+    pub flushed_pages: u64,
+    /// Flush-daemon wakeups that found dirty data.
+    pub flush_runs: u64,
+    /// Pages evicted (clean or dirty).
+    pub evictions: u64,
+    /// Dirty pages written back at eviction time.
+    pub eviction_writebacks: u64,
+    /// Pages fetched ahead of demand by PC-based readahead.
+    pub prefetched_pages: u64,
+}
+
+impl CacheStats {
+    /// Hit rate over data pages (0.0 when no accesses).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.page_hits + self.page_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.page_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Per-page cache state.
+#[derive(Debug, Clone, Copy)]
+struct PageState {
+    dirty: bool,
+    /// Process that dirtied the page (flush accesses are attributed to
+    /// the kernel PC but keep the pid for accounting).
+    dirtied_by: Pid,
+    /// When the page was dirtied (drives age-based write-back).
+    dirtied_at: SimTime,
+}
+
+/// Cache key: one 4 KB page of one file.
+type PageKey = (FileId, u64);
+
+/// The file cache simulator; see the [crate docs](crate) for an example.
+///
+/// Events must be fed in non-decreasing time order (as produced by
+/// [`pcap-trace`](https://docs.rs/pcap-trace) builders).
+#[derive(Debug, Clone)]
+pub struct FileCache {
+    config: CacheConfig,
+    pages: LruMap<PageKey, PageState>,
+    stats: CacheStats,
+    readahead: Option<PcReadahead>,
+    /// Flush ticks processed so far (tick k fires at k·interval).
+    ticks_done: u64,
+    last_event_time: SimTime,
+}
+
+impl FileCache {
+    /// Creates an empty (cold) cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration holds zero pages.
+    pub fn new(config: CacheConfig) -> FileCache {
+        let capacity = config.capacity_pages() as usize;
+        assert!(capacity > 0, "cache must hold at least one page");
+        let readahead = config.readahead.map(PcReadahead::new);
+        FileCache {
+            config,
+            pages: LruMap::new(capacity),
+            stats: CacheStats::default(),
+            readahead,
+            ticks_done: 0,
+            last_event_time: SimTime::ZERO,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Number of pages currently cached.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Number of dirty pages currently cached.
+    pub fn dirty_pages(&self) -> usize {
+        self.pages.iter().filter(|(_, s)| s.dirty).count()
+    }
+
+    /// Runs pending flush-daemon wakeups up to (and including) `now`;
+    /// each wakeup writes back the pages that have been dirty for at
+    /// least the flush interval (age-based write-back, as in Linux).
+    fn run_flush_ticks(&mut self, now: SimTime) -> Vec<DiskAccess> {
+        let wakeup = self.config.flush_wakeup.as_micros();
+        let mut out = Vec::new();
+        if wakeup == 0 {
+            return out;
+        }
+        let due = now.as_micros() / wakeup;
+        while self.ticks_done < due {
+            self.ticks_done += 1;
+            let tick_time = SimTime::from_micros(self.ticks_done * wakeup);
+            if let Some(access) = self.flush_expired(tick_time) {
+                self.stats.flush_runs += 1;
+                out.push(access);
+            }
+        }
+        out
+    }
+
+    /// Cleans the dirty pages older than the flush interval, returning
+    /// one coalesced kernel write access (or `None` if none expired).
+    ///
+    /// The access is attributed to the process that dirtied the oldest
+    /// expired page — a deterministic choice (hash-map iteration order
+    /// must never leak into simulation results).
+    fn flush_expired(&mut self, time: SimTime) -> Option<DiskAccess> {
+        let expire = self.config.flush_interval;
+        let mut expired: Vec<(PageKey, Pid, SimTime)> = self
+            .pages
+            .iter()
+            .filter(|(_, s)| s.dirty && time.saturating_since(s.dirtied_at) >= expire)
+            .map(|(k, s)| (*k, s.dirtied_by, s.dirtied_at))
+            .collect();
+        if expired.is_empty() {
+            return None;
+        }
+        expired.sort_by_key(|&(key, _, at)| (at, key));
+        let pid = expired[0].1;
+        let pages = expired.len() as u32;
+        let victims: std::collections::HashSet<PageKey> =
+            expired.iter().map(|&(k, _, _)| k).collect();
+        for (key, state) in self.pages.iter_mut() {
+            if victims.contains(key) {
+                state.dirty = false;
+            }
+        }
+        self.stats.flushed_pages += u64::from(pages);
+        Some(DiskAccess {
+            time,
+            pid,
+            pc: DiskAccess::KERNEL_PC,
+            fd: Fd(0),
+            kind: IoKind::Write,
+            pages,
+        })
+    }
+
+    /// Inserts `key`, evicting the LRU page if full; a dirty victim
+    /// produces a write-back access at `time`.
+    fn insert_page(
+        &mut self,
+        key: PageKey,
+        state: PageState,
+        time: SimTime,
+        out: &mut Vec<DiskAccess>,
+    ) {
+        if let Some((_, victim)) = self.pages.insert(key, state) {
+            self.stats.evictions += 1;
+            if victim.dirty {
+                self.stats.eviction_writebacks += 1;
+                out.push(DiskAccess {
+                    time,
+                    pid: victim.dirtied_by,
+                    pc: DiskAccess::KERNEL_PC,
+                    fd: Fd(0),
+                    kind: IoKind::Write,
+                    pages: 1,
+                });
+            }
+        }
+    }
+
+    /// The page range `[first, last]` touched by an I/O event.
+    fn page_range(&self, io: &IoEvent) -> (u64, u64) {
+        let first = io.offset / self.config.page_size;
+        let last = if io.len == 0 {
+            first
+        } else {
+            (io.offset + io.len - 1) / self.config.page_size
+        };
+        (first, last)
+    }
+
+    /// Feeds one I/O event through the cache, returning the disk
+    /// accesses it causes (flush-daemon write-backs due before the
+    /// event, miss reads, write-through or eviction writes).
+    ///
+    /// * `Read`: missing pages are read from disk (contiguous misses
+    ///   coalesce into one access); present pages are LRU-touched.
+    /// * `Write`: pages are write-allocated without a disk read and
+    ///   marked dirty (flushed later), or written straight to disk when
+    ///   [`CacheConfig::write_through`] is set.
+    /// * `SyncWrite`: the write reaches the disk immediately (editor
+    ///   `fsync` semantics) and the pages are cached clean.
+    /// * `Open`: modeled as a one-page metadata read of the file.
+    /// * `Close`: no disk traffic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if events go backwards in time.
+    pub fn access(&mut self, io: &IoEvent) -> Vec<DiskAccess> {
+        assert!(
+            io.time >= self.last_event_time,
+            "cache events must be time-ordered"
+        );
+        self.last_event_time = io.time;
+        let mut out = self.run_flush_ticks(io.time);
+        match io.kind {
+            IoKind::Close => {}
+            IoKind::Open => {
+                // Metadata read: inode/dentry page of the file.
+                self.read_pages(io, 0, 0, &mut out);
+            }
+            IoKind::Read => {
+                let (first, last) = self.page_range(io);
+                // §7 readahead: a known streaming PC pulls its predicted
+                // remainder in with the demand fetch.
+                let mut effective_last = last;
+                if let Some(ra) = self.readahead.as_mut() {
+                    let ahead = ra.observe(io.pc, io.file, first, last - first + 1);
+                    self.stats.prefetched_pages += ahead;
+                    effective_last = last + ahead;
+                }
+                self.read_pages(io, first, effective_last, &mut out);
+            }
+            IoKind::Write | IoKind::SyncWrite => {
+                let (first, last) = self.page_range(io);
+                if io.kind == IoKind::SyncWrite {
+                    for page in first..=last {
+                        let key = (io.file, page);
+                        if self.pages.get_mut(&key).is_none() {
+                            self.insert_page(
+                                key,
+                                PageState {
+                                    dirty: false,
+                                    dirtied_by: io.pid,
+                                    dirtied_at: io.time,
+                                },
+                                io.time,
+                                &mut out,
+                            );
+                        }
+                    }
+                    out.push(DiskAccess {
+                        time: io.time,
+                        pid: io.pid,
+                        pc: io.pc,
+                        fd: io.fd,
+                        kind: IoKind::Write,
+                        pages: (last - first + 1) as u32,
+                    });
+                } else if self.config.write_through {
+                    self.stats.page_misses += last - first + 1;
+                    out.push(DiskAccess {
+                        time: io.time,
+                        pid: io.pid,
+                        pc: io.pc,
+                        fd: io.fd,
+                        kind: IoKind::Write,
+                        pages: (last - first + 1) as u32,
+                    });
+                } else {
+                    for page in first..=last {
+                        let key = (io.file, page);
+                        if let Some(state) = self.pages.get_mut(&key) {
+                            if !state.dirty {
+                                state.dirtied_at = io.time;
+                            }
+                            state.dirty = true;
+                            state.dirtied_by = io.pid;
+                            self.stats.page_hits += 1;
+                        } else {
+                            self.stats.page_misses += 1;
+                            self.insert_page(
+                                key,
+                                PageState {
+                                    dirty: true,
+                                    dirtied_by: io.pid,
+                                    dirtied_at: io.time,
+                                },
+                                io.time,
+                                &mut out,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Reads pages `first..=last` of `io.file`, coalescing contiguous
+    /// misses into single accesses appended to `out`.
+    fn read_pages(&mut self, io: &IoEvent, first: u64, last: u64, out: &mut Vec<DiskAccess>) {
+        let mut run_len = 0u32;
+        for page in first..=last {
+            let key = (io.file, page);
+            if self.pages.get_mut(&key).is_some() {
+                self.stats.page_hits += 1;
+                Self::emit_read_run(io, &mut run_len, out);
+            } else {
+                self.stats.page_misses += 1;
+                self.insert_page(
+                    key,
+                    PageState {
+                        dirty: false,
+                        dirtied_by: io.pid,
+                        dirtied_at: io.time,
+                    },
+                    io.time,
+                    out,
+                );
+                run_len += 1;
+            }
+        }
+        Self::emit_read_run(io, &mut run_len, out);
+    }
+
+    fn emit_read_run(io: &IoEvent, run_len: &mut u32, out: &mut Vec<DiskAccess>) {
+        if *run_len > 0 {
+            out.push(DiskAccess {
+                time: io.time,
+                pid: io.pid,
+                pc: io.pc,
+                fd: io.fd,
+                kind: IoKind::Read,
+                pages: *run_len,
+            });
+            *run_len = 0;
+        }
+    }
+}
+
+/// Filters a whole trace run through a cold cache, returning the disk
+/// accesses and the final cache statistics.
+///
+/// Fork/exit events pass through untouched (they carry no I/O); each run
+/// gets a fresh cache, mirroring the paper's independent per-application
+/// traces.
+pub fn filter_run(
+    run: &pcap_trace::TraceRun,
+    config: &CacheConfig,
+) -> (Vec<DiskAccess>, CacheStats) {
+    let mut cache = FileCache::new(config.clone());
+    let mut accesses = Vec::new();
+    for event in &run.events {
+        if let TraceEvent::Io(io) = event {
+            accesses.extend(cache.access(io));
+        }
+    }
+    let stats = *cache.stats();
+    (accesses, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: u64, kind: IoKind, file: u64, offset: u64, len: u64) -> IoEvent {
+        IoEvent {
+            time: SimTime::from_millis(t),
+            pid: Pid(1),
+            pc: pcap_types::Pc(0x42),
+            fd: Fd(3),
+            kind,
+            file: FileId(file),
+            offset,
+            len,
+        }
+    }
+
+    #[test]
+    fn cold_read_misses_then_hits() {
+        let mut c = FileCache::new(CacheConfig::paper());
+        let a = c.access(&ev(0, IoKind::Read, 1, 0, 4096));
+        assert_eq!(a.len(), 1);
+        assert_eq!(a[0].pages, 1);
+        assert_eq!(a[0].kind, IoKind::Read);
+        let b = c.access(&ev(1, IoKind::Read, 1, 0, 4096));
+        assert!(b.is_empty());
+        assert_eq!(c.stats().page_hits, 1);
+        assert_eq!(c.stats().page_misses, 1);
+    }
+
+    #[test]
+    fn contiguous_misses_coalesce() {
+        let mut c = FileCache::new(CacheConfig::paper());
+        let a = c.access(&ev(0, IoKind::Read, 1, 0, 4 * 4096));
+        assert_eq!(a.len(), 1);
+        assert_eq!(a[0].pages, 4);
+    }
+
+    #[test]
+    fn hit_in_middle_splits_runs() {
+        let mut c = FileCache::new(CacheConfig::paper());
+        // Warm page 1 only.
+        c.access(&ev(0, IoKind::Read, 1, 4096, 4096));
+        // Read pages 0..=2: page 1 hits, pages 0 and 2 miss separately.
+        let a = c.access(&ev(1, IoKind::Read, 1, 0, 3 * 4096));
+        assert_eq!(a.len(), 2);
+        assert!(a.iter().all(|d| d.pages == 1));
+    }
+
+    #[test]
+    fn writes_are_buffered_until_flush_tick() {
+        let mut c = FileCache::new(CacheConfig::paper());
+        let w = c.access(&ev(1_000, IoKind::Write, 1, 0, 4096));
+        assert!(w.is_empty(), "write-back: no immediate disk access");
+        assert_eq!(c.dirty_pages(), 1);
+        // Not yet expired at the 30 s wakeup (age 29 s); written back by
+        // the first wakeup at which the page is ≥ 30 s old (35 s).
+        let early = c.access(&ev(31_000, IoKind::Close, 1, 0, 0));
+        assert!(early.is_empty());
+        let later = c.access(&ev(40_000, IoKind::Close, 1, 0, 0));
+        assert_eq!(later.len(), 1);
+        assert!(later[0].is_kernel());
+        assert_eq!(later[0].kind, IoKind::Write);
+        assert_eq!(later[0].time, SimTime::from_secs(35));
+        assert_eq!(c.dirty_pages(), 0);
+        assert_eq!(c.stats().flush_runs, 1);
+    }
+
+    #[test]
+    fn flush_tick_without_dirty_data_is_silent() {
+        let mut c = FileCache::new(CacheConfig::paper());
+        c.access(&ev(0, IoKind::Read, 1, 0, 4096));
+        let a = c.access(&ev(65_000, IoKind::Read, 1, 0, 4096));
+        assert!(a.is_empty());
+        assert_eq!(c.stats().flush_runs, 0);
+    }
+
+    #[test]
+    fn write_through_hits_disk_immediately() {
+        let mut cfg = CacheConfig::paper();
+        cfg.write_through = true;
+        let mut c = FileCache::new(cfg);
+        let w = c.access(&ev(0, IoKind::Write, 1, 0, 8192));
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0].pages, 2);
+        assert_eq!(w[0].pc, pcap_types::Pc(0x42), "attributed to the app");
+    }
+
+    #[test]
+    fn capacity_is_enforced_with_lru_eviction() {
+        let mut c = FileCache::new(CacheConfig::paper()); // 64 pages
+        for i in 0..65 {
+            c.access(&ev(i, IoKind::Read, 1, i * 4096, 4096));
+        }
+        assert_eq!(c.resident_pages(), 64);
+        assert_eq!(c.stats().evictions, 1);
+        // Page 0 (least recent) was evicted: re-reading it misses.
+        let a = c.access(&ev(100, IoKind::Read, 1, 0, 4096));
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn dirty_eviction_writes_back() {
+        let mut c = FileCache::new(CacheConfig::paper());
+        c.access(&ev(0, IoKind::Write, 1, 0, 4096));
+        // 64 more reads evict the dirty page.
+        let mut writebacks = 0;
+        for i in 0..64 {
+            let out = c.access(&ev(1 + i, IoKind::Read, 2, i * 4096, 4096));
+            writebacks += out
+                .iter()
+                .filter(|d| d.kind == IoKind::Write && d.is_kernel())
+                .count();
+        }
+        assert_eq!(writebacks, 1);
+        assert_eq!(c.stats().eviction_writebacks, 1);
+    }
+
+    #[test]
+    fn open_reads_metadata_once() {
+        let mut c = FileCache::new(CacheConfig::paper());
+        let a = c.access(&ev(0, IoKind::Open, 9, 0, 0));
+        assert_eq!(a.len(), 1);
+        assert_eq!(a[0].pages, 1);
+        let b = c.access(&ev(1, IoKind::Open, 9, 0, 0));
+        assert!(b.is_empty(), "metadata cached");
+    }
+
+    #[test]
+    fn close_is_free() {
+        let mut c = FileCache::new(CacheConfig::paper());
+        assert!(c.access(&ev(0, IoKind::Close, 1, 0, 0)).is_empty());
+        assert_eq!(c.stats().page_hits + c.stats().page_misses, 0);
+    }
+
+    #[test]
+    fn multiple_missed_ticks_fire_in_order() {
+        let mut c = FileCache::new(CacheConfig::paper());
+        c.access(&ev(1_000, IoKind::Write, 1, 0, 4096));
+        // The page dirtied at 1 s expires at the 35 s wakeup.
+        let mid = c.access(&ev(40_000, IoKind::Write, 1, 4096, 4096));
+        assert_eq!(mid.len(), 1);
+        assert_eq!(mid[0].time, SimTime::from_secs(35));
+        // The page dirtied at 40 s expires at the 70 s wakeup; later
+        // wakeups find nothing dirty and stay silent.
+        let out = c.access(&ev(95_000, IoKind::Close, 1, 0, 0));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].time, SimTime::from_secs(70));
+        assert_eq!(c.stats().flush_runs, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn backwards_time_panics() {
+        let mut c = FileCache::new(CacheConfig::paper());
+        c.access(&ev(10, IoKind::Read, 1, 0, 4096));
+        c.access(&ev(5, IoKind::Read, 1, 0, 4096));
+    }
+
+    #[test]
+    fn readahead_coalesces_streaming_reads() {
+        let plain_cfg = CacheConfig::paper();
+        let mut ra_cfg = CacheConfig::paper();
+        ra_cfg.readahead = Some(ReadaheadConfig::default());
+        let mut plain = FileCache::new(plain_cfg.clone());
+        let mut ra = FileCache::new(ra_cfg);
+        let mut plain_accesses = 0usize;
+        let mut ra_accesses = 0usize;
+        // Two streaming runs from the same PC: the engine learns on the
+        // first and prefetches on the second.
+        for (file, base_t) in [(1u64, 0u64), (2, 10_000)] {
+            for i in 0..12u64 {
+                let e = ev(base_t + i * 10, IoKind::Read, file, i * 4096, 4096);
+                plain_accesses += plain.access(&e).len();
+                ra_accesses += ra.access(&e).len();
+            }
+        }
+        assert!(
+            ra_accesses < plain_accesses,
+            "readahead must coalesce: {ra_accesses} vs {plain_accesses}"
+        );
+        assert!(ra.stats().prefetched_pages > 0);
+        let _ = plain_cfg;
+    }
+
+    #[test]
+    fn hit_rate() {
+        let mut c = FileCache::new(CacheConfig::paper());
+        c.access(&ev(0, IoKind::Read, 1, 0, 4096));
+        c.access(&ev(1, IoKind::Read, 1, 0, 4096));
+        assert!((c.stats().hit_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+}

@@ -1,0 +1,197 @@
+//! PC-based readahead — the "I/O prefetching" future-work direction of
+//! the paper's §7 ("PCAP opens a new direction for … predictor-based
+//! techniques suitable for many other aspects of the operating system,
+//! such as file buffer management and I/O prefetching").
+//!
+//! The same observation that powers PCAP — a program counter identifies
+//! *which* application behaviour is running — applies to access
+//! patterns: a call site that streamed 40 sequential pages last time
+//! will stream again. [`PcReadahead`] learns, per I/O-triggering PC, the
+//! typical length of the sequential run that call site produces, and
+//! when a new run starts at a known PC it pulls the predicted remainder
+//! in with the first access. Fewer, larger disk accesses mean less
+//! per-access overhead *and* longer undisturbed idle gaps — both help
+//! the shutdown predictor. (The authors later developed this idea into
+//! PC-based pattern classification for buffer caching.)
+
+use pcap_types::{FileId, Pc};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Configuration of the PC-based readahead engine.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReadaheadConfig {
+    /// Cap on pages prefetched per access (keep well below the cache
+    /// capacity — 64 pages in the paper configuration — or readahead
+    /// evicts what it just fetched).
+    pub max_pages: u32,
+    /// Minimum learned run length (pages) before a PC earns readahead.
+    pub min_run: u32,
+    /// EMA weight of the most recent run when updating a PC's learned
+    /// length.
+    pub alpha: f64,
+}
+
+impl Default for ReadaheadConfig {
+    fn default() -> Self {
+        ReadaheadConfig {
+            max_pages: 16,
+            min_run: 4,
+            alpha: 0.5,
+        }
+    }
+}
+
+/// An in-flight sequential run at one call site.
+#[derive(Debug, Clone, Copy)]
+struct ActiveRun {
+    file: FileId,
+    next_page: u64,
+    run_pages: u64,
+}
+
+/// Per-PC sequential-run learner and readahead predictor.
+#[derive(Debug, Clone, Default)]
+pub struct PcReadahead {
+    config: ReadaheadConfig,
+    /// Learned run length per PC (EMA over completed runs, in pages).
+    learned: HashMap<Pc, f64>,
+    /// The run currently being observed per PC.
+    active: HashMap<Pc, ActiveRun>,
+    /// Pages fetched ahead of demand.
+    prefetched: u64,
+    /// Prefetch decisions taken.
+    activations: u64,
+}
+
+impl PcReadahead {
+    /// Creates a readahead engine.
+    pub fn new(config: ReadaheadConfig) -> PcReadahead {
+        PcReadahead {
+            config,
+            ..PcReadahead::default()
+        }
+    }
+
+    /// (pages prefetched, activations) so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.prefetched, self.activations)
+    }
+
+    /// Observes a read of `pages` pages starting at `first_page` of
+    /// `file`, triggered from `pc`. Returns how many pages *beyond* the
+    /// demand range to fetch ahead (0 when the PC has no earned
+    /// prediction or the run is already under way).
+    pub fn observe(&mut self, pc: Pc, file: FileId, first_page: u64, pages: u64) -> u64 {
+        let continuing = match self.active.get(&pc) {
+            Some(run) => run.file == file && run.next_page == first_page,
+            None => false,
+        };
+        if continuing {
+            let run = self.active.get_mut(&pc).expect("checked above");
+            run.next_page = first_page + pages;
+            run.run_pages += pages;
+            return 0; // mid-run: the run-start prefetch already covered us
+        }
+        // A new run starts: close out the previous one (learn) and
+        // predict from what this PC did historically.
+        if let Some(finished) = self.active.remove(&pc) {
+            let entry = self.learned.entry(pc).or_insert(finished.run_pages as f64);
+            *entry =
+                self.config.alpha * finished.run_pages as f64 + (1.0 - self.config.alpha) * *entry;
+        }
+        self.active.insert(
+            pc,
+            ActiveRun {
+                file,
+                next_page: first_page + pages,
+                run_pages: pages,
+            },
+        );
+        let predicted = self.learned.get(&pc).copied().unwrap_or(0.0);
+        if predicted >= f64::from(self.config.min_run) {
+            let ahead = (predicted as u64)
+                .saturating_sub(pages)
+                .min(u64::from(self.config.max_pages));
+            if ahead > 0 {
+                self.prefetched += ahead;
+                self.activations += 1;
+            }
+            ahead
+        } else {
+            0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> PcReadahead {
+        PcReadahead::new(ReadaheadConfig::default())
+    }
+
+    #[test]
+    fn no_prediction_before_learning() {
+        let mut r = engine();
+        assert_eq!(r.observe(Pc(1), FileId(1), 0, 2), 0);
+        assert_eq!(r.observe(Pc(1), FileId(1), 2, 2), 0);
+        assert_eq!(r.stats(), (0, 0));
+    }
+
+    #[test]
+    fn learns_run_length_and_prefetches_next_run() {
+        let mut r = engine();
+        // First run: 10 sequential 2-page reads at PC 1 (20 pages).
+        for i in 0..10 {
+            r.observe(Pc(1), FileId(1), i * 2, 2);
+        }
+        // New file ⇒ new run: the learned 20-page length predicts,
+        // capped at max_pages.
+        let ahead = r.observe(Pc(1), FileId(2), 0, 2);
+        assert_eq!(ahead, 16, "20 learned − 2 demanded, capped at 16");
+        let (prefetched, activations) = r.stats();
+        assert_eq!((prefetched, activations), (16, 1));
+        // Mid-run accesses don't re-prefetch.
+        assert_eq!(r.observe(Pc(1), FileId(2), 2, 2), 0);
+    }
+
+    #[test]
+    fn short_runs_never_earn_readahead() {
+        let mut r = engine();
+        for file in 1..6u64 {
+            // Runs of 2 pages — below min_run.
+            r.observe(Pc(7), FileId(file), 0, 2);
+        }
+        assert_eq!(r.observe(Pc(7), FileId(9), 0, 2), 0);
+    }
+
+    #[test]
+    fn distinct_pcs_learn_independently() {
+        let mut r = engine();
+        for i in 0..10 {
+            r.observe(Pc(1), FileId(1), i * 2, 2);
+        }
+        // PC 2 never streamed: no prediction even on the same file.
+        assert_eq!(r.observe(Pc(2), FileId(1), 100, 2), 0);
+    }
+
+    #[test]
+    fn ema_tracks_shrinking_runs() {
+        let mut r = PcReadahead::new(ReadaheadConfig {
+            max_pages: 64,
+            min_run: 4,
+            alpha: 1.0, // remember only the last run
+        });
+        for i in 0..10 {
+            r.observe(Pc(1), FileId(1), i, 1);
+        }
+        // Second run is short (2 pages): with alpha 1.0 the next
+        // prediction is 10, then after the short run completes, 2.
+        r.observe(Pc(1), FileId(2), 0, 1);
+        r.observe(Pc(1), FileId(2), 1, 1);
+        let ahead = r.observe(Pc(1), FileId(3), 0, 1);
+        assert!(ahead <= 1, "learned length collapsed to 2: ahead {ahead}");
+    }
+}

@@ -1,0 +1,298 @@
+//! `pcap` — the command-line interface of the PCAP reproduction.
+//!
+//! ```text
+//! pcap run <experiment> [--seed N] [--csv]   regenerate one table/figure
+//! pcap all [--seed N] [--csv]                regenerate everything
+//! pcap chart <figure> [--seed N]             draw a figure as stacked ASCII bars
+//! pcap list                                  list experiments
+//! pcap gen <app> [--seed N] [--out FILE]     generate a trace (JSON lines)
+//! pcap profile <app> [--seed N]              Table 1 row for one app
+//! pcap inspect <app> <run#> [--seed N]       per-gap PCAP decisions for one execution
+//! ```
+
+use pcap_report::{figure_chart, Experiment, Figure, Workbench};
+use pcap_sim::{SimConfig, WorkloadProfile};
+use pcap_trace::io::write_jsonl;
+use pcap_workload::{AppModel, PaperApp};
+use std::io::Write;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage:
+  pcap run <experiment> [--seed N] [--csv]
+  pcap all [--seed N] [--csv]
+  pcap chart <fig6|fig7|fig8|fig9|fig10> [--seed N]
+  pcap list
+  pcap gen <app> [--seed N] [--out FILE]
+  pcap profile <app> [--seed N]
+  pcap inspect <app> <run#> [--seed N]
+
+experiments: table1 table2 fig6 fig7 fig8 fig9 fig10 table3 ablations system
+apps: mozilla writer impress xemacs nedit mplayer";
+
+struct Options {
+    seed: u64,
+    csv: bool,
+    out: Option<String>,
+    positional: Vec<String>,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut options = Options {
+        seed: 42,
+        csv: false,
+        out: None,
+        positional: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--seed" => {
+                let value = it.next().ok_or("--seed needs a value")?;
+                options.seed = value.parse().map_err(|_| format!("bad seed: {value}"))?;
+            }
+            "--csv" => options.csv = true,
+            "--out" => {
+                options.out = Some(it.next().ok_or("--out needs a value")?.clone());
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
+            other => options.positional.push(other.to_owned()),
+        }
+    }
+    Ok(options)
+}
+
+fn find_app(name: &str) -> Result<PaperApp, String> {
+    PaperApp::ALL
+        .into_iter()
+        .find(|a| a.name() == name)
+        .ok_or_else(|| format!("unknown application {name}"))
+}
+
+fn emit(tables: &[pcap_report::Table], csv: bool) {
+    for table in tables {
+        if csv {
+            print!("{}", table.to_csv());
+        } else {
+            println!("{table}");
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = parse_args(&args)?;
+    let mut positional = options.positional.iter();
+    let command = positional.next().map(String::as_str).unwrap_or("help");
+    match command {
+        "list" => {
+            for e in Experiment::ALL {
+                println!("{e}");
+            }
+            Ok(())
+        }
+        "run" => {
+            let name = positional.next().ok_or("run needs an experiment name")?;
+            let experiment =
+                Experiment::by_name(name).ok_or_else(|| format!("unknown experiment {name}"))?;
+            let bench =
+                Workbench::generate(options.seed, SimConfig::paper()).map_err(|e| e.to_string())?;
+            emit(&experiment.run(&bench), options.csv);
+            Ok(())
+        }
+        "chart" => {
+            let name = positional.next().ok_or("chart needs a figure name")?;
+            let figure = Figure::by_name(name).ok_or_else(|| format!("no chart for {name}"))?;
+            let bench =
+                Workbench::generate(options.seed, SimConfig::paper()).map_err(|e| e.to_string())?;
+            print!("{}", figure_chart(&bench, figure));
+            Ok(())
+        }
+        "all" => {
+            let bench =
+                Workbench::generate(options.seed, SimConfig::paper()).map_err(|e| e.to_string())?;
+            for experiment in Experiment::ALL {
+                emit(&experiment.run(&bench), options.csv);
+            }
+            Ok(())
+        }
+        "gen" => {
+            let name = positional.next().ok_or("gen needs an application name")?;
+            let app = find_app(name)?;
+            let trace = app
+                .spec()
+                .generate_trace(options.seed)
+                .map_err(|e| e.to_string())?;
+            match options.out {
+                Some(path) => {
+                    let file = std::fs::File::create(&path).map_err(|e| e.to_string())?;
+                    write_jsonl(&trace, std::io::BufWriter::new(file))
+                        .map_err(|e| e.to_string())?;
+                    eprintln!("wrote {} runs to {path}", trace.runs.len());
+                }
+                None => {
+                    let stdout = std::io::stdout();
+                    write_jsonl(&trace, stdout.lock()).map_err(|e| e.to_string())?;
+                }
+            }
+            Ok(())
+        }
+        "profile" => {
+            let name = positional
+                .next()
+                .ok_or("profile needs an application name")?;
+            let app = find_app(name)?;
+            let trace = app
+                .spec()
+                .generate_trace(options.seed)
+                .map_err(|e| e.to_string())?;
+            let config = SimConfig::paper();
+            let profile = WorkloadProfile::measure(&trace, &config);
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&profile).map_err(|e| e.to_string())?
+            );
+            // Gap-length histogram over the merged disk-access stream.
+            let mut all_gaps = Vec::new();
+            for run in &trace.runs {
+                let streams = pcap_sim::RunStreams::build(run, &config);
+                all_gaps.extend(pcap_trace::idle::idle_gaps(
+                    &streams.completions,
+                    streams.run_end,
+                ));
+            }
+            let histogram = pcap_trace::idle::GapHistogram::of(
+                &all_gaps,
+                pcap_trace::idle::GapHistogram::bounds_for_power_management(),
+            );
+            println!(
+                "
+idle-gap distribution (all executions):"
+            );
+            print!("{}", histogram.render());
+            Ok(())
+        }
+        "inspect" => {
+            let name = positional
+                .next()
+                .ok_or("inspect needs an application name")?;
+            let run_idx: usize = positional
+                .next()
+                .ok_or("inspect needs an execution number")?
+                .parse()
+                .map_err(|e| format!("bad execution number: {e}"))?;
+            let app = find_app(name)?;
+            let spec = app.spec();
+            let config = SimConfig::paper();
+            let mut manager = pcap_sim::PowerManagerKind::PCAP.manager(&config);
+            // Replay earlier executions so the prediction table carries
+            // its cross-execution training (§4.2) into the inspected run.
+            for j in 0..run_idx {
+                let run = spec
+                    .generate_run(options.seed, j)
+                    .map_err(|e| e.to_string())?;
+                let streams = pcap_sim::RunStreams::build(&run, &config);
+                pcap_sim::simulate_run(&run, &streams, &config, &mut manager);
+                manager.on_run_end();
+            }
+            let run = spec
+                .generate_run(options.seed, run_idx)
+                .map_err(|e| e.to_string())?;
+            let streams = pcap_sim::RunStreams::build(&run, &config);
+            let mut log = Vec::new();
+            pcap_sim::simulate_run_logged(&run, &streams, &config, &mut manager, &mut log);
+            println!(
+                "{name} execution {run_idx}: {} disk accesses, {} idle gaps (PCAP manager)\n",
+                streams.accesses.len(),
+                log.len()
+            );
+            println!(
+                "{:>6} {:>8} {:>12} {:>10} {:>14} {:>8}",
+                "gap#", "pid", "start", "length", "shutdown", "verdict"
+            );
+            for g in log
+                .iter()
+                .filter(|g| g.verdict != pcap_sim::GapVerdict::Short)
+            {
+                let shutdown = g.shutdown.map_or_else(
+                    || "-".to_owned(),
+                    |(at, source)| format!("{:.2}s ({source})", at.as_secs_f64()),
+                );
+                println!(
+                    "{:>6} {:>8} {:>11.2}s {:>9.2}s {:>14} {:>8}",
+                    g.access_index,
+                    g.pid.0,
+                    g.start.as_secs_f64(),
+                    g.length.as_secs_f64(),
+                    shutdown,
+                    match g.verdict {
+                        pcap_sim::GapVerdict::Hit => "HIT",
+                        pcap_sim::GapVerdict::Miss => "MISS",
+                        pcap_sim::GapVerdict::NotPredicted => "not-pred",
+                        pcap_sim::GapVerdict::Short => "short",
+                    }
+                );
+            }
+            Ok(())
+        }
+        "help" | "--help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other}\n{USAGE}")),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            let _ = writeln!(std::io::stderr(), "pcap: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn parses_defaults() {
+        let o = parse_args(&args(&["run", "fig7"])).unwrap();
+        assert_eq!(o.seed, 42);
+        assert!(!o.csv);
+        assert_eq!(o.positional, vec!["run", "fig7"]);
+    }
+
+    #[test]
+    fn parses_flags_anywhere() {
+        let o = parse_args(&args(&["--seed", "7", "run", "--csv", "table1"])).unwrap();
+        assert_eq!(o.seed, 7);
+        assert!(o.csv);
+        assert_eq!(o.positional, vec!["run", "table1"]);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse_args(&args(&["--seed"])).is_err());
+        assert!(parse_args(&args(&["--seed", "x"])).is_err());
+        assert!(parse_args(&args(&["--bogus"])).is_err());
+        assert!(parse_args(&args(&["--out"])).is_err());
+    }
+
+    #[test]
+    fn out_flag_captured() {
+        let o = parse_args(&args(&["gen", "nedit", "--out", "/tmp/t.jsonl"])).unwrap();
+        assert_eq!(o.out.as_deref(), Some("/tmp/t.jsonl"));
+    }
+
+    #[test]
+    fn app_lookup() {
+        assert!(find_app("mozilla").is_ok());
+        assert!(find_app("emacs").is_err());
+    }
+}

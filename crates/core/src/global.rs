@@ -1,0 +1,273 @@
+//! The Global Shutdown Predictor (§5, Figure 5).
+//!
+//! Each process runs its own private predictor and, after each of its
+//! disk accesses, publishes a standing [`ShutdownVote`]. The global
+//! predictor shuts the disk down only when **every** live process
+//! predicts shutdown; the shutdown instant is therefore the latest of
+//! the per-process vote-ready times, and the decision is attributed to
+//! the predictor (primary or backup) "making the last decision before
+//! the shutdown" (§6.4.1).
+
+use crate::predictor::{ShutdownVote, VoteSource};
+use pcap_types::{Pid, SimTime};
+use std::collections::HashMap;
+
+/// The global shutdown decision for the current idle period.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GlobalDecision {
+    /// Shut down at this instant, attributed to this source.
+    ShutdownAt(SimTime, VoteSource),
+    /// At least one process votes to keep the disk spinning.
+    KeepSpinning,
+}
+
+/// Per-process standing vote.
+#[derive(Debug, Clone, Copy)]
+struct VoteState {
+    ready_at: Option<SimTime>,
+    source: VoteSource,
+}
+
+/// Tracks the standing votes of all live processes; see the
+/// [module docs](self) and the example below.
+///
+/// ```
+/// use pcap_core::{GlobalDecision, GlobalPredictor, ShutdownVote, VoteSource};
+/// use pcap_types::{Pid, SimDuration, SimTime};
+///
+/// let mut g = GlobalPredictor::new();
+/// g.process_started(Pid(1), SimTime::ZERO);
+/// g.process_started(Pid(2), SimTime::ZERO);
+///
+/// // Process 1 predicts shutdown 1 s after its access at t=10 s;
+/// // process 2 has not voted yet (no prediction) — disk stays on.
+/// g.record_vote(Pid(1), SimTime::from_secs(10), ShutdownVote::after(SimDuration::from_secs(1)));
+/// assert_eq!(g.decision(), GlobalDecision::KeepSpinning);
+///
+/// // Process 2's backup timeout votes at t=12+10 s: the global shutdown
+/// // fires at 22 s, attributed to the backup (the last decision).
+/// g.record_vote(Pid(2), SimTime::from_secs(12), ShutdownVote::backup_after(SimDuration::from_secs(10)));
+/// assert_eq!(
+///     g.decision(),
+///     GlobalDecision::ShutdownAt(SimTime::from_secs(22), VoteSource::Backup)
+/// );
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GlobalPredictor {
+    votes: HashMap<Pid, VoteState>,
+}
+
+impl GlobalPredictor {
+    /// Creates a predictor with no processes.
+    pub fn new() -> GlobalPredictor {
+        GlobalPredictor::default()
+    }
+
+    /// Registers a process (application start or fork). Until its first
+    /// access resolves, the process abstains — equivalent to a standing
+    /// "no prediction", so the disk cannot shut down on its account
+    /// unless a vote arrives. Callers composing with a backup timeout
+    /// should immediately record a backup vote anchored at `now` if
+    /// they want fork-time idle clocks (the simulator does).
+    pub fn process_started(&mut self, pid: Pid, now: SimTime) {
+        let _ = now;
+        self.votes.insert(
+            pid,
+            VoteState {
+                ready_at: None,
+                source: VoteSource::Primary,
+            },
+        );
+    }
+
+    /// Removes an exited process; its vote no longer blocks shutdown.
+    pub fn process_exited(&mut self, pid: Pid) {
+        self.votes.remove(&pid);
+    }
+
+    /// Records the standing vote `vote` emitted by `pid` after its
+    /// access completing at `access_end`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the process was never registered.
+    pub fn record_vote(&mut self, pid: Pid, access_end: SimTime, vote: ShutdownVote) {
+        let state = self
+            .votes
+            .get_mut(&pid)
+            .expect("vote from unregistered process");
+        state.ready_at = vote.delay.map(|d| access_end + d);
+        state.source = vote.source;
+    }
+
+    /// Number of live processes.
+    pub fn live_processes(&self) -> usize {
+        self.votes.len()
+    }
+
+    /// The current global decision: the latest vote-ready instant if
+    /// every live process votes shutdown, attributed to the process
+    /// whose vote arrives last (ties: backup wins, since the timeout is
+    /// what the disk actually waited for).
+    ///
+    /// With no live processes the disk is trivially idle; the decision
+    /// is to keep spinning (there is nothing to save once the
+    /// application exited — the trace ends).
+    pub fn decision(&self) -> GlobalDecision {
+        if self.votes.is_empty() {
+            return GlobalDecision::KeepSpinning;
+        }
+        let mut latest: Option<(SimTime, VoteSource)> = None;
+        for state in self.votes.values() {
+            match state.ready_at {
+                None => return GlobalDecision::KeepSpinning,
+                Some(t) => {
+                    latest = Some(match latest {
+                        None => (t, state.source),
+                        Some((best, src)) => {
+                            if t > best || (t == best && state.source == VoteSource::Backup) {
+                                (t, state.source)
+                            } else {
+                                (best, src)
+                            }
+                        }
+                    });
+                }
+            }
+        }
+        let (t, source) = latest.expect("non-empty votes");
+        GlobalDecision::ShutdownAt(t, source)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcap_types::SimDuration;
+
+    fn secs(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn empty_keeps_spinning() {
+        assert_eq!(
+            GlobalPredictor::new().decision(),
+            GlobalDecision::KeepSpinning
+        );
+    }
+
+    #[test]
+    fn unvoted_process_blocks_shutdown() {
+        let mut g = GlobalPredictor::new();
+        g.process_started(Pid(1), SimTime::ZERO);
+        assert_eq!(g.decision(), GlobalDecision::KeepSpinning);
+        assert_eq!(g.live_processes(), 1);
+    }
+
+    #[test]
+    fn single_process_vote_decides() {
+        let mut g = GlobalPredictor::new();
+        g.process_started(Pid(1), SimTime::ZERO);
+        g.record_vote(
+            Pid(1),
+            secs(5),
+            ShutdownVote::after(SimDuration::from_secs(1)),
+        );
+        assert_eq!(
+            g.decision(),
+            GlobalDecision::ShutdownAt(secs(6), VoteSource::Primary)
+        );
+    }
+
+    #[test]
+    fn latest_vote_wins_attribution() {
+        let mut g = GlobalPredictor::new();
+        g.process_started(Pid(1), SimTime::ZERO);
+        g.process_started(Pid(2), SimTime::ZERO);
+        g.record_vote(
+            Pid(1),
+            secs(5),
+            ShutdownVote::after(SimDuration::from_secs(1)),
+        );
+        g.record_vote(
+            Pid(2),
+            secs(3),
+            ShutdownVote::backup_after(SimDuration::from_secs(10)),
+        );
+        // Votes ready at 6 s (primary) and 13 s (backup): shutdown at 13 s.
+        assert_eq!(
+            g.decision(),
+            GlobalDecision::ShutdownAt(secs(13), VoteSource::Backup)
+        );
+    }
+
+    #[test]
+    fn never_vote_blocks() {
+        let mut g = GlobalPredictor::new();
+        g.process_started(Pid(1), SimTime::ZERO);
+        g.process_started(Pid(2), SimTime::ZERO);
+        g.record_vote(Pid(1), secs(5), ShutdownVote::after(SimDuration::ZERO));
+        g.record_vote(Pid(2), secs(5), ShutdownVote::never());
+        assert_eq!(g.decision(), GlobalDecision::KeepSpinning);
+    }
+
+    #[test]
+    fn exit_unblocks() {
+        let mut g = GlobalPredictor::new();
+        g.process_started(Pid(1), SimTime::ZERO);
+        g.process_started(Pid(2), SimTime::ZERO);
+        g.record_vote(Pid(1), secs(5), ShutdownVote::after(SimDuration::ZERO));
+        g.record_vote(Pid(2), secs(5), ShutdownVote::never());
+        g.process_exited(Pid(2));
+        assert_eq!(
+            g.decision(),
+            GlobalDecision::ShutdownAt(secs(5), VoteSource::Primary)
+        );
+    }
+
+    #[test]
+    fn revote_replaces_standing_vote() {
+        let mut g = GlobalPredictor::new();
+        g.process_started(Pid(1), SimTime::ZERO);
+        g.record_vote(Pid(1), secs(5), ShutdownVote::never());
+        assert_eq!(g.decision(), GlobalDecision::KeepSpinning);
+        g.record_vote(
+            Pid(1),
+            secs(8),
+            ShutdownVote::after(SimDuration::from_secs(1)),
+        );
+        assert_eq!(
+            g.decision(),
+            GlobalDecision::ShutdownAt(secs(9), VoteSource::Primary)
+        );
+    }
+
+    #[test]
+    fn tie_attributes_to_backup() {
+        let mut g = GlobalPredictor::new();
+        g.process_started(Pid(1), SimTime::ZERO);
+        g.process_started(Pid(2), SimTime::ZERO);
+        g.record_vote(
+            Pid(1),
+            secs(5),
+            ShutdownVote::after(SimDuration::from_secs(1)),
+        );
+        g.record_vote(
+            Pid(2),
+            secs(5),
+            ShutdownVote::backup_after(SimDuration::from_secs(1)),
+        );
+        assert_eq!(
+            g.decision(),
+            GlobalDecision::ShutdownAt(secs(6), VoteSource::Backup)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unregistered")]
+    fn vote_from_unknown_process_panics() {
+        let mut g = GlobalPredictor::new();
+        g.record_vote(Pid(9), secs(1), ShutdownVote::never());
+    }
+}

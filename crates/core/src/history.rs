@@ -1,0 +1,172 @@
+//! Idle-period history bit-vectors (§4.1.2, the `h` in PCAPh).
+//!
+//! "Any idle period longer than the wait-window and shorter than the
+//! breakeven time is recorded as 0 in the idle bit-vector. Any period
+//! that is longer than the breakeven time is recorded as 1. Intervals
+//! shorter than the wait-window are not included."
+
+use serde::{Deserialize, Serialize};
+
+/// A fixed-capacity sliding window of idle-period bits, oldest bit
+/// shifted out as new periods arrive.
+///
+/// ```
+/// use pcap_core::HistoryTracker;
+///
+/// let mut h = HistoryTracker::new(3);
+/// h.push(true);
+/// h.push(false);
+/// h.push(true);
+/// h.push(true); // evicts the oldest
+/// let bits = h.bits();
+/// assert_eq!(bits.len, 3);
+/// assert_eq!(bits.bits, 0b011); // most recent period in bit 0
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistoryTracker {
+    capacity: u8,
+    len: u8,
+    /// Most recent period in bit 0, older periods in higher bits.
+    bits: u32,
+}
+
+/// A packed history window: `len` valid bits with the most recent idle
+/// period in bit 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct HistoryBits {
+    /// Packed bits (most recent period in bit 0).
+    pub bits: u32,
+    /// Number of valid bits (< 32).
+    pub len: u8,
+}
+
+impl HistoryTracker {
+    /// Creates a tracker holding up to `capacity` periods (the paper
+    /// uses 6 for PCAPh and 8 for the Learning Tree).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is 0 or ≥ 32.
+    pub fn new(capacity: usize) -> HistoryTracker {
+        assert!(
+            (1..32).contains(&capacity),
+            "history capacity must be in 1..32"
+        );
+        HistoryTracker {
+            capacity: capacity as u8,
+            len: 0,
+            bits: 0,
+        }
+    }
+
+    /// Records one idle period: `true` for longer than breakeven,
+    /// `false` for between wait-window and breakeven. (Sub-wait-window
+    /// periods must simply not be pushed.)
+    pub fn push(&mut self, long: bool) {
+        self.bits = (self.bits << 1) | u32::from(long);
+        self.len = (self.len + 1).min(self.capacity);
+        self.bits &= (1u32 << self.capacity) - 1;
+    }
+
+    /// The current window: pushes shift older bits up, so the most
+    /// recently pushed period sits in bit 0.
+    pub fn bits(&self) -> HistoryBits {
+        HistoryBits {
+            bits: self.bits & ((1u32 << self.len) - 1),
+            len: self.len,
+        }
+    }
+
+    /// Number of periods recorded (saturating at capacity).
+    pub fn len(&self) -> usize {
+        usize::from(self.len)
+    }
+
+    /// True if no periods were recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Clears the window (application restart without table reuse).
+    pub fn clear(&mut self) {
+        self.len = 0;
+        self.bits = 0;
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        usize::from(self.capacity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_then_slides() {
+        let mut h = HistoryTracker::new(2);
+        assert!(h.is_empty());
+        h.push(true);
+        assert_eq!(h.bits(), HistoryBits { bits: 0b1, len: 1 });
+        h.push(false);
+        assert_eq!(h.bits(), HistoryBits { bits: 0b10, len: 2 });
+        h.push(true);
+        // Window slides: the first `true` fell off.
+        assert_eq!(h.bits(), HistoryBits { bits: 0b01, len: 2 });
+    }
+
+    #[test]
+    fn distinct_patterns_distinct_bits() {
+        let mut a = HistoryTracker::new(4);
+        let mut b = HistoryTracker::new(4);
+        for x in [true, false, true, true] {
+            a.push(x);
+        }
+        for x in [true, true, false, true] {
+            b.push(x);
+        }
+        assert_ne!(a.bits(), b.bits());
+    }
+
+    #[test]
+    fn partial_window_has_shorter_len() {
+        let mut h = HistoryTracker::new(6);
+        h.push(true);
+        h.push(true);
+        let bits = h.bits();
+        assert_eq!(bits.len, 2);
+        // A 2-period window never equals a 6-period window, even with
+        // identical bit patterns.
+        let mut full = HistoryTracker::new(6);
+        for _ in 0..6 {
+            full.push(false);
+        }
+        let mut two_longs = full.clone();
+        two_longs.push(true);
+        two_longs.push(true);
+        assert_ne!(bits, two_longs.bits());
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut h = HistoryTracker::new(3);
+        h.push(true);
+        h.clear();
+        assert!(h.is_empty());
+        assert_eq!(h.bits(), HistoryBits { bits: 0, len: 0 });
+        assert_eq!(h.capacity(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..32")]
+    fn zero_capacity_panics() {
+        let _ = HistoryTracker::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..32")]
+    fn oversize_capacity_panics() {
+        let _ = HistoryTracker::new(32);
+    }
+}

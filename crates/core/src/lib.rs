@@ -1,0 +1,79 @@
+//! **PCAP** — the Program-Counter Access Predictor of "Program Counter
+//! Based Techniques for Dynamic Power Management" (HPCA 2004).
+//!
+//! PCAP decides, immediately after each disk I/O, whether the disk is
+//! entering an idle period long enough to be spun down. It correlates
+//! idle periods with the *path* of application program counters that
+//! triggered the I/O operations leading up to them (§3), encoded by
+//! arithmetic addition into a 4-byte [`Signature`]. A signature that
+//! once preceded a long idle period predicts another long idle period
+//! when it recurs.
+//!
+//! The crate provides:
+//!
+//! * [`IdlePredictor`] — the event-driven predictor interface shared
+//!   with the baselines in
+//!   [`pcap-baselines`](https://docs.rs/pcap-baselines),
+//! * [`Pcap`] + [`PcapConfig`] / [`PcapVariant`] — the predictor with
+//!   its §4 optimizations (idle-period history `PCAPh`, file
+//!   descriptors `PCAPf`, both `PCAPfh`),
+//! * [`PredictionTable`] — the signature table with optional LRU cap
+//!   and snapshot persistence (table reuse, §4.2),
+//! * [`WithBackup`] — the backup-timeout composition (§4.3),
+//! * [`GlobalPredictor`] — the multi-process AND-composition (§5),
+//! * [`TableStore`] — per-application "initialization file" storage.
+//!
+//! # Example
+//!
+//! ```
+//! use pcap_core::{IdlePredictor, Pcap, PcapConfig, SharedTable};
+//! use pcap_types::{DiskAccess, Fd, IoKind, Pc, Pid, SimDuration, SimTime};
+//!
+//! let table = SharedTable::unbounded();
+//! let mut pcap = Pcap::new(PcapConfig::paper(), table);
+//! let access = |t: u64, pc: u32| DiskAccess {
+//!     time: SimTime::from_secs(t),
+//!     pid: Pid(1),
+//!     pc: Pc(pc),
+//!     fd: Fd(3),
+//!     kind: IoKind::Read,
+//!     pages: 1,
+//! };
+//!
+//! // First encounter of the path {PC1, PC2, PC1}: trains, no prediction.
+//! for (t, pc) in [(0, 0x1000), (1, 0x2000), (2, 0x1000)] {
+//!     let vote = pcap.on_access(&access(t, pc), SimDuration::ZERO);
+//!     assert!(vote.delay.is_none());
+//!     pcap.on_idle_end(SimDuration::from_millis(100));
+//! }
+//! pcap.on_idle_end(SimDuration::from_secs(20)); // long idle: learn
+//!
+//! // Second encounter: the completed path predicts a shutdown.
+//! pcap.on_access(&access(40, 0x1000), SimDuration::ZERO);
+//! pcap.on_idle_end(SimDuration::from_millis(100));
+//! pcap.on_access(&access(41, 0x2000), SimDuration::ZERO);
+//! pcap.on_idle_end(SimDuration::from_millis(100));
+//! let vote = pcap.on_access(&access(42, 0x1000), SimDuration::ZERO);
+//! assert_eq!(vote.delay, Some(SimDuration::from_secs(1))); // after the wait-window
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod global;
+pub mod history;
+pub mod pcap;
+pub mod predictor;
+pub mod signature;
+pub mod store;
+pub mod table;
+
+pub use global::{GlobalDecision, GlobalPredictor};
+pub use history::HistoryTracker;
+pub use pcap::{Pcap, PcapConfig, PcapVariant};
+pub use predictor::{IdlePredictor, ShutdownVote, VoteSource, WithBackup};
+pub use signature::{SignatureScheme, SignatureTracker};
+pub use store::TableStore;
+pub use table::{PredictionTable, SharedTable, TableKey, TableSnapshot};
+
+pub use pcap_types::Signature;

@@ -1,0 +1,302 @@
+//! Runtime maintenance of the per-process path signature (§3.2).
+//!
+//! Each process keeps a 4-byte *current signature* in (the paper's
+//! model of) its kernel process-status structure. After an idle period
+//! longer than the breakeven time the signature is overwritten by the
+//! PC of the first I/O operation; every subsequent I/O folds its PC in.
+//!
+//! The paper encodes by wrapping addition and notes "we do not explore
+//! alternative encodings" because aliasing never bit in its traces.
+//! [`SignatureScheme`] makes the encoding pluggable so that claim can
+//! be tested: the additive scheme (default), an order-sensitive
+//! rotate-and-xor, and an FNV-style hash chain. The tracker also keeps
+//! a 64-bit order-sensitive reference hash of the true path, which the
+//! prediction table uses to *detect* aliasing instead of assuming it
+//! away.
+
+use pcap_types::{Pc, Signature};
+use serde::{Deserialize, Serialize};
+
+/// How a path of PCs is folded into the 4-byte signature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum SignatureScheme {
+    /// The paper's encoding: wrapping 32-bit addition. Commutative, so
+    /// paths that are permutations of each other alias.
+    #[default]
+    Additive,
+    /// Rotate-left-by-5 then xor: order-sensitive, still constant-size
+    /// and cheap (the rotate keeps early PCs from being xor-cancelled).
+    XorRotate,
+    /// FNV-1a chaining over the PC bytes: order-sensitive and
+    /// well-mixed, the most collision-resistant 32-bit option here.
+    HashChain,
+}
+
+impl SignatureScheme {
+    /// Folds one PC into an existing signature value.
+    pub fn fold(self, sig: Signature, pc: Pc) -> Signature {
+        match self {
+            SignatureScheme::Additive => sig.push(pc),
+            SignatureScheme::XorRotate => Signature(sig.0.rotate_left(5) ^ pc.0),
+            SignatureScheme::HashChain => {
+                let mut h = sig.0;
+                for b in pc.0.to_le_bytes() {
+                    h = (h ^ u32::from(b)).wrapping_mul(0x0100_0193);
+                }
+                Signature(h)
+            }
+        }
+    }
+
+    /// The signature a path-starting PC maps to (after a reset).
+    pub fn start(self, pc: Pc) -> Signature {
+        match self {
+            SignatureScheme::Additive => Signature::from(pc),
+            // Order-sensitive schemes fold into a fixed seed so that a
+            // single-PC path is distinguishable from the empty one.
+            SignatureScheme::XorRotate => self.fold(Signature(0x9e37_79b9), pc),
+            SignatureScheme::HashChain => self.fold(Signature(0x811c_9dc5), pc),
+        }
+    }
+
+    /// The paper's label for the scheme.
+    pub fn label(self) -> &'static str {
+        match self {
+            SignatureScheme::Additive => "additive",
+            SignatureScheme::XorRotate => "xor-rotate",
+            SignatureScheme::HashChain => "hash-chain",
+        }
+    }
+}
+
+impl std::fmt::Display for SignatureScheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The per-process current-signature state machine.
+///
+/// ```
+/// use pcap_core::SignatureTracker;
+/// use pcap_types::{Pc, Signature};
+///
+/// let mut t = SignatureTracker::new();
+/// assert_eq!(t.current(), None); // no I/O yet
+/// t.observe(Pc(0x10));
+/// t.observe(Pc(0x20));
+/// assert_eq!(t.current(), Some(Signature(0x30)));
+/// t.reset(); // a long idle period passed
+/// t.observe(Pc(0x40)); // overwrites rather than adds
+/// assert_eq!(t.current(), Some(Signature(0x40)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SignatureTracker {
+    scheme: SignatureScheme,
+    signature: Signature,
+    /// Order-sensitive 64-bit hash of the exact current path — the
+    /// aliasing-detection reference (never visible to the predictor).
+    path_hash: u64,
+    /// True until the first I/O after a long idle period (or process
+    /// start) arrives; that I/O overwrites instead of adding.
+    reset_pending: bool,
+    /// False until the first observation ever.
+    started: bool,
+}
+
+/// FNV-1a 64-bit offset basis.
+const PATH_HASH_SEED: u64 = 0xcbf2_9ce4_8422_2325;
+
+impl SignatureTracker {
+    /// A tracker for a freshly started process (the start of a process
+    /// counts as following a long idle period), using the paper's
+    /// additive encoding.
+    pub fn new() -> SignatureTracker {
+        SignatureTracker::with_scheme(SignatureScheme::Additive)
+    }
+
+    /// A tracker using an alternative encoding scheme.
+    pub fn with_scheme(scheme: SignatureScheme) -> SignatureTracker {
+        SignatureTracker {
+            scheme,
+            signature: Signature::EMPTY,
+            path_hash: PATH_HASH_SEED,
+            reset_pending: true,
+            started: false,
+        }
+    }
+
+    /// Folds the PC of an I/O operation into the signature and returns
+    /// the updated value.
+    pub fn observe(&mut self, pc: Pc) -> Signature {
+        if self.reset_pending {
+            self.signature = self.scheme.start(pc);
+            self.path_hash = PATH_HASH_SEED;
+            self.reset_pending = false;
+        } else {
+            self.signature = self.scheme.fold(self.signature, pc);
+        }
+        for b in pc.0.to_le_bytes() {
+            self.path_hash = (self.path_hash ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self.started = true;
+        self.signature
+    }
+
+    /// The order-sensitive reference hash of the current path, used by
+    /// the prediction table to detect signature aliasing.
+    pub fn path_hash(&self) -> u64 {
+        self.path_hash
+    }
+
+    /// Marks that an idle period longer than breakeven elapsed: the next
+    /// observed PC starts a fresh path.
+    pub fn reset(&mut self) {
+        self.reset_pending = true;
+    }
+
+    /// The current signature, or `None` if no I/O was observed yet.
+    pub fn current(&self) -> Option<Signature> {
+        self.started.then_some(self.signature)
+    }
+
+    /// True if the next observation will start a fresh path.
+    pub fn is_reset_pending(&self) -> bool {
+        self.reset_pending
+    }
+}
+
+impl Default for SignatureTracker {
+    fn default() -> Self {
+        SignatureTracker::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_figure3_sequence() {
+        // Figure 3: the path {PC1, PC2, PC1} accumulates, a long idle
+        // resets, and the second sequence rebuilds the same signature.
+        let (pc1, pc2) = (Pc(0x100), Pc(0x200));
+        let mut t = SignatureTracker::new();
+        t.observe(pc1);
+        t.observe(pc2);
+        let first = t.observe(pc1);
+        assert_eq!(first, Signature(0x400));
+
+        t.reset(); // 20 s idle
+        t.observe(pc1);
+        t.observe(pc2);
+        let second = t.observe(pc1);
+        assert_eq!(second, first, "same path ⇒ same signature across periods");
+    }
+
+    #[test]
+    fn subpath_aliasing_continues_accumulating() {
+        // Figure 3's last sequence: {PC1, PC2, PC1} then PC2 arrives in
+        // the wait-window. Path collection continues uninterrupted.
+        let (pc1, pc2) = (Pc(0x100), Pc(0x200));
+        let mut t = SignatureTracker::new();
+        for pc in [pc1, pc2, pc1] {
+            t.observe(pc);
+        }
+        let extended = t.observe(pc2);
+        assert_eq!(extended, Signature(0x600));
+    }
+
+    #[test]
+    fn no_signature_before_first_io() {
+        let t = SignatureTracker::new();
+        assert_eq!(t.current(), None);
+        assert!(t.is_reset_pending());
+    }
+
+    #[test]
+    fn short_idle_does_not_reset() {
+        let mut t = SignatureTracker::new();
+        t.observe(Pc(1));
+        // No reset() call between — a short idle period leaves the path
+        // growing.
+        t.observe(Pc(2));
+        assert_eq!(t.current(), Some(Signature(3)));
+    }
+
+    #[test]
+    fn current_survives_reset_until_next_observe() {
+        let mut t = SignatureTracker::new();
+        t.observe(Pc(7));
+        t.reset();
+        // The stale signature is still readable until the next I/O.
+        assert_eq!(t.current(), Some(Signature(7)));
+        assert!(t.is_reset_pending());
+    }
+
+    #[test]
+    fn default_is_new() {
+        assert_eq!(SignatureTracker::default(), SignatureTracker::new());
+    }
+
+    #[test]
+    fn additive_scheme_is_commutative_alternatives_are_not() {
+        let fold_all = |scheme: SignatureScheme, pcs: &[u32]| {
+            let mut t = SignatureTracker::with_scheme(scheme);
+            for &pc in pcs {
+                t.observe(Pc(pc));
+            }
+            t.current().unwrap()
+        };
+        let a = [0x10u32, 0x20, 0x30];
+        let b = [0x30u32, 0x20, 0x10];
+        assert_eq!(
+            fold_all(SignatureScheme::Additive, &a),
+            fold_all(SignatureScheme::Additive, &b),
+            "the paper's encoding aliases permutations"
+        );
+        assert_ne!(
+            fold_all(SignatureScheme::XorRotate, &a),
+            fold_all(SignatureScheme::XorRotate, &b)
+        );
+        assert_ne!(
+            fold_all(SignatureScheme::HashChain, &a),
+            fold_all(SignatureScheme::HashChain, &b)
+        );
+    }
+
+    #[test]
+    fn schemes_are_deterministic_and_distinct() {
+        for scheme in [
+            SignatureScheme::Additive,
+            SignatureScheme::XorRotate,
+            SignatureScheme::HashChain,
+        ] {
+            let mut a = SignatureTracker::with_scheme(scheme);
+            let mut b = SignatureTracker::with_scheme(scheme);
+            for pc in [1u32, 2, 3] {
+                a.observe(Pc(pc));
+                b.observe(Pc(pc));
+            }
+            assert_eq!(a.current(), b.current(), "{scheme}");
+        }
+        assert_eq!(SignatureScheme::default(), SignatureScheme::Additive);
+        assert_eq!(SignatureScheme::XorRotate.to_string(), "xor-rotate");
+    }
+
+    #[test]
+    fn path_hash_is_order_sensitive_and_resets() {
+        let mut t = SignatureTracker::new();
+        t.observe(Pc(1));
+        t.observe(Pc(2));
+        let h12 = t.path_hash();
+        let mut u = SignatureTracker::new();
+        u.observe(Pc(2));
+        u.observe(Pc(1));
+        assert_ne!(h12, u.path_hash(), "reference hash must distinguish order");
+        t.reset();
+        t.observe(Pc(1));
+        t.observe(Pc(2));
+        assert_eq!(t.path_hash(), h12, "same path after reset, same hash");
+    }
+}

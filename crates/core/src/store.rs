@@ -1,0 +1,294 @@
+//! Per-application prediction-table storage (§4.2).
+//!
+//! "Once the application exits, the trained prediction table is saved
+//! in the application initialization file … The prediction table is
+//! loaded when the application starts again." [`TableStore`] plays the
+//! role of those initialization files: either purely in memory (the
+//! default for simulations) or backed by a directory of JSON files.
+
+use crate::table::{PredictionTable, TableSnapshot};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+use std::fs;
+use std::path::PathBuf;
+
+/// Errors from persisting or loading prediction tables.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// Corrupt table file.
+    Parse(serde_json::Error),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "table store i/o error: {e}"),
+            StoreError::Parse(e) => write!(f, "table store parse error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            StoreError::Parse(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for StoreError {
+    fn from(e: serde_json::Error) -> Self {
+        StoreError::Parse(e)
+    }
+}
+
+/// The saved form of one application's predictor state.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct StoredTable {
+    app: String,
+    predictor: String,
+    table: TableSnapshot,
+}
+
+/// Persists prediction tables per `(application, predictor)` pair.
+///
+/// ```
+/// use pcap_core::{PredictionTable, TableKey, TableStore};
+/// use pcap_types::Signature;
+///
+/// let mut store = TableStore::in_memory();
+/// let mut table = PredictionTable::unbounded();
+/// table.learn(TableKey::plain(Signature(7)));
+/// store.save("mozilla", "PCAP", &table)?;
+///
+/// let restored = store.load("mozilla", "PCAP")?.expect("saved above");
+/// assert_eq!(restored.len(), 1);
+/// assert!(store.load("mozilla", "PCAPh")?.is_none());
+/// # Ok::<(), pcap_core::store::StoreError>(())
+/// ```
+#[derive(Debug)]
+pub struct TableStore {
+    dir: Option<PathBuf>,
+    memory: HashMap<(String, String), TableSnapshot>,
+}
+
+impl TableStore {
+    /// A store that lives only in memory (what the trace simulator
+    /// uses between simulated executions).
+    pub fn in_memory() -> TableStore {
+        TableStore {
+            dir: None,
+            memory: HashMap::new(),
+        }
+    }
+
+    /// A store backed by JSON files under `dir` (created on demand).
+    pub fn at_dir(dir: impl Into<PathBuf>) -> TableStore {
+        TableStore {
+            dir: Some(dir.into()),
+            memory: HashMap::new(),
+        }
+    }
+
+    fn file_path(&self, app: &str, predictor: &str) -> Option<PathBuf> {
+        let sanitized: String = format!("{app}.{predictor}")
+            .chars()
+            .map(|c| {
+                if c.is_alphanumeric() || c == '.' {
+                    c
+                } else {
+                    '_'
+                }
+            })
+            .collect();
+        self.dir
+            .as_ref()
+            .map(|d| d.join(format!("{sanitized}.pcap.json")))
+    }
+
+    /// Saves `table` as the initialization-file state of `(app,
+    /// predictor)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] if the backing directory cannot be
+    /// written.
+    pub fn save(
+        &mut self,
+        app: &str,
+        predictor: &str,
+        table: &PredictionTable,
+    ) -> Result<(), StoreError> {
+        let snapshot = table.snapshot();
+        if let Some(path) = self.file_path(app, predictor) {
+            if let Some(parent) = path.parent() {
+                fs::create_dir_all(parent)?;
+            }
+            let stored = StoredTable {
+                app: app.to_owned(),
+                predictor: predictor.to_owned(),
+                table: snapshot.clone(),
+            };
+            // Write-then-rename so a crash mid-save never leaves a
+            // corrupt initialization file.
+            let tmp = path.with_extension("tmp");
+            fs::write(&tmp, serde_json::to_string_pretty(&stored)?)?;
+            fs::rename(&tmp, &path)?;
+        }
+        self.memory
+            .insert((app.to_owned(), predictor.to_owned()), snapshot);
+        Ok(())
+    }
+
+    /// Loads the saved table for `(app, predictor)`, or `None` if never
+    /// saved.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError`] if a backing file exists but cannot be
+    /// read or parsed.
+    pub fn load(
+        &mut self,
+        app: &str,
+        predictor: &str,
+    ) -> Result<Option<PredictionTable>, StoreError> {
+        let key = (app.to_owned(), predictor.to_owned());
+        if let Some(snapshot) = self.memory.get(&key) {
+            return Ok(Some(PredictionTable::from_snapshot(snapshot)));
+        }
+        if let Some(path) = self.file_path(app, predictor) {
+            if path.exists() {
+                let text = fs::read_to_string(&path)?;
+                let stored: StoredTable = serde_json::from_str(&text)?;
+                self.memory.insert(key, stored.table.clone());
+                return Ok(Some(PredictionTable::from_snapshot(&stored.table)));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Deletes the saved state of `(app, predictor)` — used by the
+    /// no-reuse configurations (PCAPa/LTa) and by tests.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] if the backing file exists but cannot
+    /// be removed.
+    pub fn discard(&mut self, app: &str, predictor: &str) -> Result<(), StoreError> {
+        self.memory.remove(&(app.to_owned(), predictor.to_owned()));
+        if let Some(path) = self.file_path(app, predictor) {
+            if path.exists() {
+                fs::remove_file(path)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::TableKey;
+    use pcap_types::Signature;
+
+    fn table_with(sigs: &[u32]) -> PredictionTable {
+        let mut t = PredictionTable::unbounded();
+        for &s in sigs {
+            t.learn(TableKey::plain(Signature(s)));
+        }
+        t
+    }
+
+    #[test]
+    fn memory_roundtrip() {
+        let mut store = TableStore::in_memory();
+        store
+            .save("xemacs", "PCAP", &table_with(&[1, 2, 3]))
+            .unwrap();
+        let t = store.load("xemacs", "PCAP").unwrap().unwrap();
+        assert_eq!(t.len(), 3);
+        assert!(store.load("xemacs", "PCAPh").unwrap().is_none());
+        assert!(store.load("nedit", "PCAP").unwrap().is_none());
+    }
+
+    #[test]
+    fn save_overwrites() {
+        let mut store = TableStore::in_memory();
+        store.save("a", "PCAP", &table_with(&[1])).unwrap();
+        store.save("a", "PCAP", &table_with(&[1, 2])).unwrap();
+        assert_eq!(store.load("a", "PCAP").unwrap().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn discard_forgets() {
+        let mut store = TableStore::in_memory();
+        store.save("a", "PCAP", &table_with(&[1])).unwrap();
+        store.discard("a", "PCAP").unwrap();
+        assert!(store.load("a", "PCAP").unwrap().is_none());
+    }
+
+    #[test]
+    fn directory_roundtrip() {
+        let dir = std::env::temp_dir().join(format!(
+            "pcap-store-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        {
+            let mut store = TableStore::at_dir(&dir);
+            store
+                .save("mozilla", "PCAPfh", &table_with(&[7, 9]))
+                .unwrap();
+        }
+        {
+            // A fresh store (cold memory) must read from disk.
+            let mut store = TableStore::at_dir(&dir);
+            let t = store.load("mozilla", "PCAPfh").unwrap().unwrap();
+            assert_eq!(t.len(), 2);
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn odd_names_are_sanitized() {
+        let dir = std::env::temp_dir().join(format!("pcap-store-sanitize-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let mut store = TableStore::at_dir(&dir);
+        store
+            .save("open office/writer", "PCAP", &table_with(&[1]))
+            .unwrap();
+        assert!(store.load("open office/writer", "PCAP").unwrap().is_some());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_file_reports_parse_error() {
+        let dir = std::env::temp_dir().join(format!("pcap-store-corrupt-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("bad.PCAP.pcap.json"), "not json").unwrap();
+        let mut store = TableStore::at_dir(&dir);
+        assert!(matches!(
+            store.load("bad", "PCAP"),
+            Err(StoreError::Parse(_))
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn error_display() {
+        let e = StoreError::Io(std::io::Error::other("boom"));
+        assert!(e.to_string().contains("boom"));
+    }
+}

@@ -1,0 +1,231 @@
+//! Disk parameter sets (Table 2 of the paper) and breakeven algebra.
+
+use crate::energy::{Joules, Watts};
+use pcap_types::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// The full parameter set of a two-state (spinning / standby) disk, as
+/// reported in Table 2 of the paper.
+///
+/// Construct via [`DiskParams::fujitsu_mhf2043at`] (the paper's disk) or
+/// [`DiskParams::builder`] for custom disks.
+///
+/// ```
+/// use pcap_disk::DiskParams;
+/// use pcap_types::SimDuration;
+///
+/// let fast = DiskParams::builder()
+///     .idle_power(0.8)
+///     .spinup(2.0, SimDuration::from_millis(800))
+///     .build();
+/// assert!(fast.derived_breakeven() < DiskParams::fujitsu_mhf2043at().derived_breakeven());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiskParams {
+    /// Power while serving I/O.
+    pub busy_power: Watts,
+    /// Power while spinning idle.
+    pub idle_power: Watts,
+    /// Power while spun down.
+    pub standby_power: Watts,
+    /// Energy of one spin-up transition.
+    pub spinup_energy: Joules,
+    /// Energy of one shutdown transition.
+    pub shutdown_energy: Joules,
+    /// Duration of one spin-up transition.
+    pub spinup_time: SimDuration,
+    /// Duration of one shutdown transition.
+    pub shutdown_time: SimDuration,
+    /// The breakeven time used by predictors. Table 2 reports 5.43 s;
+    /// see [`DiskParams::derived_breakeven`] for the first-principles
+    /// value.
+    breakeven: SimDuration,
+    /// Disk service time per 4 KB page transferred.
+    pub page_service_time: SimDuration,
+    /// Fixed per-access overhead (seek + rotational latency).
+    pub access_overhead: SimDuration,
+}
+
+impl DiskParams {
+    /// The Fujitsu MHF 2043 AT parameters from Table 2 of the paper.
+    pub fn fujitsu_mhf2043at() -> DiskParams {
+        DiskParams {
+            busy_power: Watts(2.2),
+            idle_power: Watts(0.95),
+            standby_power: Watts(0.13),
+            spinup_energy: Joules(4.4),
+            shutdown_energy: Joules(0.36),
+            spinup_time: SimDuration::from_secs_f64(1.6),
+            shutdown_time: SimDuration::from_secs_f64(0.67),
+            breakeven: SimDuration::from_secs_f64(5.43),
+            page_service_time: SimDuration::from_micros(500),
+            access_overhead: SimDuration::from_millis(9),
+        }
+    }
+
+    /// Starts building a custom disk from the Fujitsu defaults.
+    pub fn builder() -> DiskParamsBuilder {
+        DiskParamsBuilder {
+            params: Self::fujitsu_mhf2043at(),
+            explicit_breakeven: false,
+        }
+    }
+
+    /// The breakeven time predictors compare idle periods against.
+    pub fn breakeven_time(&self) -> SimDuration {
+        self.breakeven
+    }
+
+    /// Derives the breakeven time from first principles: the idle-gap
+    /// length `T` at which spinning idle (`P_idle · T`) costs exactly as
+    /// much as a full power cycle
+    /// (`E_sd + E_su + P_standby · (T − t_sd − t_su)`).
+    ///
+    /// For the Table 2 parameters this yields ≈ 5.44 s, within rounding
+    /// of the reported 5.43 s.
+    pub fn derived_breakeven(&self) -> SimDuration {
+        let transitions = (self.shutdown_time + self.spinup_time).as_secs_f64();
+        let numerator =
+            self.shutdown_energy.0 + self.spinup_energy.0 - self.standby_power.0 * transitions;
+        let denominator = self.idle_power.0 - self.standby_power.0;
+        SimDuration::from_secs_f64((numerator / denominator).max(0.0))
+    }
+
+    /// Service time for one access transferring `pages` 4 KB pages.
+    pub fn service_time(&self, pages: u32) -> SimDuration {
+        self.access_overhead + self.page_service_time * u64::from(pages)
+    }
+}
+
+impl Default for DiskParams {
+    fn default() -> Self {
+        Self::fujitsu_mhf2043at()
+    }
+}
+
+/// Non-consuming builder for [`DiskParams`], seeded with the Fujitsu
+/// defaults; see [`DiskParams::builder`] for an example.
+#[derive(Debug, Clone)]
+pub struct DiskParamsBuilder {
+    params: DiskParams,
+    explicit_breakeven: bool,
+}
+
+impl DiskParamsBuilder {
+    /// Sets the busy (serving I/O) power in watts.
+    pub fn busy_power(&mut self, w: f64) -> &mut Self {
+        self.params.busy_power = Watts(w);
+        self
+    }
+
+    /// Sets the idle (spinning) power in watts.
+    pub fn idle_power(&mut self, w: f64) -> &mut Self {
+        self.params.idle_power = Watts(w);
+        self
+    }
+
+    /// Sets the standby (spun down) power in watts.
+    pub fn standby_power(&mut self, w: f64) -> &mut Self {
+        self.params.standby_power = Watts(w);
+        self
+    }
+
+    /// Sets spin-up energy (J) and duration.
+    pub fn spinup(&mut self, joules: f64, time: SimDuration) -> &mut Self {
+        self.params.spinup_energy = Joules(joules);
+        self.params.spinup_time = time;
+        self
+    }
+
+    /// Sets shutdown energy (J) and duration.
+    pub fn shutdown(&mut self, joules: f64, time: SimDuration) -> &mut Self {
+        self.params.shutdown_energy = Joules(joules);
+        self.params.shutdown_time = time;
+        self
+    }
+
+    /// Overrides the breakeven time instead of deriving it.
+    pub fn breakeven(&mut self, t: SimDuration) -> &mut Self {
+        self.params.breakeven = t;
+        self.explicit_breakeven = true;
+        self
+    }
+
+    /// Sets the per-page service time.
+    pub fn page_service_time(&mut self, t: SimDuration) -> &mut Self {
+        self.params.page_service_time = t;
+        self
+    }
+
+    /// Sets the fixed per-access overhead.
+    pub fn access_overhead(&mut self, t: SimDuration) -> &mut Self {
+        self.params.access_overhead = t;
+        self
+    }
+
+    /// Finalizes the parameters. Unless [`breakeven`](Self::breakeven)
+    /// was called, the breakeven time is re-derived from the energy
+    /// parameters so custom disks stay self-consistent.
+    pub fn build(&self) -> DiskParams {
+        let mut params = self.params.clone();
+        if !self.explicit_breakeven {
+            params.breakeven = params.derived_breakeven();
+        }
+        params
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_constants() {
+        let p = DiskParams::fujitsu_mhf2043at();
+        assert_eq!(p.busy_power, Watts(2.2));
+        assert_eq!(p.idle_power, Watts(0.95));
+        assert_eq!(p.standby_power, Watts(0.13));
+        assert_eq!(p.spinup_energy, Joules(4.4));
+        assert_eq!(p.shutdown_energy, Joules(0.36));
+        assert_eq!(p.spinup_time, SimDuration::from_micros(1_600_000));
+        assert_eq!(p.shutdown_time, SimDuration::from_micros(670_000));
+        assert_eq!(p.breakeven_time(), SimDuration::from_micros(5_430_000));
+    }
+
+    #[test]
+    fn derived_breakeven_matches_table2_within_rounding() {
+        let p = DiskParams::fujitsu_mhf2043at();
+        let derived = p.derived_breakeven().as_secs_f64();
+        assert!(
+            (derived - 5.43).abs() < 0.05,
+            "derived breakeven {derived} too far from Table 2's 5.43 s"
+        );
+    }
+
+    #[test]
+    fn builder_rederives_breakeven() {
+        // A disk with cheaper spin-up should break even sooner.
+        let p = DiskParams::builder()
+            .spinup(2.0, SimDuration::from_millis(800))
+            .build();
+        assert!(p.breakeven_time() < DiskParams::fujitsu_mhf2043at().breakeven_time());
+    }
+
+    #[test]
+    fn builder_honours_explicit_breakeven() {
+        let p = DiskParams::builder()
+            .breakeven(SimDuration::from_secs(9))
+            .spinup(2.0, SimDuration::from_millis(800))
+            .build();
+        assert_eq!(p.breakeven_time(), SimDuration::from_secs(9));
+    }
+
+    #[test]
+    fn service_time_scales_with_pages() {
+        let p = DiskParams::fujitsu_mhf2043at();
+        let one = p.service_time(1);
+        let ten = p.service_time(10);
+        assert!(ten > one);
+        assert_eq!((ten - one).as_micros(), 9 * p.page_service_time.as_micros());
+    }
+}

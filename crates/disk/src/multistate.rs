@@ -1,0 +1,182 @@
+//! Multiple low-power states — the extension sketched in the paper's
+//! conclusion ("PCAP can be further extended to handle multiple low
+//! power states of hard disks").
+//!
+//! A [`MultiStateParams`] describes a ladder of progressively deeper
+//! low-power states (e.g. *active idle* → *low-power idle* → *standby*),
+//! each with its own residency power and entry/exit costs. The per-state
+//! breakeven time tells a power manager how long an idle period must be
+//! for that state to pay off, enabling the "enter a shallow state during
+//! the wait-window, go deeper after it elapses" policy of §7.
+
+use crate::energy::{Joules, Watts};
+use pcap_types::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// One low-power state in the ladder.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LowPowerState {
+    /// Human-readable name ("low-power idle", "standby", …).
+    pub name: String,
+    /// Residency power.
+    pub power: Watts,
+    /// Energy to enter the state from full idle.
+    pub entry_energy: Joules,
+    /// Time to enter the state from full idle.
+    pub entry_time: SimDuration,
+    /// Energy to return to full idle.
+    pub exit_energy: Joules,
+    /// Time to return to full idle.
+    pub exit_time: SimDuration,
+}
+
+impl LowPowerState {
+    /// Breakeven time of this state against spinning idle at
+    /// `idle_power`: the minimum idle-gap length for which entering the
+    /// state saves energy.
+    ///
+    /// Returns `None` if the state never pays off (its residency power
+    /// is not below idle power).
+    pub fn breakeven_against(&self, idle_power: Watts) -> Option<SimDuration> {
+        let saving_rate = idle_power.0 - self.power.0;
+        if saving_rate <= 0.0 {
+            return None;
+        }
+        let transitions = (self.entry_time + self.exit_time).as_secs_f64();
+        let cost = self.entry_energy.0 + self.exit_energy.0 - self.power.0 * transitions;
+        Some(SimDuration::from_secs_f64((cost / saving_rate).max(0.0)))
+    }
+}
+
+/// A ladder of low-power states ordered from shallowest to deepest.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiStateParams {
+    /// Power while spinning idle (the state the ladder descends from).
+    pub idle_power: Watts,
+    /// Low-power states, shallowest first.
+    pub states: Vec<LowPowerState>,
+}
+
+impl MultiStateParams {
+    /// A three-state ladder loosely modeled on mobile ATA disks:
+    /// *active idle* (heads parked), *low-power idle* (heads unloaded),
+    /// *standby* (spun down, the Table 2 state).
+    pub fn mobile_ata() -> MultiStateParams {
+        MultiStateParams {
+            idle_power: Watts(0.95),
+            states: vec![
+                LowPowerState {
+                    name: "active-idle".into(),
+                    power: Watts(0.70),
+                    entry_energy: Joules(0.05),
+                    entry_time: SimDuration::from_millis(40),
+                    exit_energy: Joules(0.08),
+                    exit_time: SimDuration::from_millis(60),
+                },
+                LowPowerState {
+                    name: "low-power-idle".into(),
+                    power: Watts(0.45),
+                    entry_energy: Joules(0.3),
+                    entry_time: SimDuration::from_millis(300),
+                    exit_energy: Joules(0.9),
+                    exit_time: SimDuration::from_millis(400),
+                },
+                LowPowerState {
+                    name: "standby".into(),
+                    power: Watts(0.13),
+                    entry_energy: Joules(0.36),
+                    entry_time: SimDuration::from_secs_f64(0.67),
+                    exit_energy: Joules(4.4),
+                    exit_time: SimDuration::from_secs_f64(1.6),
+                },
+            ],
+        }
+    }
+
+    /// The deepest state whose breakeven time is at most `gap`, i.e. the
+    /// best state to enter when an idle period of length `gap` is
+    /// predicted. Returns `None` when even the shallowest state does not
+    /// pay off.
+    pub fn best_state_for(&self, gap: SimDuration) -> Option<&LowPowerState> {
+        self.states
+            .iter()
+            .filter(|s| {
+                s.breakeven_against(self.idle_power)
+                    .is_some_and(|be| be <= gap)
+            })
+            .min_by(|a, b| a.power.0.partial_cmp(&b.power.0).expect("finite powers"))
+    }
+
+    /// Energy for an idle gap spent in `state` (entered at gap start,
+    /// exited so the disk is ready at gap end), versus idle otherwise.
+    pub fn gap_energy_in(&self, state: &LowPowerState, gap: SimDuration) -> Joules {
+        let transitions = state.entry_time + state.exit_time;
+        let residency = gap.saturating_sub(transitions);
+        state.entry_energy + state.exit_energy + state.power * residency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deeper_states_have_longer_breakeven() {
+        let m = MultiStateParams::mobile_ata();
+        let bes: Vec<f64> = m
+            .states
+            .iter()
+            .map(|s| s.breakeven_against(m.idle_power).unwrap().as_secs_f64())
+            .collect();
+        assert!(bes.windows(2).all(|w| w[0] < w[1]), "breakevens {bes:?}");
+    }
+
+    #[test]
+    fn standby_breakeven_matches_two_state_model() {
+        let m = MultiStateParams::mobile_ata();
+        let standby = m.states.last().unwrap();
+        let be = standby.breakeven_against(m.idle_power).unwrap();
+        assert!((be.as_secs_f64() - 5.44).abs() < 0.05);
+    }
+
+    #[test]
+    fn best_state_descends_with_gap_length() {
+        let m = MultiStateParams::mobile_ata();
+        assert!(m.best_state_for(SimDuration::from_millis(100)).is_none());
+        assert_eq!(
+            m.best_state_for(SimDuration::from_secs(1)).unwrap().name,
+            "active-idle"
+        );
+        assert_eq!(
+            m.best_state_for(SimDuration::from_secs(4)).unwrap().name,
+            "low-power-idle"
+        );
+        assert_eq!(
+            m.best_state_for(SimDuration::from_secs(60)).unwrap().name,
+            "standby"
+        );
+    }
+
+    #[test]
+    fn useless_state_has_no_breakeven() {
+        let s = LowPowerState {
+            name: "bogus".into(),
+            power: Watts(1.0),
+            entry_energy: Joules(0.0),
+            entry_time: SimDuration::ZERO,
+            exit_energy: Joules(0.0),
+            exit_time: SimDuration::ZERO,
+        };
+        assert_eq!(s.breakeven_against(Watts(0.95)), None);
+    }
+
+    #[test]
+    fn gap_energy_beats_idle_beyond_breakeven() {
+        let m = MultiStateParams::mobile_ata();
+        let standby = m.states.last().unwrap();
+        let gap = SimDuration::from_secs(30);
+        let in_state = m.gap_energy_in(standby, gap);
+        let idle = m.idle_power * gap;
+        assert!(in_state.0 < idle.0);
+    }
+}

@@ -1,0 +1,283 @@
+//! ASCII renderings of the paper's bar figures.
+//!
+//! The paper presents Figures 6–10 as stacked bars; [`figure_chart`]
+//! reproduces that visual form in the terminal. One column of glyphs is
+//! 2% of the application's idle periods; misses stack past the 100%
+//! mark exactly as the paper's bars run past 100% (up to 140% on its
+//! y-axes).
+
+use crate::workbench::Workbench;
+use pcap_core::PcapVariant;
+use pcap_sim::{PowerManagerKind, PredictionCounts};
+use std::fmt::Write as _;
+
+/// Glyphs for the stacked segments.
+const HIT_PRIMARY: char = '█';
+const HIT_BACKUP: char = '▓';
+const NOT_PREDICTED: char = '░';
+const MISS: char = '▒';
+
+/// Cells per 100%.
+const SCALE: f64 = 50.0;
+
+/// One bar of a stacked chart: a label and (fraction, glyph) segments.
+#[derive(Debug, Clone)]
+pub struct ChartRow {
+    /// Left-hand label ("mozilla TP").
+    pub label: String,
+    /// Segments, drawn in order; fractions are of the 100% mark.
+    pub segments: Vec<(f64, char)>,
+}
+
+/// Renders a stacked horizontal bar chart.
+pub fn stacked_chart(title: &str, rows: &[ChartRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "## {title}\n");
+    let label_width = rows.iter().map(|r| r.label.len()).max().unwrap_or(0);
+    for row in rows {
+        let _ = write!(out, "{:<label_width$} |", row.label);
+        let mut drawn = 0usize;
+        let mut exact = 0.0f64;
+        for &(fraction, glyph) in &row.segments {
+            exact += fraction.max(0.0) * SCALE;
+            let target = exact.round() as usize;
+            for _ in drawn..target {
+                out.push(glyph);
+            }
+            drawn = drawn.max(target);
+        }
+        // Mark the 100% line if the bar stops short of it.
+        let full = SCALE as usize;
+        if drawn < full {
+            for _ in drawn..full {
+                out.push(' ');
+            }
+            drawn = full;
+        }
+        out.push('|');
+        let _ = writeln!(out, " {:>4.0}%", 100.0 * drawn as f64 / SCALE);
+    }
+    let _ = writeln!(
+        out,
+        "\n{HIT_PRIMARY} hit (primary)   {HIT_BACKUP} hit (backup)   \
+         {NOT_PREDICTED} not predicted   {MISS} miss   (bar = 100% of idle periods; misses stack past it)"
+    );
+    out
+}
+
+fn counts_row(label: String, c: &PredictionCounts, split_backup: bool) -> ChartRow {
+    let f = |n: u64| {
+        if c.opportunities == 0 {
+            0.0
+        } else {
+            n as f64 / c.opportunities as f64
+        }
+    };
+    let segments = if split_backup {
+        vec![
+            (f(c.hit_primary), HIT_PRIMARY),
+            (f(c.hit_backup), HIT_BACKUP),
+            (f(c.not_predicted), NOT_PREDICTED),
+            (f(c.misses()), MISS),
+        ]
+    } else {
+        vec![
+            (f(c.hits()), HIT_PRIMARY),
+            (f(c.not_predicted), NOT_PREDICTED),
+            (f(c.misses()), MISS),
+        ]
+    };
+    ChartRow { label, segments }
+}
+
+/// The figures that have a bar-chart form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Figure {
+    /// Figure 6: local predictors (hit / not predicted / miss).
+    Fig6,
+    /// Figure 7: global predictor (hit / not predicted / miss).
+    Fig7,
+    /// Figure 8: energy distribution (one savings bar per config).
+    Fig8,
+    /// Figure 9: PCAP variants with the primary/backup split.
+    Fig9,
+    /// Figure 10: table reuse with the primary/backup split.
+    Fig10,
+}
+
+impl Figure {
+    /// Parses a CLI name ("fig6" … "fig10").
+    pub fn by_name(name: &str) -> Option<Figure> {
+        match name {
+            "fig6" => Some(Figure::Fig6),
+            "fig7" => Some(Figure::Fig7),
+            "fig8" => Some(Figure::Fig8),
+            "fig9" => Some(Figure::Fig9),
+            "fig10" => Some(Figure::Fig10),
+            _ => None,
+        }
+    }
+}
+
+/// Renders one of the paper's bar figures from a prepared workbench.
+pub fn figure_chart(bench: &Workbench, figure: Figure) -> String {
+    let headline = [
+        PowerManagerKind::Timeout,
+        PowerManagerKind::LT,
+        PowerManagerKind::PCAP,
+    ];
+    match figure {
+        Figure::Fig6 | Figure::Fig7 => {
+            let local = figure == Figure::Fig6;
+            let mut rows = Vec::new();
+            for (idx, trace) in bench.traces().iter().enumerate() {
+                for kind in headline {
+                    let r = bench.report(idx, kind);
+                    let c = if local { r.local } else { r.global };
+                    rows.push(counts_row(
+                        format!("{:<8} {}", trace.app, kind.label()),
+                        &c,
+                        false,
+                    ));
+                }
+            }
+            let title = if local {
+                "Figure 6: local shutdown predictors"
+            } else {
+                "Figure 7: global shutdown predictor"
+            };
+            stacked_chart(title, &rows)
+        }
+        Figure::Fig8 => {
+            let mut rows = Vec::new();
+            for (idx, trace) in bench.traces().iter().enumerate() {
+                for kind in [
+                    PowerManagerKind::Oracle,
+                    PowerManagerKind::Timeout,
+                    PowerManagerKind::LT,
+                    PowerManagerKind::PCAP,
+                ] {
+                    let r = bench.report(idx, kind);
+                    let base = r.base_energy.total().0;
+                    rows.push(ChartRow {
+                        label: format!("{:<8} {}", trace.app, kind.label()),
+                        segments: vec![
+                            (r.energy.busy.0 / base, HIT_PRIMARY),
+                            (
+                                (r.energy.idle_short + r.energy.idle_long).0 / base,
+                                NOT_PREDICTED,
+                            ),
+                            (r.energy.power_cycle.0 / base, MISS),
+                        ],
+                    });
+                }
+            }
+            let mut out = stacked_chart(
+                "Figure 8: energy distribution (fraction of unmanaged energy consumed)",
+                &rows,
+            );
+            out.push_str(
+                "█ busy I/O   ░ idle (short+long residual)   ▒ power cycle — shorter bars save more\n",
+            );
+            out
+        }
+        Figure::Fig9 => {
+            let kinds: Vec<PowerManagerKind> = [
+                PcapVariant::Base,
+                PcapVariant::History,
+                PcapVariant::FileDescriptor,
+                PcapVariant::FileDescriptorHistory,
+            ]
+            .into_iter()
+            .map(|variant| PowerManagerKind::Pcap {
+                variant,
+                reuse: true,
+            })
+            .collect();
+            split_figure_chart(bench, "Figure 9: predictor optimizations", &kinds)
+        }
+        Figure::Fig10 => split_figure_chart(
+            bench,
+            "Figure 10: predictor table reuse",
+            &[
+                PowerManagerKind::PCAP,
+                PowerManagerKind::Pcap {
+                    variant: PcapVariant::Base,
+                    reuse: false,
+                },
+                PowerManagerKind::LT,
+                PowerManagerKind::LearningTree { reuse: false },
+            ],
+        ),
+    }
+}
+
+fn split_figure_chart(bench: &Workbench, title: &str, kinds: &[PowerManagerKind]) -> String {
+    let mut rows = Vec::new();
+    for (idx, trace) in bench.traces().iter().enumerate() {
+        for &kind in kinds {
+            let r = bench.report(idx, kind);
+            rows.push(counts_row(
+                format!("{:<8} {:<6}", trace.app, kind.label()),
+                &r.global,
+                true,
+            ));
+        }
+    }
+    stacked_chart(title, &rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stacked_chart_marks_100_percent() {
+        let rows = vec![
+            ChartRow {
+                label: "full".into(),
+                segments: vec![(1.0, '█')],
+            },
+            ChartRow {
+                label: "over".into(),
+                segments: vec![(1.0, '█'), (0.2, '▒')],
+            },
+            ChartRow {
+                label: "part".into(),
+                segments: vec![(0.5, '█')],
+            },
+        ];
+        let chart = stacked_chart("demo", &rows);
+        assert!(chart.contains("## demo"));
+        assert!(chart.contains("100%"));
+        assert!(chart.contains("120%"));
+        // The partial bar pads to the 100% mark with spaces.
+        let part_line = chart.lines().find(|l| l.starts_with("part")).unwrap();
+        assert!(part_line.contains("█"));
+        assert!(part_line.trim_end().ends_with("100%"));
+    }
+
+    #[test]
+    fn figure_names_parse() {
+        assert_eq!(Figure::by_name("fig7"), Some(Figure::Fig7));
+        assert_eq!(Figure::by_name("fig10"), Some(Figure::Fig10));
+        assert_eq!(Figure::by_name("table1"), None);
+    }
+
+    #[test]
+    fn counts_row_fractions() {
+        let c = PredictionCounts {
+            opportunities: 10,
+            hit_primary: 5,
+            hit_backup: 3,
+            miss_primary: 2,
+            miss_backup: 0,
+            not_predicted: 2,
+        };
+        let row = counts_row("x".into(), &c, true);
+        assert_eq!(row.segments.len(), 4);
+        assert!((row.segments[0].0 - 0.5).abs() < 1e-12);
+        let merged = counts_row("x".into(), &c, false);
+        assert!((merged.segments[0].0 - 0.8).abs() < 1e-12);
+    }
+}

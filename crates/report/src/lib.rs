@@ -1,0 +1,29 @@
+//! Experiment harness regenerating every table and figure of the PCAP
+//! paper's evaluation (§6) from the synthetic workload suite.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use pcap_report::{Experiment, Workbench};
+//! use pcap_sim::SimConfig;
+//!
+//! let bench = Workbench::generate(42, SimConfig::paper())?;
+//! for table in Experiment::Fig7.run(&bench) {
+//!     println!("{table}");
+//! }
+//! # Ok::<(), pcap_trace::TraceError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chart;
+pub mod experiments;
+pub mod paper;
+pub mod tables;
+pub mod workbench;
+
+pub use chart::{figure_chart, Figure};
+pub use experiments::Experiment;
+pub use tables::Table;
+pub use workbench::Workbench;

@@ -1,0 +1,189 @@
+//! Reference values reported by the paper, for side-by-side columns in
+//! the regenerated tables (we reproduce *shape*, not absolute numbers —
+//! see `EXPERIMENTS.md`).
+
+/// One application row of the paper's Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Table1Row {
+    /// Application name.
+    pub app: &'static str,
+    /// Number of executions.
+    pub executions: usize,
+    /// Global idle periods.
+    pub global_idle: usize,
+    /// Local idle periods.
+    pub local_idle: usize,
+    /// Total I/Os.
+    pub total_ios: usize,
+}
+
+/// The paper's Table 1.
+pub const TABLE1: [Table1Row; 6] = [
+    Table1Row {
+        app: "mozilla",
+        executions: 49,
+        global_idle: 365,
+        local_idle: 1001,
+        total_ios: 90_843,
+    },
+    Table1Row {
+        app: "writer",
+        executions: 33,
+        global_idle: 112,
+        local_idle: 358,
+        total_ios: 133_016,
+    },
+    Table1Row {
+        app: "impress",
+        executions: 19,
+        global_idle: 87,
+        local_idle: 234,
+        total_ios: 220_455,
+    },
+    Table1Row {
+        app: "xemacs",
+        executions: 37,
+        global_idle: 94,
+        local_idle: 103,
+        total_ios: 79_720,
+    },
+    Table1Row {
+        app: "nedit",
+        executions: 29,
+        global_idle: 29,
+        local_idle: 29,
+        total_ios: 6_663,
+    },
+    Table1Row {
+        app: "mplayer",
+        executions: 31,
+        global_idle: 51,
+        local_idle: 111,
+        total_ios: 512_433,
+    },
+];
+
+/// One application row of the paper's Table 3 (prediction-table
+/// entries).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Table3Row {
+    /// Application name.
+    pub app: &'static str,
+    /// PCAP entries.
+    pub pcap: usize,
+    /// PCAPh entries.
+    pub pcap_h: usize,
+    /// PCAPf entries.
+    pub pcap_f: usize,
+    /// PCAPfh entries.
+    pub pcap_fh: usize,
+}
+
+/// The paper's Table 3.
+pub const TABLE3: [Table3Row; 6] = [
+    Table3Row {
+        app: "mozilla",
+        pcap: 72,
+        pcap_h: 99,
+        pcap_f: 129,
+        pcap_fh: 139,
+    },
+    Table3Row {
+        app: "writer",
+        pcap: 30,
+        pcap_h: 36,
+        pcap_f: 30,
+        pcap_fh: 36,
+    },
+    Table3Row {
+        app: "impress",
+        pcap: 34,
+        pcap_h: 44,
+        pcap_f: 44,
+        pcap_fh: 47,
+    },
+    Table3Row {
+        app: "xemacs",
+        pcap: 13,
+        pcap_h: 16,
+        pcap_f: 13,
+        pcap_fh: 16,
+    },
+    Table3Row {
+        app: "nedit",
+        pcap: 6,
+        pcap_h: 6,
+        pcap_f: 6,
+        pcap_fh: 6,
+    },
+    Table3Row {
+        app: "mplayer",
+        pcap: 24,
+        pcap_h: 24,
+        pcap_f: 26,
+        pcap_fh: 26,
+    },
+];
+
+/// Average metrics the paper states in its text (§6.1–§6.4), as
+/// fractions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaperAverages {
+    /// Local coverage: TP, LT, PCAP (§6.1).
+    pub local_coverage: [f64; 3],
+    /// Local miss rates: TP, LT, PCAP (§6.1).
+    pub local_miss: [f64; 3],
+    /// Global coverage: TP, LT, PCAP (§6.2).
+    pub global_coverage: [f64; 3],
+    /// Global miss rates: TP, LT, PCAP (§6.2).
+    pub global_miss: [f64; 3],
+    /// Energy savings: Ideal, TP, LT, PCAP (§6.3).
+    pub savings: [f64; 4],
+    /// PCAPh global coverage / miss (§6.4.1).
+    pub pcaph: (f64, f64),
+    /// PCAPfh global coverage / miss (§6.4.1).
+    pub pcapfh: (f64, f64),
+}
+
+/// The paper's stated averages.
+pub const AVERAGES: PaperAverages = PaperAverages {
+    local_coverage: [0.52, 0.88, 0.89],
+    local_miss: [0.03, 0.10, 0.05],
+    global_coverage: [0.71, 0.84, 0.86],
+    global_miss: [0.08, 0.20, 0.10],
+    savings: [0.78, 0.72, 0.75, 0.76],
+    pcaph: (0.85, 0.05),
+    pcapfh: (0.84, 0.05),
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_totals() {
+        let total: usize = TABLE1.iter().map(|r| r.total_ios).sum();
+        assert_eq!(total, 1_043_130);
+        assert!(TABLE1.iter().all(|r| r.local_idle >= r.global_idle));
+    }
+
+    #[test]
+    fn table3_monotone_in_context() {
+        for r in TABLE3 {
+            assert!(r.pcap_h >= r.pcap, "{}", r.app);
+            assert!(r.pcap_fh >= r.pcap_h.min(r.pcap_f), "{}", r.app);
+        }
+    }
+
+    #[test]
+    fn averages_shape() {
+        let a = AVERAGES;
+        // PCAP dominates LT dominates TP on coverage.
+        assert!(a.global_coverage[2] > a.global_coverage[1]);
+        assert!(a.global_coverage[1] > a.global_coverage[0]);
+        // LT mispredicts most.
+        assert!(a.global_miss[1] > a.global_miss[2]);
+        // Ideal bounds everyone's savings.
+        assert!(a.savings[0] >= a.savings[3]);
+    }
+}

@@ -1,0 +1,116 @@
+//! The workbench: generated traces plus a memoized report cache, shared
+//! by all experiments.
+
+use pcap_sim::{evaluate_app, AppReport, PowerManagerKind, SimConfig};
+use pcap_trace::{ApplicationTrace, TraceError};
+use pcap_workload::{AppModel, PaperApp};
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Generated traces for the six-application suite plus a memo of
+/// simulator reports, so experiments that share configurations (Figures
+/// 6–8 all need TP/LT/PCAP) do not re-simulate.
+#[derive(Debug)]
+pub struct Workbench {
+    config: SimConfig,
+    seed: u64,
+    traces: Vec<ApplicationTrace>,
+    memo: Mutex<HashMap<(usize, PowerManagerKind), AppReport>>,
+}
+
+impl Workbench {
+    /// Generates the full paper suite under `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates trace-validation failures from the generator (a
+    /// workload-spec bug).
+    pub fn generate(seed: u64, config: SimConfig) -> Result<Workbench, TraceError> {
+        let traces = PaperApp::ALL
+            .iter()
+            .map(|app| app.spec().generate_trace(seed))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Workbench {
+            config,
+            seed,
+            traces,
+            memo: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// Builds a workbench from pre-generated traces (tests, custom
+    /// suites).
+    pub fn from_traces(traces: Vec<ApplicationTrace>, config: SimConfig) -> Workbench {
+        Workbench {
+            config,
+            seed: 0,
+            traces,
+            memo: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The simulation configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// The seed the suite was generated with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The generated traces, in [`PaperApp::ALL`] order.
+    pub fn traces(&self) -> &[ApplicationTrace] {
+        &self.traces
+    }
+
+    /// The simulator report for one application × one manager,
+    /// memoized.
+    pub fn report(&self, trace_idx: usize, kind: PowerManagerKind) -> AppReport {
+        if let Some(r) = self.memo.lock().expect("memo lock").get(&(trace_idx, kind)) {
+            return r.clone();
+        }
+        let report = evaluate_app(&self.traces[trace_idx], &self.config, kind);
+        self.memo
+            .lock()
+            .expect("memo lock")
+            .insert((trace_idx, kind), report.clone());
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcap_trace::TraceRunBuilder;
+    use pcap_types::{Fd, FileId, IoKind, Pc, Pid, SimTime};
+
+    fn tiny_trace() -> ApplicationTrace {
+        let mut trace = ApplicationTrace::new("tiny");
+        let mut b = TraceRunBuilder::new(Pid(1));
+        b.io(
+            SimTime::from_secs(1),
+            Pid(1),
+            Pc(0x1),
+            IoKind::Read,
+            Fd(3),
+            FileId(1),
+            0,
+            4096,
+        );
+        b.exit(SimTime::from_secs(30), Pid(1));
+        trace.runs.push(b.finish().unwrap());
+        trace
+    }
+
+    #[test]
+    fn memoizes_reports() {
+        let bench = Workbench::from_traces(vec![tiny_trace()], SimConfig::paper());
+        let a = bench.report(0, PowerManagerKind::Timeout);
+        let b = bench.report(0, PowerManagerKind::Timeout);
+        assert_eq!(a, b);
+        assert_eq!(bench.memo.lock().unwrap().len(), 1);
+        assert_eq!(bench.traces().len(), 1);
+        assert_eq!(bench.seed(), 0);
+    }
+}

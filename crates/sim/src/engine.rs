@@ -1,0 +1,710 @@
+//! The trace-driven multi-process power-management simulator.
+//!
+//! One pass over each execution produces both evaluations the paper
+//! reports:
+//!
+//! * **local** (Figure 6): every process's predictor classified against
+//!   that process's own idle gaps, summed over processes;
+//! * **global** (Figures 7–10): per-process standing votes combined by
+//!   the [`GlobalPredictor`]; the disk shuts down at the latest
+//!   vote-ready instant, with energy integrated per Table 2 and
+//!   mispredictions attributed to the last-deciding predictor.
+//!
+//! Interpretation choices (see `DESIGN.md` §2): a shutdown is a *hit*
+//! iff its device-off interval exceeds the breakeven time; trace time
+//! is not stretched by spin-ups; the interval before a run's first disk
+//! access is excluded; the terminal gap (last access → run end) is
+//! included.
+
+use crate::factory::{Manager, PowerManagerKind};
+use crate::metrics::{EnergyBreakdown, PredictionCounts};
+use crate::streams::RunStreams;
+use crate::SimConfig;
+use pcap_core::{GlobalDecision, GlobalPredictor, IdlePredictor, VoteSource};
+use pcap_disk::GapBreakdown;
+use pcap_trace::{ApplicationTrace, TraceRun};
+use pcap_types::{Pid, SimDuration, SimTime, TraceEvent};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The simulator's verdict on one application × one power manager.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppReport {
+    /// Application name.
+    pub app: String,
+    /// Power-manager label ("TP", "PCAPh", …).
+    pub manager: String,
+    /// Local (per-process) prediction counts, summed over processes and
+    /// executions — Figure 6.
+    pub local: PredictionCounts,
+    /// Global prediction counts — Figures 7, 9, 10.
+    pub global: PredictionCounts,
+    /// Managed energy breakdown — Figure 8.
+    pub energy: EnergyBreakdown,
+    /// Unmanaged (always-spinning) energy breakdown — Figure 8 "Base".
+    pub base_energy: EnergyBreakdown,
+    /// Prediction-table entries after all executions — Table 3.
+    pub table_entries: Option<usize>,
+    /// Detected signature-aliasing events (distinct PC paths colliding
+    /// on one signature) across all executions.
+    pub table_aliases: Option<u64>,
+}
+
+impl AppReport {
+    /// Fraction of base energy eliminated (the §6.3 headline numbers).
+    pub fn savings(&self) -> f64 {
+        self.energy.savings_vs(&self.base_energy)
+    }
+}
+
+/// Evaluates one power manager over a full application trace (all
+/// executions, shared prediction state per the manager's reuse policy).
+pub fn evaluate_app(
+    trace: &ApplicationTrace,
+    config: &SimConfig,
+    kind: PowerManagerKind,
+) -> AppReport {
+    let mut manager = kind.manager(config);
+    let mut report = AppReport {
+        app: trace.app.clone(),
+        manager: kind.label(),
+        local: PredictionCounts::default(),
+        global: PredictionCounts::default(),
+        energy: EnergyBreakdown::default(),
+        base_energy: EnergyBreakdown::default(),
+        table_entries: None,
+        table_aliases: None,
+    };
+    for run in &trace.runs {
+        let streams = RunStreams::build(run, config);
+        let outcome = simulate_run(run, &streams, config, &mut manager);
+        report.local += outcome.local;
+        report.global += outcome.global;
+        report.energy += outcome.energy;
+        report.base_energy += outcome.base_energy;
+        manager.on_run_end();
+    }
+    report.table_entries = manager.table_entries();
+    report.table_aliases = manager.table_aliases();
+    report
+}
+
+/// The verdict on one idle gap under a power manager.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GapVerdict {
+    /// Shutdown whose device-off interval exceeded breakeven.
+    Hit,
+    /// Shutdown that lost energy (off interval ≤ breakeven).
+    Miss,
+    /// Opportunity (gap > breakeven) with no shutdown.
+    NotPredicted,
+    /// Gap too short to matter; no shutdown was issued.
+    Short,
+}
+
+/// One idle gap's full story, for `pcap inspect`-style debugging.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GapRecord {
+    /// Index of the access that opened the gap.
+    pub access_index: usize,
+    /// Process whose access opened the gap.
+    pub pid: Pid,
+    /// When the gap started (access completion).
+    pub start: SimTime,
+    /// Gap length.
+    pub length: SimDuration,
+    /// When the disk shut down inside the gap, if it did, and who
+    /// decided.
+    pub shutdown: Option<(SimTime, VoteSource)>,
+    /// The verdict.
+    pub verdict: GapVerdict,
+}
+
+/// Per-run simulation outcome.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunOutcome {
+    /// Local prediction counts.
+    pub local: PredictionCounts,
+    /// Global prediction counts.
+    pub global: PredictionCounts,
+    /// Managed energy.
+    pub energy: EnergyBreakdown,
+    /// Unmanaged energy.
+    pub base_energy: EnergyBreakdown,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Lifecycle {
+    Fork(Pid),
+    Exit(Pid),
+}
+
+/// Live per-run simulation state.
+struct RunState<'m> {
+    manager: &'m mut Manager,
+    oracle: bool,
+    global: GlobalPredictor,
+    preds: HashMap<Pid, Box<dyn IdlePredictor>>,
+    /// Gap lengths awaiting `on_idle_end` at each process's next access
+    /// (or exit).
+    pending_idle: HashMap<Pid, SimDuration>,
+    root: Pid,
+}
+
+impl RunState<'_> {
+    fn start_process(&mut self, pid: Pid, at: SimTime) {
+        self.global.process_started(pid, at);
+        self.global
+            .record_vote(pid, at, self.manager.initial_vote());
+        self.preds.insert(pid, self.manager.for_process(pid));
+    }
+
+    fn end_process(&mut self, pid: Pid) {
+        if let Some(mut pred) = self.preds.remove(&pid) {
+            if let Some(gap) = self.pending_idle.remove(&pid) {
+                pred.on_idle_end(gap);
+            }
+            pred.on_run_end();
+        }
+        self.global.process_exited(pid);
+    }
+
+    fn apply(&mut self, at: SimTime, event: Lifecycle) {
+        match event {
+            Lifecycle::Fork(pid) => self.start_process(pid, at),
+            Lifecycle::Exit(pid) => self.end_process(pid),
+        }
+    }
+}
+
+/// Simulates one execution. Public for integration tests and the
+/// examples; most callers want [`evaluate_app`].
+pub fn simulate_run(
+    run: &TraceRun,
+    streams: &RunStreams,
+    config: &SimConfig,
+    manager: &mut Manager,
+) -> RunOutcome {
+    simulate_run_inner(run, streams, config, manager, None)
+}
+
+/// [`simulate_run`] that additionally records every merged idle gap's
+/// decision into `log` — the data behind `pcap inspect`.
+pub fn simulate_run_logged(
+    run: &TraceRun,
+    streams: &RunStreams,
+    config: &SimConfig,
+    manager: &mut Manager,
+    log: &mut Vec<GapRecord>,
+) -> RunOutcome {
+    simulate_run_inner(run, streams, config, manager, Some(log))
+}
+
+fn simulate_run_inner(
+    run: &TraceRun,
+    streams: &RunStreams,
+    config: &SimConfig,
+    manager: &mut Manager,
+    mut log: Option<&mut Vec<GapRecord>>,
+) -> RunOutcome {
+    let be = config.disk.breakeven_time();
+    let window_state = manager.window_state();
+    let mut out = RunOutcome::default();
+
+    let mut state = RunState {
+        oracle: manager.is_oracle(),
+        manager,
+        global: GlobalPredictor::new(),
+        preds: HashMap::new(),
+        pending_idle: HashMap::new(),
+        root: run.root,
+    };
+    state.start_process(run.root, SimTime::ZERO);
+
+    // Lifecycle events in time order (the run is validated and sorted).
+    let lifecycle: Vec<(SimTime, Lifecycle)> = run
+        .events
+        .iter()
+        .filter_map(|e| match *e {
+            TraceEvent::Fork { time, child, .. } => Some((time, Lifecycle::Fork(child))),
+            TraceEvent::Exit { time, pid } => Some((time, Lifecycle::Exit(pid))),
+            TraceEvent::Io(_) => None,
+        })
+        .collect();
+    let mut li = 0usize;
+
+    let n = streams.accesses.len();
+    for i in 0..n {
+        let access = streams.accesses[i];
+        let completion = streams.completions[i];
+        let local_gap = streams.local_gaps[i];
+        let global_gap = streams.global_gaps[i];
+
+        // Lifecycle events that happened before this access (when i ==
+        // 0 nothing was stepped yet; later gaps already consumed
+        // everything up to this access's arrival).
+        while li < lifecycle.len() && lifecycle[li].0 <= access.time {
+            let (t, ev) = lifecycle[li];
+            state.apply(t, ev);
+            li += 1;
+        }
+
+        // Busy energy (both managed and base).
+        let busy = config.disk.busy_power * config.disk.service_time(access.pages);
+        out.energy.busy += busy;
+        out.base_energy.busy += busy;
+
+        // Route the access: kernel write-backs attributed to an exited
+        // process act on behalf of the application (the root).
+        let pid = if state.preds.contains_key(&access.pid) {
+            access.pid
+        } else {
+            state.root
+        };
+        let vote = if let Some(pred) = state.preds.get_mut(&pid) {
+            if let Some(gap) = state.pending_idle.remove(&pid) {
+                pred.on_idle_end(gap);
+            }
+            let vote = pred.on_access(&access, local_gap);
+            state.pending_idle.insert(pid, local_gap);
+            Some(vote)
+        } else {
+            None
+        };
+
+        // Local classification.
+        if local_gap > be {
+            out.local.opportunities += 1;
+        }
+        if let Some(vote) = vote {
+            match vote.delay {
+                Some(delay) if delay < local_gap => {
+                    if local_gap - delay > be {
+                        out.local.record_hit(vote.source);
+                    } else {
+                        out.local.record_miss(vote.source);
+                    }
+                }
+                _ if local_gap > be => out.local.not_predicted += 1,
+                _ => {}
+            }
+            if !state.oracle {
+                state.global.record_vote(pid, completion, vote);
+            }
+        } else if local_gap > be {
+            out.local.not_predicted += 1;
+        }
+
+        // Resolve the merged gap that follows this access.
+        let gap_end = completion + global_gap;
+        let shutdown = if state.oracle {
+            (global_gap > be).then_some((completion, VoteSource::Primary))
+        } else {
+            resolve_gap_voting(&mut state, &lifecycle, &mut li, completion, gap_end)
+        };
+
+        // Global classification and energy.
+        if global_gap > be {
+            out.global.opportunities += 1;
+        }
+        if let Some(log) = log.as_deref_mut() {
+            let verdict = match shutdown {
+                Some((at, _)) => {
+                    if gap_end - at > be {
+                        GapVerdict::Hit
+                    } else {
+                        GapVerdict::Miss
+                    }
+                }
+                None if global_gap > be => GapVerdict::NotPredicted,
+                None => GapVerdict::Short,
+            };
+            log.push(GapRecord {
+                access_index: i,
+                pid: access.pid,
+                start: completion,
+                length: global_gap,
+                shutdown,
+                verdict,
+            });
+        }
+        match shutdown {
+            Some((at, source)) => {
+                let off = gap_end - at;
+                if off > be {
+                    out.global.record_hit(source);
+                } else {
+                    out.global.record_miss(source);
+                }
+                let breakdown = match &window_state {
+                    // §7 extension: the wait-window is spent in a
+                    // shallow low-power state instead of spinning idle.
+                    Some(shallow) => GapBreakdown::managed_with_window_state(
+                        &config.disk,
+                        global_gap,
+                        at - completion,
+                        shallow,
+                    ),
+                    None => GapBreakdown::managed(&config.disk, global_gap, at - completion),
+                };
+                out.energy.add_gap(global_gap > be, breakdown);
+            }
+            None => {
+                if global_gap > be {
+                    out.global.not_predicted += 1;
+                }
+                out.energy.add_gap(
+                    global_gap > be,
+                    GapBreakdown::unmanaged(&config.disk, global_gap),
+                );
+            }
+        }
+        out.base_energy.add_gap(
+            global_gap > be,
+            GapBreakdown::unmanaged(&config.disk, global_gap),
+        );
+    }
+
+    // Remaining lifecycle (exits at/after the last access).
+    while li < lifecycle.len() {
+        let (t, ev) = lifecycle[li];
+        state.apply(t, ev);
+        li += 1;
+    }
+
+    out
+}
+
+/// Steps through the lifecycle events inside one idle gap, returning
+/// the first instant at which every live process's vote is ready (and
+/// the source of the latest vote), or `None` if the disk must keep
+/// spinning until the gap ends.
+fn resolve_gap_voting(
+    state: &mut RunState<'_>,
+    lifecycle: &[(SimTime, Lifecycle)],
+    li: &mut usize,
+    gap_start: SimTime,
+    gap_end: SimTime,
+) -> Option<(SimTime, VoteSource)> {
+    let mut now = gap_start;
+    let mut shutdown = None;
+    loop {
+        let boundary = if *li < lifecycle.len() && lifecycle[*li].0 <= gap_end {
+            lifecycle[*li].0
+        } else {
+            gap_end
+        };
+        if shutdown.is_none() {
+            if let GlobalDecision::ShutdownAt(t, source) = state.global.decision() {
+                let at = t.max(now);
+                if at < boundary {
+                    shutdown = Some((at, source));
+                }
+            }
+        }
+        if boundary == gap_end {
+            // Consume lifecycle events exactly at the gap end belonging
+            // to the gap (exits at run end); forks at the next access's
+            // timestamp are handled by the access loop.
+            break;
+        }
+        let (t, ev) = lifecycle[*li];
+        state.apply(t, ev);
+        *li += 1;
+        // Events that arrived while the disk was still busy (before the
+        // gap started) must not pull `now` backwards.
+        now = now.max(boundary);
+    }
+    shutdown
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcap_trace::TraceRunBuilder;
+    use pcap_types::{Fd, FileId, IoKind, Pc};
+
+    /// One process, fresh 1-page reads at the given seconds, exit at
+    /// `end`.
+    fn run_with_gaps(times: &[f64], end: f64) -> TraceRun {
+        let mut b = TraceRunBuilder::new(Pid(1));
+        for (i, &t) in times.iter().enumerate() {
+            b.io(
+                SimTime::from_secs_f64(t),
+                Pid(1),
+                Pc(0x100),
+                IoKind::Read,
+                Fd(3),
+                FileId(1),
+                (i as u64) * 4096,
+                4096,
+            );
+        }
+        b.exit(SimTime::from_secs_f64(end), Pid(1));
+        b.finish().unwrap()
+    }
+
+    fn evaluate(run: TraceRun, kind: PowerManagerKind) -> RunOutcome {
+        let config = SimConfig::paper();
+        let streams = RunStreams::build(&run, &config);
+        let mut manager = kind.manager(&config);
+        simulate_run(&run, &streams, &config, &mut manager)
+    }
+
+    #[test]
+    fn oracle_hits_every_opportunity() {
+        // Gaps ≈ 1 s, 20 s, 1 s, 40 s (terminal).
+        let run = run_with_gaps(&[1.0, 2.0, 22.0, 23.0], 63.0);
+        let out = evaluate(run, PowerManagerKind::Oracle);
+        assert_eq!(out.global.opportunities, 2);
+        assert_eq!(out.global.hits(), 2);
+        assert_eq!(out.global.misses(), 0);
+        assert_eq!(out.global.not_predicted, 0);
+        assert_eq!(out.local.hits(), 2);
+    }
+
+    #[test]
+    fn timeout_covers_only_long_gaps() {
+        // Gaps ≈ 20 s (hit: off ≈ 10 s), 8 s (not predicted: timer
+        // never fires), 12 s terminal (miss: off ≈ 2 s < breakeven).
+        let run = run_with_gaps(&[1.0, 21.0, 29.0], 41.0);
+        let out = evaluate(run, PowerManagerKind::Timeout);
+        assert_eq!(out.global.opportunities, 3);
+        assert_eq!(out.global.hits(), 1);
+        assert_eq!(out.global.misses(), 1);
+        assert_eq!(out.global.not_predicted, 1);
+    }
+
+    #[test]
+    fn pcap_learns_across_executions() {
+        let config = SimConfig::paper();
+        let mut manager = PowerManagerKind::PCAP.manager(&config);
+        let execute = |manager: &mut Manager| {
+            let run = run_with_gaps(&[1.0, 1.2, 1.4], 31.4);
+            let streams = RunStreams::build(&run, &config);
+            let out = simulate_run(&run, &streams, &config, manager);
+            manager.on_run_end();
+            out
+        };
+        let first = execute(&mut manager);
+        let second = execute(&mut manager);
+        // First execution: the 30 s terminal gap trains; the backup
+        // timeout makes the shutdown.
+        assert_eq!(first.global.hits(), 1);
+        assert_eq!(first.global.hit_backup, 1);
+        // Second execution: the learned path predicts immediately.
+        assert_eq!(second.global.hit_primary, 1);
+    }
+
+    #[test]
+    fn energy_breakdown_accounts_every_gap() {
+        let run = run_with_gaps(&[1.0, 2.0, 22.0], 62.0);
+        let out = evaluate(run, PowerManagerKind::Timeout);
+        // Base energy has no power cycles and no saving.
+        assert_eq!(out.base_energy.power_cycle.0, 0.0);
+        assert!(out.energy.total().0 < out.base_energy.total().0);
+        // Busy identical in both.
+        assert_eq!(out.energy.busy, out.base_energy.busy);
+    }
+
+    #[test]
+    fn fork_during_gap_blocks_shutdown() {
+        // Root reads at 1 s then goes idle until 60 s. A helper forks at
+        // 3 s and never performs I/O: its initial backup vote anchors at
+        // 3 s, so the (TP) shutdown slides from 11 s to 13 s.
+        let mut b = TraceRunBuilder::new(Pid(1));
+        b.io(
+            SimTime::from_secs(1),
+            Pid(1),
+            Pc(0x1),
+            IoKind::Read,
+            Fd(3),
+            FileId(1),
+            0,
+            4096,
+        );
+        b.fork(SimTime::from_secs(3), Pid(1), Pid(2));
+        b.exit(SimTime::from_secs(59), Pid(2));
+        b.exit(SimTime::from_secs(60), Pid(1));
+        let run = b.finish().unwrap();
+        let config = SimConfig::paper();
+        let streams = RunStreams::build(&run, &config);
+        let mut manager = PowerManagerKind::Timeout.manager(&config);
+        let out = simulate_run(&run, &streams, &config, &mut manager);
+        assert_eq!(out.global.hits(), 1);
+        // Off interval = 59 s − 13 s = 46 s; energy must reflect a
+        // 13−1−service ≈ 12 s spinning prefix. Compare with a no-fork
+        // run: its shutdown at 11 s spins ~2 s less.
+        let no_fork = evaluate(run_with_gaps(&[1.0], 60.0), PowerManagerKind::Timeout);
+        assert!(out.energy.idle_long.0 > no_fork.energy.idle_long.0 + 1.0);
+    }
+
+    #[test]
+    fn exit_during_gap_unblocks_shutdown() {
+        // A helper performs the last I/O then exits mid-gap; after its
+        // exit only the root's vote matters.
+        let mut b = TraceRunBuilder::new(Pid(1));
+        b.fork(SimTime::from_millis(100), Pid(1), Pid(2));
+        b.io(
+            SimTime::from_secs(1),
+            Pid(1),
+            Pc(0x1),
+            IoKind::Read,
+            Fd(3),
+            FileId(1),
+            0,
+            4096,
+        );
+        b.io(
+            SimTime::from_secs(2),
+            Pid(2),
+            Pc(0x2),
+            IoKind::Read,
+            Fd(3),
+            FileId(1),
+            4096,
+            4096,
+        );
+        // Helper exits at 5 s; root stays idle until 60 s.
+        b.exit(SimTime::from_secs(5), Pid(2));
+        b.exit(SimTime::from_secs(60), Pid(1));
+        let run = b.finish().unwrap();
+        let config = SimConfig::paper();
+        let streams = RunStreams::build(&run, &config);
+        let mut manager = PowerManagerKind::Timeout.manager(&config);
+        let out = simulate_run(&run, &streams, &config, &mut manager);
+        // Shutdown at max(root: 1 s + 10 s, helper: gone) = 11 s.
+        assert_eq!(out.global.hits(), 1);
+    }
+
+    #[test]
+    fn evaluate_app_aggregates_runs() {
+        let mut trace = ApplicationTrace::new("test");
+        for _ in 0..3 {
+            trace.runs.push(run_with_gaps(&[1.0, 1.2], 31.0));
+        }
+        let report = evaluate_app(&trace, &SimConfig::paper(), PowerManagerKind::PCAP);
+        assert_eq!(report.app, "test");
+        assert_eq!(report.manager, "PCAP");
+        assert_eq!(report.global.opportunities, 3);
+        // Run 1 trains (backup hit), runs 2–3 predict (primary hits).
+        assert_eq!(report.global.hit_backup, 1);
+        assert_eq!(report.global.hit_primary, 2);
+        assert!(report.table_entries.unwrap() >= 1);
+        assert!(report.savings() > 0.0);
+    }
+
+    #[test]
+    fn gap_log_matches_counts() {
+        let run = run_with_gaps(&[1.0, 21.0, 29.0], 41.0);
+        let config = SimConfig::paper();
+        let streams = RunStreams::build(&run, &config);
+        let mut manager = PowerManagerKind::Timeout.manager(&config);
+        let mut log = Vec::new();
+        let out = simulate_run_logged(&run, &streams, &config, &mut manager, &mut log);
+        assert_eq!(log.len(), streams.accesses.len());
+        let hits = log.iter().filter(|g| g.verdict == GapVerdict::Hit).count();
+        let misses = log.iter().filter(|g| g.verdict == GapVerdict::Miss).count();
+        let np = log
+            .iter()
+            .filter(|g| g.verdict == GapVerdict::NotPredicted)
+            .count();
+        assert_eq!(hits as u64, out.global.hits());
+        assert_eq!(misses as u64, out.global.misses());
+        assert_eq!(np as u64, out.global.not_predicted);
+        // The hit gap carries its shutdown instant and source.
+        let hit = log.iter().find(|g| g.verdict == GapVerdict::Hit).unwrap();
+        let (at, source) = hit.shutdown.expect("hit has a shutdown");
+        assert_eq!(source, VoteSource::Primary);
+        assert!(at > hit.start);
+    }
+
+    #[test]
+    fn kernel_writeback_after_helper_exit_routes_to_root() {
+        // A helper dirties a page and exits; the flush daemon writes it
+        // back ~30 s later, attributed to the (dead) helper pid. The
+        // simulator must route that access to the application root
+        // rather than panic or drop it.
+        let mut b = pcap_trace::TraceRunBuilder::new(Pid(1));
+        b.fork(SimTime::from_millis(10), Pid(1), Pid(2));
+        b.io(
+            SimTime::from_secs(1),
+            Pid(2),
+            Pc(0x2),
+            IoKind::Write,
+            Fd(4),
+            FileId(9),
+            0,
+            4096,
+        );
+        b.exit(SimTime::from_secs(2), Pid(2));
+        // Root stays alive; its read at 120 s advances the cache clock
+        // past the write-back expiry.
+        b.io(
+            SimTime::from_secs(120),
+            Pid(1),
+            Pc(0x1),
+            IoKind::Read,
+            Fd(3),
+            FileId(1),
+            0,
+            4096,
+        );
+        b.exit(SimTime::from_secs(150), Pid(1));
+        let run = b.finish().unwrap();
+        let config = SimConfig::paper();
+        let streams = RunStreams::build(&run, &config);
+        // The write-back exists and lands after the helper's exit.
+        let flush = streams
+            .accesses
+            .iter()
+            .find(|a| a.is_kernel())
+            .expect("flush access present");
+        assert!(flush.time > SimTime::from_secs(2));
+        assert_eq!(flush.pid, Pid(2), "attributed to the dirtier");
+        // And the simulation completes with consistent counts.
+        let mut manager = PowerManagerKind::PCAP.manager(&config);
+        let out = simulate_run(&run, &streams, &config, &mut manager);
+        assert!(out.global.opportunities >= 2);
+        assert!(out.base_energy.total().0 > 0.0);
+    }
+
+    #[test]
+    fn multistate_pcap_saves_at_least_as_much_as_pcap() {
+        let mut trace = ApplicationTrace::new("ms");
+        for _ in 0..4 {
+            trace.runs.push(run_with_gaps(&[1.0, 1.2, 1.4], 61.4));
+        }
+        let config = SimConfig::paper();
+        let plain = evaluate_app(&trace, &config, PowerManagerKind::PCAP);
+        let multi = evaluate_app(&trace, &config, PowerManagerKind::MultiStatePcap);
+        // Identical predictions (same PCAP underneath)...
+        assert_eq!(plain.global, multi.global);
+        // ...but the shallow wait-window state saves extra energy.
+        assert!(
+            multi.energy.total().0 < plain.energy.total().0,
+            "{} vs {}",
+            multi.energy.total(),
+            plain.energy.total()
+        );
+    }
+
+    #[test]
+    fn wait_window_filters_subwindow_gaps() {
+        // A trained PCAP whose path recurs followed by an immediate
+        // access (0.5 s < wait-window): the prediction is cancelled, no
+        // miss recorded.
+        let config = SimConfig::paper();
+        let mut manager = PowerManagerKind::PCAP.manager(&config);
+        // Train: single access then long gap.
+        let train = run_with_gaps(&[1.0], 31.0);
+        let streams = RunStreams::build(&train, &config);
+        simulate_run(&train, &streams, &config, &mut manager);
+        manager.on_run_end();
+        // Replay: the same PC, but the next access comes 0.5 s later.
+        let replay = run_with_gaps(&[1.0, 1.5], 3.0);
+        let streams = RunStreams::build(&replay, &config);
+        let out = simulate_run(&replay, &streams, &config, &mut manager);
+        assert_eq!(out.global.misses(), 0, "wait-window must filter");
+    }
+}

@@ -1,0 +1,243 @@
+//! Prediction and energy metrics reported by the simulator.
+
+use pcap_core::VoteSource;
+use pcap_disk::{GapBreakdown, Joules};
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, AddAssign};
+
+/// Shutdown-prediction counters, the raw material of Figures 6, 7, 9
+/// and 10.
+///
+/// Fractions are normalized to `opportunities` (idle periods longer
+/// than breakeven) exactly as the paper normalizes its bars, so
+/// `hit + not_predicted + long-gap misses = opportunities` while
+/// *miss* totals can push stacked bars above 100% (the paper's figures
+/// reach 140%).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PredictionCounts {
+    /// Idle periods longer than breakeven — Table 1's "idle periods".
+    pub opportunities: u64,
+    /// Energy-saving shutdowns decided by the primary predictor.
+    pub hit_primary: u64,
+    /// Energy-saving shutdowns decided by the backup timeout.
+    pub hit_backup: u64,
+    /// Energy-losing shutdowns decided by the primary predictor.
+    pub miss_primary: u64,
+    /// Energy-losing shutdowns decided by the backup timeout.
+    pub miss_backup: u64,
+    /// Opportunities for which no shutdown was issued.
+    pub not_predicted: u64,
+}
+
+impl PredictionCounts {
+    /// Total energy-saving shutdowns.
+    pub fn hits(&self) -> u64 {
+        self.hit_primary + self.hit_backup
+    }
+
+    /// Total energy-losing shutdowns.
+    pub fn misses(&self) -> u64 {
+        self.miss_primary + self.miss_backup
+    }
+
+    /// Hits as a fraction of opportunities ("coverage", §6.1).
+    pub fn coverage(&self) -> f64 {
+        self.fraction(self.hits())
+    }
+
+    /// Misses as a fraction of opportunities (how the paper normalizes
+    /// mispredictions for its figures).
+    pub fn miss_rate(&self) -> f64 {
+        self.fraction(self.misses())
+    }
+
+    /// Unexploited opportunities as a fraction of opportunities.
+    pub fn not_predicted_rate(&self) -> f64 {
+        self.fraction(self.not_predicted)
+    }
+
+    fn fraction(&self, n: u64) -> f64 {
+        if self.opportunities == 0 {
+            0.0
+        } else {
+            n as f64 / self.opportunities as f64
+        }
+    }
+
+    /// Records an energy-saving shutdown.
+    pub fn record_hit(&mut self, source: VoteSource) {
+        match source {
+            VoteSource::Primary => self.hit_primary += 1,
+            VoteSource::Backup => self.hit_backup += 1,
+        }
+    }
+
+    /// Records an energy-losing shutdown.
+    pub fn record_miss(&mut self, source: VoteSource) {
+        match source {
+            VoteSource::Primary => self.miss_primary += 1,
+            VoteSource::Backup => self.miss_backup += 1,
+        }
+    }
+}
+
+impl Add for PredictionCounts {
+    type Output = PredictionCounts;
+    fn add(self, rhs: PredictionCounts) -> PredictionCounts {
+        PredictionCounts {
+            opportunities: self.opportunities + rhs.opportunities,
+            hit_primary: self.hit_primary + rhs.hit_primary,
+            hit_backup: self.hit_backup + rhs.hit_backup,
+            miss_primary: self.miss_primary + rhs.miss_primary,
+            miss_backup: self.miss_backup + rhs.miss_backup,
+            not_predicted: self.not_predicted + rhs.not_predicted,
+        }
+    }
+}
+
+impl AddAssign for PredictionCounts {
+    fn add_assign(&mut self, rhs: PredictionCounts) {
+        *self = *self + rhs;
+    }
+}
+
+/// Disk-energy breakdown in the four components of Figure 8.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// Energy serving I/O.
+    pub busy: Joules,
+    /// Energy inside idle periods not longer than breakeven.
+    pub idle_short: Joules,
+    /// Residual energy inside idle periods longer than breakeven
+    /// (spinning before shutdown + standby).
+    pub idle_long: Joules,
+    /// Shutdown + spin-up transition energy (correct and incorrect).
+    pub power_cycle: Joules,
+}
+
+impl EnergyBreakdown {
+    /// Total disk energy.
+    pub fn total(&self) -> Joules {
+        self.busy + self.idle_short + self.idle_long + self.power_cycle
+    }
+
+    /// Fraction of `base`'s energy eliminated by this configuration.
+    pub fn savings_vs(&self, base: &EnergyBreakdown) -> f64 {
+        let base_total = base.total().0;
+        if base_total <= 0.0 {
+            0.0
+        } else {
+            1.0 - self.total().0 / base_total
+        }
+    }
+
+    /// Adds a gap's contribution under the Figure 8 categorization:
+    /// gaps longer than breakeven feed `idle_long`, others `idle_short`;
+    /// transition energy always feeds `power_cycle`.
+    pub fn add_gap(&mut self, gap_longer_than_breakeven: bool, breakdown: GapBreakdown) {
+        let residual = breakdown.idle + breakdown.standby;
+        if gap_longer_than_breakeven {
+            self.idle_long += residual;
+        } else {
+            self.idle_short += residual;
+        }
+        self.power_cycle += breakdown.power_cycle;
+    }
+}
+
+impl Add for EnergyBreakdown {
+    type Output = EnergyBreakdown;
+    fn add(self, rhs: EnergyBreakdown) -> EnergyBreakdown {
+        EnergyBreakdown {
+            busy: self.busy + rhs.busy,
+            idle_short: self.idle_short + rhs.idle_short,
+            idle_long: self.idle_long + rhs.idle_long,
+            power_cycle: self.power_cycle + rhs.power_cycle,
+        }
+    }
+}
+
+impl AddAssign for EnergyBreakdown {
+    fn add_assign(&mut self, rhs: EnergyBreakdown) {
+        *self = *self + rhs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcap_disk::DiskParams;
+    use pcap_types::SimDuration;
+
+    #[test]
+    fn fractions() {
+        let c = PredictionCounts {
+            opportunities: 10,
+            hit_primary: 6,
+            hit_backup: 2,
+            miss_primary: 1,
+            miss_backup: 0,
+            not_predicted: 2,
+        };
+        assert_eq!(c.hits(), 8);
+        assert!((c.coverage() - 0.8).abs() < 1e-12);
+        assert!((c.miss_rate() - 0.1).abs() < 1e-12);
+        assert!((c.not_predicted_rate() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_opportunities_is_zero_rates() {
+        let c = PredictionCounts::default();
+        assert_eq!(c.coverage(), 0.0);
+        assert_eq!(c.miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn record_and_merge() {
+        let mut a = PredictionCounts::default();
+        a.record_hit(VoteSource::Primary);
+        a.record_hit(VoteSource::Backup);
+        a.record_miss(VoteSource::Backup);
+        let mut b = PredictionCounts::default();
+        b.record_miss(VoteSource::Primary);
+        b += a;
+        assert_eq!(b.hit_primary, 1);
+        assert_eq!(b.hit_backup, 1);
+        assert_eq!(b.miss_primary, 1);
+        assert_eq!(b.miss_backup, 1);
+    }
+
+    #[test]
+    fn energy_categorization() {
+        let params = DiskParams::fujitsu_mhf2043at();
+        let mut e = EnergyBreakdown::default();
+        let long_gap = SimDuration::from_secs(30);
+        e.add_gap(
+            true,
+            GapBreakdown::managed(&params, long_gap, SimDuration::from_secs(1)),
+        );
+        let short_gap = SimDuration::from_secs(3);
+        e.add_gap(false, GapBreakdown::unmanaged(&params, short_gap));
+        assert!(e.idle_long.0 > 0.0);
+        assert!((e.idle_short.0 - 2.85).abs() < 1e-9);
+        assert!((e.power_cycle.0 - 4.76).abs() < 1e-9);
+    }
+
+    #[test]
+    fn savings() {
+        let base = EnergyBreakdown {
+            busy: Joules(10.0),
+            idle_short: Joules(10.0),
+            idle_long: Joules(80.0),
+            power_cycle: Joules(0.0),
+        };
+        let managed = EnergyBreakdown {
+            busy: Joules(10.0),
+            idle_short: Joules(10.0),
+            idle_long: Joules(5.0),
+            power_cycle: Joules(5.0),
+        };
+        assert!((managed.savings_vs(&base) - 0.7).abs() < 1e-12);
+        assert_eq!(managed.savings_vs(&EnergyBreakdown::default()), 0.0);
+    }
+}

@@ -1,0 +1,95 @@
+//! Predictor-independent workload profiling — the simulator half of
+//! Table 1 (idle-period counts exist only after cache filtering).
+
+use crate::streams::RunStreams;
+use crate::SimConfig;
+use pcap_trace::ApplicationTrace;
+use serde::{Deserialize, Serialize};
+
+/// The Table 1 row of one application, measured from its trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadProfile {
+    /// Application name.
+    pub app: String,
+    /// Number of traced executions.
+    pub executions: usize,
+    /// Idle periods (merged stream) longer than breakeven — Table 1
+    /// "Global".
+    pub global_idle_periods: usize,
+    /// Idle periods summed over per-process streams — Table 1 "Local".
+    pub local_idle_periods: usize,
+    /// Traced I/O operations — Table 1 "Total I/Os".
+    pub total_ios: usize,
+    /// Physical disk accesses after the file cache.
+    pub disk_accesses: usize,
+    /// File-cache page hit rate across all executions.
+    pub cache_hit_rate: f64,
+}
+
+impl WorkloadProfile {
+    /// Profiles a trace under the given simulation configuration.
+    pub fn measure(trace: &ApplicationTrace, config: &SimConfig) -> WorkloadProfile {
+        let be = config.disk.breakeven_time();
+        let mut profile = WorkloadProfile {
+            app: trace.app.clone(),
+            executions: trace.runs.len(),
+            global_idle_periods: 0,
+            local_idle_periods: 0,
+            total_ios: trace.total_ios(),
+            disk_accesses: 0,
+            cache_hit_rate: 0.0,
+        };
+        let mut hits = 0u64;
+        let mut lookups = 0u64;
+        for run in &trace.runs {
+            let s = RunStreams::build(run, config);
+            profile.global_idle_periods += s.global_opportunities(be);
+            profile.local_idle_periods += s.local_opportunities(be);
+            profile.disk_accesses += s.accesses.len();
+            hits += s.cache_stats.page_hits;
+            lookups += s.cache_stats.page_hits + s.cache_stats.page_misses;
+        }
+        if lookups > 0 {
+            profile.cache_hit_rate = hits as f64 / lookups as f64;
+        }
+        profile
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcap_trace::TraceRunBuilder;
+    use pcap_types::{Fd, FileId, IoKind, Pc, Pid, SimTime};
+
+    #[test]
+    fn profile_counts() {
+        let mut trace = ApplicationTrace::new("p");
+        for _ in 0..2 {
+            let mut b = TraceRunBuilder::new(Pid(1));
+            // Two reads of the same page: second is a cache hit.
+            for (t, offset) in [(1.0f64, 0u64), (2.0, 0)] {
+                b.io(
+                    SimTime::from_secs_f64(t),
+                    Pid(1),
+                    Pc(0x1),
+                    IoKind::Read,
+                    Fd(3),
+                    FileId(1),
+                    offset,
+                    4096,
+                );
+            }
+            b.exit(SimTime::from_secs(30), Pid(1));
+            trace.runs.push(b.finish().unwrap());
+        }
+        let p = WorkloadProfile::measure(&trace, &SimConfig::paper());
+        assert_eq!(p.executions, 2);
+        assert_eq!(p.total_ios, 4);
+        assert_eq!(p.disk_accesses, 2, "hits filtered by the cache");
+        // Terminal gaps of ≈28 s are the only long idle periods.
+        assert_eq!(p.global_idle_periods, 2);
+        assert_eq!(p.local_idle_periods, 2);
+        assert!((p.cache_hit_rate - 0.5).abs() < 1e-12);
+    }
+}

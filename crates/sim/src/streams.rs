@@ -1,0 +1,225 @@
+//! Per-run stream preprocessing: cache filtering, access serialization,
+//! and per-process / merged idle-gap computation.
+
+use crate::SimConfig;
+use pcap_cache::CacheStats;
+use pcap_trace::TraceRun;
+use pcap_types::{DiskAccess, Pid, SimDuration, SimTime, TraceEvent};
+use std::collections::HashMap;
+
+/// A process's lifetime within a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lifetime {
+    /// Process creation (run start for the root, fork time otherwise).
+    pub start: SimTime,
+    /// Process exit.
+    pub end: SimTime,
+}
+
+/// The preprocessed view of one execution that both the local and the
+/// global evaluation consume.
+#[derive(Debug, Clone)]
+pub struct RunStreams {
+    /// Disk accesses after the file cache, in time order.
+    pub accesses: Vec<DiskAccess>,
+    /// Serialized completion time of each access (a single disk serves
+    /// one access at a time).
+    pub completions: Vec<SimTime>,
+    /// For each access: the idle gap to the next access *of the same
+    /// process* (or to that process's exit for its last access).
+    pub local_gaps: Vec<SimDuration>,
+    /// For each access: the idle gap to the next access of *any*
+    /// process (or to the run end for the last access).
+    pub global_gaps: Vec<SimDuration>,
+    /// Process lifetimes.
+    pub lifetimes: HashMap<Pid, Lifetime>,
+    /// End of the run.
+    pub run_end: SimTime,
+    /// File-cache statistics for the run.
+    pub cache_stats: CacheStats,
+}
+
+impl RunStreams {
+    /// Preprocesses one run under the simulation configuration.
+    pub fn build(run: &TraceRun, config: &SimConfig) -> RunStreams {
+        let (accesses, cache_stats) = pcap_cache::filter_run(run, &config.cache);
+
+        // Serialize service: the disk finishes one access before the
+        // next starts.
+        let mut completions = Vec::with_capacity(accesses.len());
+        let mut disk_free = SimTime::ZERO;
+        for a in &accesses {
+            let start = a.time.max(disk_free);
+            let done = start + config.disk.service_time(a.pages);
+            completions.push(done);
+            disk_free = done;
+        }
+
+        // Lifetimes.
+        let mut lifetimes: HashMap<Pid, Lifetime> = HashMap::new();
+        lifetimes.insert(
+            run.root,
+            Lifetime {
+                start: SimTime::ZERO,
+                end: run.end,
+            },
+        );
+        for e in &run.events {
+            match *e {
+                TraceEvent::Fork { time, child, .. } => {
+                    lifetimes.insert(
+                        child,
+                        Lifetime {
+                            start: time,
+                            end: run.end,
+                        },
+                    );
+                }
+                TraceEvent::Exit { time, pid } => {
+                    if let Some(l) = lifetimes.get_mut(&pid) {
+                        l.end = time;
+                    }
+                }
+                TraceEvent::Io(_) => {}
+            }
+        }
+
+        // Per-process gaps: scan backwards remembering each pid's next
+        // access arrival.
+        let mut local_gaps = vec![SimDuration::ZERO; accesses.len()];
+        let mut next_of: HashMap<Pid, SimTime> = HashMap::new();
+        for i in (0..accesses.len()).rev() {
+            let pid = accesses[i].pid;
+            let horizon = next_of
+                .get(&pid)
+                .copied()
+                .unwrap_or_else(|| lifetimes.get(&pid).map_or(run.end, |l| l.end));
+            local_gaps[i] = horizon.saturating_since(completions[i]);
+            next_of.insert(pid, accesses[i].time);
+        }
+
+        // Merged gaps.
+        let mut global_gaps = vec![SimDuration::ZERO; accesses.len()];
+        for i in 0..accesses.len() {
+            let horizon = if i + 1 < accesses.len() {
+                accesses[i + 1].time
+            } else {
+                run.end
+            };
+            global_gaps[i] = horizon.saturating_since(completions[i]);
+        }
+
+        RunStreams {
+            accesses,
+            completions,
+            local_gaps,
+            global_gaps,
+            lifetimes,
+            run_end: run.end,
+            cache_stats,
+        }
+    }
+
+    /// Idle periods longer than `breakeven` in the merged stream — the
+    /// "global" idle-period count of Table 1.
+    pub fn global_opportunities(&self, breakeven: SimDuration) -> usize {
+        self.global_gaps.iter().filter(|g| **g > breakeven).count()
+    }
+
+    /// Idle periods longer than `breakeven` summed over per-process
+    /// streams — the "local" idle-period count of Table 1.
+    pub fn local_opportunities(&self, breakeven: SimDuration) -> usize {
+        self.local_gaps.iter().filter(|g| **g > breakeven).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcap_trace::TraceRunBuilder;
+    use pcap_types::{Fd, FileId, IoKind, Pc};
+
+    fn two_process_run() -> TraceRun {
+        let mut b = TraceRunBuilder::new(Pid(1));
+        b.fork(SimTime::from_millis(10), Pid(1), Pid(2));
+        // Root reads fresh pages at 1 s, 2 s, 30 s; helper at 2.5 s.
+        for (t, pid, page) in [
+            (1_000u64, 1u32, 0u64),
+            (2_000, 1, 1),
+            (2_500, 2, 2),
+            (30_000, 1, 3),
+        ] {
+            b.io(
+                SimTime::from_millis(t),
+                Pid(pid),
+                Pc(0x100 + pid),
+                IoKind::Read,
+                Fd(3),
+                FileId(7),
+                page * 4096,
+                4096,
+            );
+        }
+        b.exit(SimTime::from_secs(40), Pid(2));
+        b.exit(SimTime::from_secs(60), Pid(1));
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn gaps_and_lifetimes() {
+        let run = two_process_run();
+        let config = SimConfig::paper();
+        let s = RunStreams::build(&run, &config);
+        assert_eq!(s.accesses.len(), 4);
+        // Global gap after access 2 (helper at 2.5 s) runs to 30 s.
+        let g2 = s.global_gaps[2].as_secs_f64();
+        assert!((g2 - 27.5).abs() < 0.1, "{g2}");
+        // Helper's local gap after its only access runs to its exit at 40 s.
+        let l2 = s.local_gaps[2].as_secs_f64();
+        assert!((l2 - 37.5).abs() < 0.1, "{l2}");
+        // Root's final gap runs to run end (60 s).
+        let l3 = s.local_gaps[3].as_secs_f64();
+        assert!((l3 - 30.0).abs() < 0.1, "{l3}");
+        assert_eq!(s.lifetimes[&Pid(2)].start, SimTime::from_millis(10));
+        assert_eq!(s.lifetimes[&Pid(2)].end, SimTime::from_secs(40));
+
+        let be = config.disk.breakeven_time();
+        assert_eq!(s.global_opportunities(be), 2); // 27.5 s and 30 s
+        assert_eq!(s.local_opportunities(be), 3); // 27.5≈28, 37.5, 30
+    }
+
+    #[test]
+    fn completions_serialize() {
+        let mut b = TraceRunBuilder::new(Pid(1));
+        // Two simultaneous large reads: the second must wait.
+        for page in [0u64, 100] {
+            b.io(
+                SimTime::from_secs(1),
+                Pid(1),
+                Pc(0x1),
+                IoKind::Read,
+                Fd(3),
+                FileId(1),
+                page * 4096,
+                16 * 4096,
+            );
+        }
+        b.exit(SimTime::from_secs(10), Pid(1));
+        let run = b.finish().unwrap();
+        let s = RunStreams::build(&run, &SimConfig::paper());
+        assert_eq!(s.accesses.len(), 2);
+        assert!(s.completions[1] > s.completions[0]);
+        let service = SimConfig::paper().disk.service_time(16);
+        assert_eq!(s.completions[1], SimTime::from_secs(1) + service + service);
+    }
+
+    #[test]
+    fn empty_run_is_empty() {
+        let mut b = TraceRunBuilder::new(Pid(1));
+        b.exit(SimTime::from_secs(1), Pid(1));
+        let run = b.finish().unwrap();
+        let s = RunStreams::build(&run, &SimConfig::paper());
+        assert!(s.accesses.is_empty());
+        assert_eq!(s.global_opportunities(SimDuration::ZERO), 0);
+    }
+}

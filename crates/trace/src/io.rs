@@ -1,0 +1,253 @@
+//! JSON-lines persistence for application traces.
+//!
+//! A trace file is a sequence of newline-delimited JSON records:
+//!
+//! ```text
+//! {"Header":{"app":"mozilla","format_version":1}}
+//! {"Run":{"root":1}}
+//! {"Event":{"Io":{...}}}
+//! {"Event":{"Exit":{...}}}
+//! {"Run":{"root":1}}
+//! ...
+//! ```
+//!
+//! The format streams (one record per line), diffs cleanly, and is
+//! human-inspectable — the role the paper's raw strace output played.
+
+use crate::{ApplicationTrace, TraceError, TraceRunBuilder};
+use pcap_types::{Pid, TraceEvent};
+use serde::{Deserialize, Serialize};
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Trace file format version written by this crate.
+pub const FORMAT_VERSION: u32 = 1;
+
+#[derive(Debug, Serialize, Deserialize)]
+enum Record {
+    Header { app: String, format_version: u32 },
+    Run { root: Pid },
+    Event(TraceEvent),
+}
+
+/// Writes `trace` to `w` in JSON-lines format.
+///
+/// Generic writers can be passed by `&mut` reference.
+///
+/// # Errors
+///
+/// Returns [`TraceError::Io`] on write failure.
+///
+/// ```
+/// use pcap_trace::{io::{read_jsonl, write_jsonl}, ApplicationTrace};
+///
+/// let trace = ApplicationTrace::new("nedit");
+/// let mut buf = Vec::new();
+/// write_jsonl(&trace, &mut buf)?;
+/// let back = read_jsonl(&buf[..])?;
+/// assert_eq!(trace, back);
+/// # Ok::<(), pcap_trace::TraceError>(())
+/// ```
+pub fn write_jsonl<W: Write>(trace: &ApplicationTrace, mut w: W) -> Result<(), TraceError> {
+    let mut emit = |record: &Record| -> Result<(), TraceError> {
+        let line = serde_json::to_string(record)?;
+        w.write_all(line.as_bytes())?;
+        w.write_all(b"\n")?;
+        Ok(())
+    };
+    emit(&Record::Header {
+        app: trace.app.clone(),
+        format_version: FORMAT_VERSION,
+    })?;
+    for run in &trace.runs {
+        emit(&Record::Run { root: run.root })?;
+        for event in &run.events {
+            emit(&Record::Event(*event))?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads a JSON-lines trace from `r`, re-validating every run.
+///
+/// Generic readers can be passed by `&mut` reference; see
+/// [`write_jsonl`] for a round-trip example.
+///
+/// # Errors
+///
+/// Returns [`TraceError::Format`] on structural problems (missing
+/// header, events before the first run, unsupported version),
+/// [`TraceError::Parse`] on malformed JSON, and any validation error
+/// from [`TraceRunBuilder::finish`].
+pub fn read_jsonl<R: Read>(r: R) -> Result<ApplicationTrace, TraceError> {
+    let reader = BufReader::new(r);
+    let mut app: Option<String> = None;
+    let mut runs = Vec::new();
+    let mut current: Option<TraceRunBuilder> = None;
+
+    let flush =
+        |current: &mut Option<TraceRunBuilder>, runs: &mut Vec<_>| -> Result<(), TraceError> {
+            if let Some(builder) = current.take() {
+                runs.push(builder.finish()?);
+            }
+            Ok(())
+        };
+
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let record: Record = serde_json::from_str(&line)?;
+        match record {
+            Record::Header {
+                app: name,
+                format_version,
+            } => {
+                if app.is_some() {
+                    return Err(TraceError::Format(format!(
+                        "duplicate header at line {}",
+                        lineno + 1
+                    )));
+                }
+                if format_version != FORMAT_VERSION {
+                    return Err(TraceError::Format(format!(
+                        "unsupported trace format version {format_version}"
+                    )));
+                }
+                app = Some(name);
+            }
+            Record::Run { root } => {
+                if app.is_none() {
+                    return Err(TraceError::Format("run record before header".into()));
+                }
+                flush(&mut current, &mut runs)?;
+                current = Some(TraceRunBuilder::new(root));
+            }
+            Record::Event(event) => match current.as_mut() {
+                Some(builder) => {
+                    builder.event(event);
+                }
+                None => {
+                    return Err(TraceError::Format(format!(
+                        "event before any run record at line {}",
+                        lineno + 1
+                    )))
+                }
+            },
+        }
+    }
+    flush(&mut current, &mut runs)?;
+    let app = app.ok_or_else(|| TraceError::Format("missing header".into()))?;
+    Ok(ApplicationTrace { app, runs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcap_types::{Fd, FileId, IoKind, Pc, SimTime};
+
+    fn sample() -> ApplicationTrace {
+        let mut t = ApplicationTrace::new("xemacs");
+        for _ in 0..2 {
+            let mut b = TraceRunBuilder::new(Pid(1));
+            b.io(
+                SimTime::from_millis(5),
+                Pid(1),
+                Pc(0xabc),
+                IoKind::Read,
+                Fd(3),
+                FileId(11),
+                0,
+                4096,
+            );
+            b.fork(SimTime::from_millis(6), Pid(1), Pid(2));
+            b.exit(SimTime::from_millis(8), Pid(2));
+            b.exit(SimTime::from_millis(9), Pid(1));
+            t.runs.push(b.finish().unwrap());
+        }
+        t
+    }
+
+    #[test]
+    fn roundtrip_preserves_trace() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_jsonl(&t, &mut buf).unwrap();
+        let back = read_jsonl(&buf[..]).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn header_line_is_first() {
+        let mut buf = Vec::new();
+        write_jsonl(&sample(), &mut buf).unwrap();
+        let first = String::from_utf8(buf).unwrap();
+        assert!(first.lines().next().unwrap().contains("Header"));
+    }
+
+    #[test]
+    fn missing_header_rejected() {
+        let input = r#"{"Run":{"root":1}}"#;
+        assert!(matches!(
+            read_jsonl(input.as_bytes()),
+            Err(TraceError::Format(_))
+        ));
+    }
+
+    #[test]
+    fn event_before_run_rejected() {
+        let mut buf = Vec::new();
+        write_jsonl(&ApplicationTrace::new("x"), &mut buf).unwrap();
+        let mut text = String::from_utf8(buf).unwrap();
+        text.push_str(r#"{"Event":{"Exit":{"time":1,"pid":1}}}"#);
+        assert!(matches!(
+            read_jsonl(text.as_bytes()),
+            Err(TraceError::Format(_))
+        ));
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let input = r#"{"Header":{"app":"x","format_version":99}}"#;
+        assert!(matches!(
+            read_jsonl(input.as_bytes()),
+            Err(TraceError::Format(_))
+        ));
+    }
+
+    #[test]
+    fn malformed_json_rejected() {
+        let input = "not json";
+        assert!(matches!(
+            read_jsonl(input.as_bytes()),
+            Err(TraceError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn blank_lines_ignored() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_jsonl(&t, &mut buf).unwrap();
+        let mut text = String::from_utf8(buf).unwrap();
+        text = text.replace('\n', "\n\n");
+        assert_eq!(read_jsonl(text.as_bytes()).unwrap(), t);
+    }
+
+    #[test]
+    fn invalid_run_fails_validation_on_read() {
+        // An Io event for a pid that never forked.
+        let input = concat!(
+            r#"{"Header":{"app":"x","format_version":1}}"#,
+            "\n",
+            r#"{"Run":{"root":1}}"#,
+            "\n",
+            r#"{"Event":{"Exit":{"time":5,"pid":3}}}"#,
+            "\n",
+        );
+        assert!(matches!(
+            read_jsonl(input.as_bytes()),
+            Err(TraceError::UnknownPid(_))
+        ));
+    }
+}

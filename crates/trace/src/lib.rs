@@ -1,0 +1,394 @@
+//! Application trace containers, serialization and statistics.
+//!
+//! The paper's evaluation (§6) drives a trace simulator with
+//! strace-derived traces: one trace per application, covering many
+//! executions ("runs") of that application, each run containing the I/O
+//! operations of every process the application forked. This crate holds
+//! that data model:
+//!
+//! * [`TraceRun`] — one execution: time-ordered [`TraceEvent`]s plus the
+//!   root process and run end time,
+//! * [`ApplicationTrace`] — all executions of one application,
+//! * [`TraceRunBuilder`] — incremental, validity-enforcing construction,
+//! * [`stats`] — Table 1-style raw statistics,
+//! * [`idle`] — idle-gap extraction utilities shared by predictors and
+//!   the simulator,
+//! * [`io`] — JSON-lines persistence.
+//!
+//! # Example
+//!
+//! ```
+//! use pcap_trace::TraceRunBuilder;
+//! use pcap_types::{Fd, FileId, IoKind, Pc, Pid, SimTime};
+//!
+//! let mut b = TraceRunBuilder::new(Pid(1));
+//! b.io(SimTime::from_millis(100), Pid(1), Pc(0x42), IoKind::Read, Fd(3), FileId(7), 0, 4096);
+//! b.exit(SimTime::from_secs(10), Pid(1));
+//! let run = b.finish()?;
+//! assert_eq!(run.io_count(), 1);
+//! # Ok::<(), pcap_trace::TraceError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod idle;
+pub mod io;
+pub mod merge;
+pub mod stats;
+
+pub use stats::TraceStats;
+
+use pcap_types::{Fd, FileId, IoKind, Pc, Pid, SimTime, TraceEvent};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::fmt;
+
+/// Errors produced while building, validating or (de)serializing traces.
+#[derive(Debug)]
+pub enum TraceError {
+    /// Events are not in non-decreasing time order.
+    UnsortedEvents {
+        /// Index of the offending event.
+        index: usize,
+    },
+    /// An event references a process that was never forked (and is not
+    /// the root).
+    UnknownPid(Pid),
+    /// An event occurs for a process after its exit.
+    EventAfterExit(Pid),
+    /// A fork creates a pid that already exists.
+    DuplicatePid(Pid),
+    /// A process never exits before the end of the run.
+    MissingExit(Pid),
+    /// Underlying I/O failure while reading or writing a trace file.
+    Io(std::io::Error),
+    /// Malformed JSON while reading a trace file.
+    Parse(serde_json::Error),
+    /// Structurally invalid trace file (bad record order, etc.).
+    Format(String),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::UnsortedEvents { index } => {
+                write!(f, "event {index} is earlier than its predecessor")
+            }
+            TraceError::UnknownPid(pid) => write!(f, "event references unforked {pid}"),
+            TraceError::EventAfterExit(pid) => write!(f, "event after exit of {pid}"),
+            TraceError::DuplicatePid(pid) => write!(f, "fork of already-live {pid}"),
+            TraceError::MissingExit(pid) => write!(f, "{pid} never exits"),
+            TraceError::Io(e) => write!(f, "trace i/o error: {e}"),
+            TraceError::Parse(e) => write!(f, "trace parse error: {e}"),
+            TraceError::Format(msg) => write!(f, "trace format error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            TraceError::Parse(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TraceError {
+    fn from(e: std::io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for TraceError {
+    fn from(e: serde_json::Error) -> Self {
+        TraceError::Parse(e)
+    }
+}
+
+/// One execution of an application: a validated, time-ordered event
+/// stream covering every process of the application.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceRun {
+    /// The initial process of the application.
+    pub root: Pid,
+    /// Time-ordered events (validated by [`TraceRunBuilder`]).
+    pub events: Vec<TraceEvent>,
+    /// End of the run (the last exit).
+    pub end: SimTime,
+}
+
+impl TraceRun {
+    /// Number of I/O events in the run.
+    pub fn io_count(&self) -> usize {
+        self.events.iter().filter(|e| e.as_io().is_some()).count()
+    }
+
+    /// All pids appearing in the run (root first, then forked children
+    /// in fork order).
+    pub fn pids(&self) -> Vec<Pid> {
+        let mut pids = vec![self.root];
+        for e in &self.events {
+            if let TraceEvent::Fork { child, .. } = e {
+                pids.push(*child);
+            }
+        }
+        pids
+    }
+
+    /// Iterates over just the I/O events.
+    pub fn io_events(&self) -> impl Iterator<Item = &pcap_types::IoEvent> {
+        self.events.iter().filter_map(TraceEvent::as_io)
+    }
+}
+
+/// All traced executions of one application.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ApplicationTrace {
+    /// Application name ("mozilla", "writer", …).
+    pub app: String,
+    /// The traced executions, in collection order.
+    pub runs: Vec<TraceRun>,
+}
+
+impl ApplicationTrace {
+    /// Creates an empty trace for `app`.
+    pub fn new(app: impl Into<String>) -> ApplicationTrace {
+        ApplicationTrace {
+            app: app.into(),
+            runs: Vec::new(),
+        }
+    }
+
+    /// Total I/O events across all runs.
+    pub fn total_ios(&self) -> usize {
+        self.runs.iter().map(TraceRun::io_count).sum()
+    }
+}
+
+/// Incrementally builds a validated [`TraceRun`]; see the
+/// [crate docs](crate) for an example.
+///
+/// Events may be appended in any order; [`finish`](Self::finish) sorts
+/// them stably by time and then validates process lifecycles.
+#[derive(Debug, Clone)]
+pub struct TraceRunBuilder {
+    root: Pid,
+    events: Vec<TraceEvent>,
+}
+
+impl TraceRunBuilder {
+    /// Starts a run whose initial process is `root`.
+    pub fn new(root: Pid) -> TraceRunBuilder {
+        TraceRunBuilder {
+            root,
+            events: Vec::new(),
+        }
+    }
+
+    /// Appends an I/O event.
+    #[allow(clippy::too_many_arguments)]
+    pub fn io(
+        &mut self,
+        time: SimTime,
+        pid: Pid,
+        pc: Pc,
+        kind: IoKind,
+        fd: Fd,
+        file: FileId,
+        offset: u64,
+        len: u64,
+    ) -> &mut Self {
+        self.events.push(TraceEvent::Io(pcap_types::IoEvent {
+            time,
+            pid,
+            pc,
+            kind,
+            fd,
+            file,
+            offset,
+            len,
+        }));
+        self
+    }
+
+    /// Appends a pre-built event.
+    pub fn event(&mut self, event: TraceEvent) -> &mut Self {
+        self.events.push(event);
+        self
+    }
+
+    /// Appends a fork event.
+    pub fn fork(&mut self, time: SimTime, parent: Pid, child: Pid) -> &mut Self {
+        self.events.push(TraceEvent::Fork {
+            time,
+            parent,
+            child,
+        });
+        self
+    }
+
+    /// Appends an exit event.
+    pub fn exit(&mut self, time: SimTime, pid: Pid) -> &mut Self {
+        self.events.push(TraceEvent::Exit { time, pid });
+        self
+    }
+
+    /// Sorts, validates and returns the run.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TraceError`] if any event references an unknown or
+    /// already-exited process, a fork duplicates a live pid, or a
+    /// process never exits.
+    pub fn finish(mut self) -> Result<TraceRun, TraceError> {
+        self.events.sort_by_key(TraceEvent::time);
+
+        let mut live: HashSet<Pid> = HashSet::from([self.root]);
+        let mut exited: HashSet<Pid> = HashSet::new();
+        let mut end = SimTime::ZERO;
+        for e in &self.events {
+            end = end.max(e.time());
+            match *e {
+                TraceEvent::Fork { parent, child, .. } => {
+                    if !live.contains(&parent) {
+                        return Err(if exited.contains(&parent) {
+                            TraceError::EventAfterExit(parent)
+                        } else {
+                            TraceError::UnknownPid(parent)
+                        });
+                    }
+                    if live.contains(&child) || exited.contains(&child) {
+                        return Err(TraceError::DuplicatePid(child));
+                    }
+                    live.insert(child);
+                }
+                TraceEvent::Exit { pid, .. } => {
+                    if !live.remove(&pid) {
+                        return Err(if exited.contains(&pid) {
+                            TraceError::EventAfterExit(pid)
+                        } else {
+                            TraceError::UnknownPid(pid)
+                        });
+                    }
+                    exited.insert(pid);
+                }
+                TraceEvent::Io(ref io) => {
+                    if !live.contains(&io.pid) {
+                        return Err(if exited.contains(&io.pid) {
+                            TraceError::EventAfterExit(io.pid)
+                        } else {
+                            TraceError::UnknownPid(io.pid)
+                        });
+                    }
+                }
+            }
+        }
+        if let Some(&pid) = live.iter().next() {
+            return Err(TraceError::MissingExit(pid));
+        }
+        Ok(TraceRun {
+            root: self.root,
+            events: self.events,
+            end,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcap_types::IoEvent;
+
+    fn io_at(t: u64, pid: Pid) -> TraceEvent {
+        TraceEvent::Io(IoEvent {
+            time: SimTime::from_millis(t),
+            pid,
+            pc: Pc(0x42),
+            kind: IoKind::Read,
+            fd: Fd(3),
+            file: FileId(1),
+            offset: 0,
+            len: 4096,
+        })
+    }
+
+    #[test]
+    fn builder_sorts_and_validates() {
+        let mut b = TraceRunBuilder::new(Pid(1));
+        b.exit(SimTime::from_secs(10), Pid(1));
+        b.event(io_at(500, Pid(1)));
+        b.event(io_at(100, Pid(1)));
+        let run = b.finish().unwrap();
+        assert_eq!(run.events[0].time(), SimTime::from_millis(100));
+        assert_eq!(run.end, SimTime::from_secs(10));
+        assert_eq!(run.io_count(), 2);
+    }
+
+    #[test]
+    fn fork_makes_child_valid() {
+        let mut b = TraceRunBuilder::new(Pid(1));
+        b.fork(SimTime::from_millis(10), Pid(1), Pid(2));
+        b.event(io_at(20, Pid(2)));
+        b.exit(SimTime::from_millis(30), Pid(2));
+        b.exit(SimTime::from_millis(40), Pid(1));
+        let run = b.finish().unwrap();
+        assert_eq!(run.pids(), vec![Pid(1), Pid(2)]);
+    }
+
+    #[test]
+    fn io_from_unknown_pid_rejected() {
+        let mut b = TraceRunBuilder::new(Pid(1));
+        b.event(io_at(20, Pid(2)));
+        b.exit(SimTime::from_millis(30), Pid(1));
+        assert!(matches!(b.finish(), Err(TraceError::UnknownPid(Pid(2)))));
+    }
+
+    #[test]
+    fn io_after_exit_rejected() {
+        let mut b = TraceRunBuilder::new(Pid(1));
+        b.exit(SimTime::from_millis(10), Pid(1));
+        b.event(io_at(20, Pid(1)));
+        assert!(matches!(
+            b.finish(),
+            Err(TraceError::EventAfterExit(Pid(1)))
+        ));
+    }
+
+    #[test]
+    fn duplicate_fork_rejected() {
+        let mut b = TraceRunBuilder::new(Pid(1));
+        b.fork(SimTime::from_millis(1), Pid(1), Pid(2));
+        b.fork(SimTime::from_millis(2), Pid(1), Pid(2));
+        assert!(matches!(b.finish(), Err(TraceError::DuplicatePid(Pid(2)))));
+    }
+
+    #[test]
+    fn missing_exit_rejected() {
+        let mut b = TraceRunBuilder::new(Pid(1));
+        b.event(io_at(20, Pid(1)));
+        assert!(matches!(b.finish(), Err(TraceError::MissingExit(Pid(1)))));
+    }
+
+    #[test]
+    fn application_trace_totals() {
+        let mut t = ApplicationTrace::new("nedit");
+        for _ in 0..3 {
+            let mut b = TraceRunBuilder::new(Pid(1));
+            b.event(io_at(1, Pid(1)));
+            b.event(io_at(2, Pid(1)));
+            b.exit(SimTime::from_millis(3), Pid(1));
+            t.runs.push(b.finish().unwrap());
+        }
+        assert_eq!(t.total_ios(), 6);
+        assert_eq!(t.app, "nedit");
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = TraceError::UnknownPid(Pid(7));
+        assert!(e.to_string().contains("pid:7"));
+    }
+}

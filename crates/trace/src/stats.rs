@@ -1,0 +1,168 @@
+//! Raw trace statistics (the trace-level half of Table 1).
+//!
+//! Idle-period counts depend on the file cache (only misses reach the
+//! disk), so the full Table 1 is assembled by
+//! [`pcap-report`](https://docs.rs/pcap-report); this module provides
+//! everything derivable from the raw trace alone.
+
+use crate::{ApplicationTrace, TraceRun};
+use pcap_types::{IoKind, SimDuration};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Raw statistics of one application trace.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Application name.
+    pub app: String,
+    /// Number of traced executions.
+    pub executions: usize,
+    /// Total I/O operations across all executions (Table 1 "Total I/Os").
+    pub total_ios: usize,
+    /// Reads among them.
+    pub reads: usize,
+    /// Writes among them.
+    pub writes: usize,
+    /// Opens among them.
+    pub opens: usize,
+    /// Maximum number of concurrently live processes in any run.
+    pub max_concurrent_processes: usize,
+    /// Distinct processes across all runs.
+    pub total_processes: usize,
+    /// Distinct files touched.
+    pub distinct_files: usize,
+    /// Distinct I/O-triggering PCs observed.
+    pub distinct_pcs: usize,
+    /// Total traced wall-clock time across runs.
+    pub total_time: SimDuration,
+}
+
+impl TraceStats {
+    /// Computes statistics for a whole application trace.
+    pub fn for_trace(trace: &ApplicationTrace) -> TraceStats {
+        let mut stats = TraceStats {
+            app: trace.app.clone(),
+            executions: trace.runs.len(),
+            total_ios: 0,
+            reads: 0,
+            writes: 0,
+            opens: 0,
+            max_concurrent_processes: 0,
+            total_processes: 0,
+            distinct_files: 0,
+            distinct_pcs: 0,
+            total_time: SimDuration::ZERO,
+        };
+        let mut files = HashSet::new();
+        let mut pcs = HashSet::new();
+        for run in &trace.runs {
+            stats.total_processes += run.pids().len();
+            stats.max_concurrent_processes =
+                stats.max_concurrent_processes.max(max_concurrency(run));
+            stats.total_time += run.end.saturating_since(pcap_types::SimTime::ZERO);
+            for io in run.io_events() {
+                stats.total_ios += 1;
+                match io.kind {
+                    IoKind::Read => stats.reads += 1,
+                    IoKind::Write | IoKind::SyncWrite => stats.writes += 1,
+                    IoKind::Open => stats.opens += 1,
+                    IoKind::Close => {}
+                }
+                files.insert(io.file);
+                pcs.insert(io.pc);
+            }
+        }
+        stats.distinct_files = files.len();
+        stats.distinct_pcs = pcs.len();
+        stats
+    }
+}
+
+/// Maximum number of simultaneously live processes during the run.
+fn max_concurrency(run: &TraceRun) -> usize {
+    let mut live = 1usize; // the root
+    let mut max = 1usize;
+    for e in &run.events {
+        match e {
+            pcap_types::TraceEvent::Fork { .. } => {
+                live += 1;
+                max = max.max(live);
+            }
+            pcap_types::TraceEvent::Exit { .. } => live = live.saturating_sub(1),
+            pcap_types::TraceEvent::Io(_) => {}
+        }
+    }
+    max
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TraceRunBuilder;
+    use pcap_types::{Fd, FileId, Pc, Pid, SimTime};
+
+    fn sample_trace() -> ApplicationTrace {
+        let mut trace = ApplicationTrace::new("sample");
+        for r in 0..2 {
+            let mut b = TraceRunBuilder::new(Pid(1));
+            b.io(
+                SimTime::from_millis(10),
+                Pid(1),
+                Pc(0x100),
+                IoKind::Open,
+                Fd(3),
+                FileId(1),
+                0,
+                0,
+            );
+            b.io(
+                SimTime::from_millis(20),
+                Pid(1),
+                Pc(0x104),
+                IoKind::Read,
+                Fd(3),
+                FileId(1),
+                0,
+                8192,
+            );
+            b.fork(SimTime::from_millis(30), Pid(1), Pid(2));
+            b.io(
+                SimTime::from_millis(40),
+                Pid(2),
+                Pc(0x200),
+                IoKind::Write,
+                Fd(4),
+                FileId(2),
+                0,
+                4096,
+            );
+            b.exit(SimTime::from_millis(50), Pid(2));
+            b.exit(SimTime::from_secs(1 + r), Pid(1));
+            trace.runs.push(b.finish().unwrap());
+        }
+        trace
+    }
+
+    #[test]
+    fn counts_match() {
+        let s = TraceStats::for_trace(&sample_trace());
+        assert_eq!(s.executions, 2);
+        assert_eq!(s.total_ios, 6);
+        assert_eq!(s.reads, 2);
+        assert_eq!(s.writes, 2);
+        assert_eq!(s.opens, 2);
+        assert_eq!(s.distinct_files, 2);
+        assert_eq!(s.distinct_pcs, 3);
+        assert_eq!(s.total_processes, 4);
+        assert_eq!(s.max_concurrent_processes, 2);
+        assert_eq!(s.total_time, SimDuration::from_secs(3));
+    }
+
+    #[test]
+    fn empty_trace_is_all_zero() {
+        let s = TraceStats::for_trace(&ApplicationTrace::new("empty"));
+        assert_eq!(s.executions, 0);
+        assert_eq!(s.total_ios, 0);
+        assert_eq!(s.max_concurrent_processes, 0);
+    }
+}

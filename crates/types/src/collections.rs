@@ -1,0 +1,232 @@
+//! Small utility collections shared across the workspace.
+//!
+//! [`LruMap`] backs the file cache (64 pages in the paper configuration) and the
+//! optional prediction-table capacity limit in
+//! [`pcap-core`](https://docs.rs/pcap-core). Recency is tracked with a
+//! monotone sequence number per entry plus an ordered index, giving
+//! `O(log n)` operations with no `unsafe` code — ample for the small
+//! capacities involved.
+
+use std::borrow::Borrow;
+use std::collections::{BTreeMap, HashMap};
+use std::hash::Hash;
+
+/// A hash map bounded to `capacity` entries with least-recently-used
+/// eviction.
+///
+/// `get_mut` and `insert` count as uses; `iter`/`peek` do not.
+///
+/// ```
+/// use pcap_types::LruMap;
+///
+/// let mut m = LruMap::new(2);
+/// m.insert("a", 1);
+/// m.insert("b", 2);
+/// m.get_mut(&"a");            // "a" is now the most recent
+/// let evicted = m.insert("c", 3);
+/// assert_eq!(evicted, Some(("b", 2)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LruMap<K, V> {
+    capacity: usize,
+    next_seq: u64,
+    entries: HashMap<K, (u64, V)>,
+    recency: BTreeMap<u64, K>,
+}
+
+impl<K: Eq + Hash + Clone, V> LruMap<K, V> {
+    /// Creates a map bounded to `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> LruMap<K, V> {
+        assert!(capacity > 0, "LruMap capacity must be positive");
+        LruMap {
+            capacity,
+            next_seq: 0,
+            entries: HashMap::with_capacity(capacity.min(1024)),
+            recency: BTreeMap::new(),
+        }
+    }
+
+    /// Number of entries currently held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The configured bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn touch(&mut self, key: &K) {
+        if let Some((seq, _)) = self.entries.get_mut(key) {
+            self.recency.remove(seq);
+            *seq = self.next_seq;
+            self.recency.insert(self.next_seq, key.clone());
+            self.next_seq += 1;
+        }
+    }
+
+    /// Looks up `key`, marking it most recently used.
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        if self.entries.contains_key(key) {
+            self.touch(key);
+            self.entries.get_mut(key).map(|(_, v)| v)
+        } else {
+            None
+        }
+    }
+
+    /// Looks up `key` without affecting recency.
+    pub fn peek<Q>(&self, key: &Q) -> Option<&V>
+    where
+        K: Borrow<Q>,
+        Q: Eq + Hash + ?Sized,
+    {
+        self.entries.get(key).map(|(_, v)| v)
+    }
+
+    /// Inserts `key → value`, marking it most recently used. Returns the
+    /// evicted least-recent entry if the map was full, or `None` (also
+    /// when `key` merely replaced its own previous value).
+    pub fn insert(&mut self, key: K, value: V) -> Option<(K, V)> {
+        if let Some((seq, old)) = self.entries.get_mut(&key) {
+            *old = value;
+            let seq = *seq;
+            self.recency.remove(&seq);
+            self.recency.insert(self.next_seq, key.clone());
+            self.entries.get_mut(&key).expect("just updated").0 = self.next_seq;
+            self.next_seq += 1;
+            return None;
+        }
+        let mut evicted = None;
+        if self.entries.len() == self.capacity {
+            if let Some((&oldest_seq, _)) = self.recency.iter().next() {
+                let victim_key = self.recency.remove(&oldest_seq).expect("indexed");
+                let (_, victim_val) = self.entries.remove(&victim_key).expect("consistent");
+                evicted = Some((victim_key, victim_val));
+            }
+        }
+        self.entries.insert(key.clone(), (self.next_seq, value));
+        self.recency.insert(self.next_seq, key);
+        self.next_seq += 1;
+        evicted
+    }
+
+    /// Removes `key`, returning its value.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let (seq, value) = self.entries.remove(key)?;
+        self.recency.remove(&seq);
+        Some(value)
+    }
+
+    /// Iterates over entries in unspecified order without affecting
+    /// recency.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.entries.iter().map(|(k, (_, v))| (k, v))
+    }
+
+    /// Mutable iteration in unspecified order without affecting recency.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (&K, &mut V)> {
+        self.entries.iter_mut().map(|(k, (_, v))| (k, v))
+    }
+
+    /// Removes all entries.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.recency.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_get() {
+        let mut m = LruMap::new(4);
+        assert!(m.is_empty());
+        assert_eq!(m.insert(1, "a"), None);
+        assert_eq!(m.get_mut(&1), Some(&mut "a"));
+        assert_eq!(m.get_mut(&2), None);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.capacity(), 4);
+    }
+
+    #[test]
+    fn evicts_least_recent() {
+        let mut m = LruMap::new(2);
+        m.insert(1, "a");
+        m.insert(2, "b");
+        m.get_mut(&1);
+        assert_eq!(m.insert(3, "c"), Some((2, "b")));
+        assert!(m.peek(&1).is_some());
+        assert!(m.peek(&2).is_none());
+    }
+
+    #[test]
+    fn reinsert_updates_value_without_eviction() {
+        let mut m = LruMap::new(2);
+        m.insert(1, "a");
+        m.insert(2, "b");
+        assert_eq!(m.insert(1, "a2"), None);
+        assert_eq!(m.peek(&1), Some(&"a2"));
+        assert_eq!(m.len(), 2);
+        // 2 is now least recent.
+        assert_eq!(m.insert(3, "c"), Some((2, "b")));
+    }
+
+    #[test]
+    fn peek_does_not_touch() {
+        let mut m = LruMap::new(2);
+        m.insert(1, "a");
+        m.insert(2, "b");
+        m.peek(&1);
+        assert_eq!(m.insert(3, "c"), Some((1, "a")));
+    }
+
+    #[test]
+    fn remove_frees_slot() {
+        let mut m = LruMap::new(2);
+        m.insert(1, "a");
+        m.insert(2, "b");
+        assert_eq!(m.remove(&1), Some("a"));
+        assert_eq!(m.insert(3, "c"), None);
+        assert_eq!(m.remove(&9), None);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut m = LruMap::new(2);
+        m.insert(1, "a");
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.insert(2, "b"), None);
+    }
+
+    #[test]
+    fn long_sequence_respects_capacity() {
+        let mut m = LruMap::new(8);
+        for i in 0..1000 {
+            m.insert(i, i * 2);
+            assert!(m.len() <= 8);
+        }
+        // The eight most recent remain.
+        for i in 992..1000 {
+            assert_eq!(m.peek(&i), Some(&(i * 2)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_panics() {
+        let _ = LruMap::<u32, u32>::new(0);
+    }
+}

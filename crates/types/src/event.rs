@@ -1,0 +1,237 @@
+//! The strace-like trace event model (§6 of the paper).
+//!
+//! The paper's modified `strace` records, for every I/O operation: the
+//! triggering PC, access type, time, file descriptor, and file location,
+//! plus `fork`/`exit` events of the processes within the traced
+//! application. [`TraceEvent`] mirrors that record format;
+//! [`DiskAccess`] is the post-file-cache physical access the power
+//! manager actually sees.
+
+use crate::{Fd, FileId, Pc, Pid, SimTime};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The type of an I/O operation, as recorded by the tracer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IoKind {
+    /// `read(2)`-like data transfer from a file.
+    Read,
+    /// `write(2)`-like data transfer to a file (dirties cache pages).
+    Write,
+    /// A synchronously flushed write (`write` + `fsync`), as editors
+    /// issue for explicit saves; reaches the disk immediately.
+    SyncWrite,
+    /// `open(2)`; reads file metadata (one page of directory/inode data).
+    Open,
+    /// `close(2)`; no disk traffic of its own.
+    Close,
+}
+
+impl IoKind {
+    /// True for operations that transfer file data (reads/writes), as
+    /// opposed to pure descriptor management.
+    pub fn transfers_data(self) -> bool {
+        matches!(self, IoKind::Read | IoKind::Write | IoKind::SyncWrite)
+    }
+}
+
+impl fmt::Display for IoKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            IoKind::Read => "read",
+            IoKind::Write => "write",
+            IoKind::SyncWrite => "sync-write",
+            IoKind::Open => "open",
+            IoKind::Close => "close",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One traced I/O operation: everything the paper's modified `strace`
+/// records about a library-level I/O call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IoEvent {
+    /// When the operation was issued.
+    pub time: SimTime,
+    /// Issuing process.
+    pub pid: Pid,
+    /// Application program counter that triggered the operation.
+    pub pc: Pc,
+    /// Operation type.
+    pub kind: IoKind,
+    /// File descriptor the operation targets.
+    pub fd: Fd,
+    /// Identity of the file (stands in for the on-disk location).
+    pub file: FileId,
+    /// Byte offset of the transfer within the file.
+    pub offset: u64,
+    /// Transfer length in bytes (0 for open/close).
+    pub len: u64,
+}
+
+/// One record of an application trace: an I/O operation or a process
+/// lifecycle event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// A traced I/O operation.
+    Io(IoEvent),
+    /// A `fork(2)`: `child` starts existing at `time`.
+    Fork {
+        /// When the fork happened.
+        time: SimTime,
+        /// Forking process.
+        parent: Pid,
+        /// Newly created process.
+        child: Pid,
+    },
+    /// An `exit(2)`: `pid` stops existing at `time`.
+    Exit {
+        /// When the exit happened.
+        time: SimTime,
+        /// Exiting process.
+        pid: Pid,
+    },
+}
+
+impl TraceEvent {
+    /// The timestamp of the event, whatever its variant.
+    pub fn time(&self) -> SimTime {
+        match *self {
+            TraceEvent::Io(ref io) => io.time,
+            TraceEvent::Fork { time, .. } => time,
+            TraceEvent::Exit { time, .. } => time,
+        }
+    }
+
+    /// The process the event belongs to (the child, for forks).
+    pub fn pid(&self) -> Pid {
+        match *self {
+            TraceEvent::Io(ref io) => io.pid,
+            TraceEvent::Fork { child, .. } => child,
+            TraceEvent::Exit { pid, .. } => pid,
+        }
+    }
+
+    /// Returns the contained I/O event, if any.
+    pub fn as_io(&self) -> Option<&IoEvent> {
+        match self {
+            TraceEvent::Io(io) => Some(io),
+            _ => None,
+        }
+    }
+}
+
+/// A physical disk access: a file-cache miss or a dirty-page write-back.
+///
+/// Only these reach the disk power manager; the file cache absorbs the
+/// rest of the [`IoEvent`] stream (§6: "only cache misses are treated as
+/// actual disk accesses").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DiskAccess {
+    /// When the access reaches the disk.
+    pub time: SimTime,
+    /// Process held responsible for the access.
+    ///
+    /// Write-backs performed by the flush daemon are attributed to the
+    /// process that dirtied the page.
+    pub pid: Pid,
+    /// Application PC that triggered the access ([`Pc(0)`](crate::Pc)
+    /// i.e. [`DiskAccess::KERNEL_PC`] for flush-daemon write-backs).
+    pub pc: Pc,
+    /// File descriptor context for the PCAPf variant.
+    pub fd: Fd,
+    /// Whether data moves from (`Read`) or to (`Write`) the platters.
+    pub kind: IoKind,
+    /// Number of 4 KB pages transferred.
+    pub pages: u32,
+}
+
+impl DiskAccess {
+    /// Sentinel PC attributed to kernel-initiated accesses (dirty-data
+    /// flushes), which have no application program counter.
+    pub const KERNEL_PC: Pc = Pc(0);
+
+    /// True if this access was initiated by the kernel flush daemon
+    /// rather than directly by application code.
+    pub fn is_kernel(&self) -> bool {
+        self.pc == Self::KERNEL_PC
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Fd, FileId, Pc, Pid};
+
+    fn io(t: u64) -> IoEvent {
+        IoEvent {
+            time: SimTime::from_micros(t),
+            pid: Pid(1),
+            pc: Pc(0x42),
+            kind: IoKind::Read,
+            fd: Fd(3),
+            file: FileId(7),
+            offset: 0,
+            len: 4096,
+        }
+    }
+
+    #[test]
+    fn event_accessors() {
+        let e = TraceEvent::Io(io(10));
+        assert_eq!(e.time(), SimTime::from_micros(10));
+        assert_eq!(e.pid(), Pid(1));
+        assert!(e.as_io().is_some());
+
+        let f = TraceEvent::Fork {
+            time: SimTime::from_micros(5),
+            parent: Pid(1),
+            child: Pid(2),
+        };
+        assert_eq!(f.pid(), Pid(2));
+        assert!(f.as_io().is_none());
+
+        let x = TraceEvent::Exit {
+            time: SimTime::from_micros(20),
+            pid: Pid(2),
+        };
+        assert_eq!(x.time(), SimTime::from_micros(20));
+        assert_eq!(x.pid(), Pid(2));
+    }
+
+    #[test]
+    fn iokind_data_transfer() {
+        assert!(IoKind::Read.transfers_data());
+        assert!(IoKind::Write.transfers_data());
+        assert!(!IoKind::Open.transfers_data());
+        assert!(!IoKind::Close.transfers_data());
+        assert_eq!(IoKind::Open.to_string(), "open");
+    }
+
+    #[test]
+    fn kernel_access_detection() {
+        let a = DiskAccess {
+            time: SimTime::ZERO,
+            pid: Pid(1),
+            pc: DiskAccess::KERNEL_PC,
+            fd: Fd(0),
+            kind: IoKind::Write,
+            pages: 1,
+        };
+        assert!(a.is_kernel());
+        let b = DiskAccess {
+            pc: Pc(0x1000),
+            ..a
+        };
+        assert!(!b.is_kernel());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let e = TraceEvent::Io(io(123));
+        let s = serde_json::to_string(&e).unwrap();
+        let back: TraceEvent = serde_json::from_str(&s).unwrap();
+        assert_eq!(e, back);
+    }
+}

@@ -1,0 +1,489 @@
+//! Shared newtypes and the trace event model used across the PCAP
+//! dynamic-power-management reproduction.
+//!
+//! The paper ("Program Counter Based Techniques for Dynamic Power
+//! Management", HPCA 2004) works on traces of I/O operations annotated
+//! with the application **program counter** that triggered each
+//! operation. This crate defines the vocabulary types every other crate
+//! speaks:
+//!
+//! * [`SimTime`] / [`SimDuration`] — microsecond-resolution simulated time,
+//! * [`Pc`], [`Pid`], [`Fd`], [`FileId`] — identifier newtypes,
+//! * [`Signature`] — the 4-byte arithmetic encoding of a PC path (§3.2),
+//! * [`IoEvent`], [`TraceEvent`] — the strace-like trace records (§6),
+//! * [`DiskAccess`] — a post-file-cache physical disk access.
+//!
+//! # Example
+//!
+//! ```
+//! use pcap_types::{Pc, Signature, SimTime};
+//!
+//! // Encode the paper's example path {PC1, PC2, PC1} into a signature.
+//! let (pc1, pc2) = (Pc(0x1000), Pc(0x2000));
+//! let sig = Signature::EMPTY.push(pc1).push(pc2).push(pc1);
+//! assert_eq!(sig, Signature(0x4000));
+//!
+//! let t = SimTime::from_secs_f64(20.1);
+//! assert_eq!(t.as_micros(), 20_100_000);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+pub mod collections;
+pub mod event;
+
+pub use collections::LruMap;
+pub use event::{DiskAccess, IoEvent, IoKind, TraceEvent};
+
+/// An instant in simulated time, stored as integer microseconds since the
+/// start of the containing trace run.
+///
+/// Integer storage keeps event ordering exact and simulation results
+/// bit-reproducible across platforms; convert to seconds only for
+/// reporting.
+///
+/// ```
+/// use pcap_types::{SimDuration, SimTime};
+/// let a = SimTime::from_secs_f64(1.5);
+/// let b = a + SimDuration::from_millis(250);
+/// assert_eq!((b - a).as_millis(), 250);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Time zero: the start of a trace run.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Creates an instant from whole microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us)
+    }
+
+    /// Creates an instant from whole milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000)
+    }
+
+    /// Creates an instant from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000)
+    }
+
+    /// Creates an instant from fractional seconds, rounding to the
+    /// nearest microsecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is negative or non-finite.
+    pub fn from_secs_f64(s: f64) -> Self {
+        assert!(s.is_finite() && s >= 0.0, "SimTime must be non-negative");
+        SimTime((s * 1e6).round() as u64)
+    }
+
+    /// Returns the instant as whole microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the instant as whole milliseconds (truncating).
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Returns the instant as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Duration since an earlier instant, saturating to zero if
+    /// `earlier` is actually later.
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+/// A span of simulated time, stored as integer microseconds.
+///
+/// Produced by subtracting two [`SimTime`] instants; see [`SimTime`] for
+/// an example.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct SimDuration(pub u64);
+
+impl SimDuration {
+    /// The empty duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+    /// Largest representable duration; used as "never" in vote logic.
+    pub const MAX: SimDuration = SimDuration(u64::MAX);
+
+    /// Creates a duration from whole microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us)
+    }
+
+    /// Creates a duration from whole milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000)
+    }
+
+    /// Creates a duration from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000)
+    }
+
+    /// Creates a duration from fractional seconds, rounding to the
+    /// nearest microsecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is negative or non-finite.
+    pub fn from_secs_f64(s: f64) -> Self {
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "SimDuration must be non-negative"
+        );
+        SimDuration((s * 1e6).round() as u64)
+    }
+
+    /// Returns the duration as whole microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the duration as whole milliseconds (truncating).
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Returns the duration as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+
+    /// True if this duration is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs` is later than `self`.
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        debug_assert!(self >= rhs, "SimTime subtraction underflow");
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    /// # Panics
+    ///
+    /// Panics in debug builds on underflow.
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        debug_assert!(self >= rhs, "SimDuration subtraction underflow");
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl std::iter::Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> SimDuration {
+        iter.fold(SimDuration::ZERO, |a, b| a + b)
+    }
+}
+
+/// A program counter: the return address in the *application* code that
+/// (transitively) triggered an I/O operation.
+///
+/// The paper obtains these by instrumenting the I/O library (§3.2.1); we
+/// obtain them from [`pcap-capture`'s simulated
+/// stacks](https://docs.rs/pcap-capture). Uniqueness across executions
+/// of the same application is what lets prediction tables be reused.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Pc(pub u32);
+
+impl fmt::Display for Pc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pc:{:#010x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Pc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+/// A process identifier within one application trace.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Pid(pub u32);
+
+impl fmt::Display for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pid:{}", self.0)
+    }
+}
+
+/// A POSIX-style file descriptor, used by the PCAPf variant (§4.1.2) as
+/// extra prediction context.
+///
+/// The paper chose descriptors over on-disk file locations because they
+/// show less cross-execution variability and keep the prediction table
+/// small.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Fd(pub u32);
+
+impl fmt::Display for Fd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fd:{}", self.0)
+    }
+}
+
+/// A stable identifier for a file (stands in for the on-disk location in
+/// the traces); the file cache keys pages by `(FileId, page_index)`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct FileId(pub u64);
+
+impl fmt::Display for FileId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "file:{}", self.0)
+    }
+}
+
+/// The 4-byte encoding of a path of I/O-triggering PCs (§3.2).
+///
+/// The paper encodes a path by *arithmetically adding* the PCs in it
+/// (following Lai & Falsafi's last-touch predictors), trading a small
+/// aliasing risk (`{PC1, PC2, PC1}` and `{PC1, PC1, PC2}` collide) for a
+/// constant-size key and O(1) comparisons. The same trade-off is kept
+/// here; aliasing is measurable via [`pcap-core`'s table
+/// statistics](https://docs.rs/pcap-core).
+///
+/// ```
+/// use pcap_types::{Pc, Signature};
+/// let sig = [Pc(1), Pc(2), Pc(1)]
+///     .into_iter()
+///     .fold(Signature::EMPTY, Signature::push);
+/// assert_eq!(sig, Signature(4));
+/// // Order-insensitive by construction (documented aliasing):
+/// let alias = [Pc(1), Pc(1), Pc(2)]
+///     .into_iter()
+///     .fold(Signature::EMPTY, Signature::push);
+/// assert_eq!(sig, alias);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Signature(pub u32);
+
+impl Signature {
+    /// The signature of the empty path.
+    pub const EMPTY: Signature = Signature(0);
+
+    /// Returns the signature extended by one more I/O-triggering PC
+    /// (wrapping 32-bit addition, as in the paper's 4-byte kernel
+    /// variable).
+    #[must_use]
+    pub fn push(self, pc: Pc) -> Signature {
+        Signature(self.0.wrapping_add(pc.0))
+    }
+
+    /// Encodes a whole path at once.
+    pub fn of_path<I: IntoIterator<Item = Pc>>(path: I) -> Signature {
+        path.into_iter().fold(Signature::EMPTY, Signature::push)
+    }
+}
+
+impl fmt::Display for Signature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sig:{:#010x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Signature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl From<Pc> for Signature {
+    fn from(pc: Pc) -> Signature {
+        Signature(pc.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simtime_roundtrip_secs() {
+        let t = SimTime::from_secs_f64(12.345678);
+        assert_eq!(t.as_micros(), 12_345_678);
+        assert!((t.as_secs_f64() - 12.345678).abs() < 1e-9);
+    }
+
+    #[test]
+    fn simtime_arithmetic() {
+        let a = SimTime::from_secs(10);
+        let b = a + SimDuration::from_millis(1500);
+        assert_eq!(b - a, SimDuration::from_millis(1500));
+        assert_eq!(b - SimDuration::from_millis(500), SimTime::from_secs(11));
+    }
+
+    #[test]
+    fn saturating_since_is_zero_backwards() {
+        let a = SimTime::from_secs(5);
+        let b = SimTime::from_secs(7);
+        assert_eq!(a.saturating_since(b), SimDuration::ZERO);
+        assert_eq!(b.saturating_since(a), SimDuration::from_secs(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_secs_panics() {
+        let _ = SimTime::from_secs_f64(-1.0);
+    }
+
+    #[test]
+    fn duration_sum_and_scale() {
+        let total: SimDuration = [1u64, 2, 3].into_iter().map(SimDuration::from_secs).sum();
+        assert_eq!(total, SimDuration::from_secs(6));
+        assert_eq!(total * 2, SimDuration::from_secs(12));
+        assert_eq!(total / 3, SimDuration::from_secs(2));
+    }
+
+    #[test]
+    fn signature_matches_paper_example() {
+        // Figure 3: path {PC1, PC2, PC1} encoded as PC1 + PC2 + PC1.
+        let pc1 = Pc(0x0804_8000);
+        let pc2 = Pc(0x0804_9000);
+        let sig = Signature::of_path([pc1, pc2, pc1]);
+        assert_eq!(
+            sig.0,
+            0x0804_8000u32
+                .wrapping_add(0x0804_9000)
+                .wrapping_add(0x0804_8000)
+        );
+    }
+
+    #[test]
+    fn signature_wraps_without_panic() {
+        let sig = Signature::of_path([Pc(u32::MAX), Pc(2)]);
+        assert_eq!(sig, Signature(1));
+    }
+
+    #[test]
+    fn signature_aliasing_is_order_insensitive() {
+        let a = Signature::of_path([Pc(1), Pc(2), Pc(1)]);
+        let b = Signature::of_path([Pc(1), Pc(1), Pc(2)]);
+        assert_eq!(a, b, "documented aliasing of the additive encoding");
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Pc(0x10).to_string(), "pc:0x00000010");
+        assert_eq!(Pid(3).to_string(), "pid:3");
+        assert_eq!(Fd(4).to_string(), "fd:4");
+        assert_eq!(FileId(9).to_string(), "file:9");
+        assert_eq!(SimTime::from_millis(1500).to_string(), "1.500000s");
+        assert_eq!(format!("{:x}", Signature(0xff)), "ff");
+    }
+
+    #[test]
+    fn serde_transparent() {
+        let t: SimTime = serde_json::from_str("1500000").unwrap();
+        assert_eq!(t, SimTime::from_millis(1500));
+        assert_eq!(serde_json::to_string(&Pc(7)).unwrap(), "7");
+    }
+}

@@ -1,0 +1,222 @@
+//! Deterministic sampling distributions for workload generation.
+//!
+//! All distributions are driven by a caller-supplied seeded RNG, so a
+//! given `(app, seed, run)` triple always regenerates the identical
+//! trace — the workload analogue of the paper's fixed trace files.
+
+use pcap_types::SimDuration;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A distribution over time durations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TimeDist {
+    /// Always exactly this many seconds.
+    Fixed(f64),
+    /// Uniform over `[lo, hi]` seconds.
+    Uniform(f64, f64),
+    /// Log-uniform over `[lo, hi]` seconds — the heavy-tailed think
+    /// times of interactive use.
+    LogUniform(f64, f64),
+    /// With probability `p` sample the first arm, otherwise the second.
+    Mix(f64, Box<TimeDist>, Box<TimeDist>),
+}
+
+impl TimeDist {
+    /// A two-point think-time mixture: probability `p_long` of a
+    /// log-uniform "long" think in `[long_lo, long_hi]`, otherwise a
+    /// uniform "short" think in `[short_lo, short_hi]`.
+    pub fn think(p_long: f64, short: (f64, f64), long: (f64, f64)) -> TimeDist {
+        TimeDist::Mix(
+            p_long,
+            Box::new(TimeDist::LogUniform(long.0, long.1)),
+            Box::new(TimeDist::Uniform(short.0, short.1)),
+        )
+    }
+
+    /// Samples a duration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the distribution parameters are invalid (negative
+    /// bounds, `lo > hi`, probability outside `[0, 1]`).
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> SimDuration {
+        let secs = self.sample_secs(rng);
+        SimDuration::from_secs_f64(secs)
+    }
+
+    fn sample_secs<R: Rng>(&self, rng: &mut R) -> f64 {
+        match self {
+            TimeDist::Fixed(s) => {
+                assert!(*s >= 0.0, "negative fixed duration");
+                *s
+            }
+            TimeDist::Uniform(lo, hi) => {
+                assert!(0.0 <= *lo && lo <= hi, "invalid uniform bounds");
+                rng.gen_range(*lo..=*hi)
+            }
+            TimeDist::LogUniform(lo, hi) => {
+                assert!(0.0 < *lo && lo <= hi, "invalid log-uniform bounds");
+                let (a, b) = (lo.ln(), hi.ln());
+                rng.gen_range(a..=b).exp()
+            }
+            TimeDist::Mix(p, first, second) => {
+                assert!((0.0..=1.0).contains(p), "invalid mixture probability");
+                if rng.gen_bool(*p) {
+                    first.sample_secs(rng)
+                } else {
+                    second.sample_secs(rng)
+                }
+            }
+        }
+    }
+
+    /// The supremum of possible samples (used to bound run lengths).
+    pub fn max_secs(&self) -> f64 {
+        match self {
+            TimeDist::Fixed(s) => *s,
+            TimeDist::Uniform(_, hi) | TimeDist::LogUniform(_, hi) => *hi,
+            TimeDist::Mix(_, a, b) => a.max_secs().max(b.max_secs()),
+        }
+    }
+}
+
+/// A distribution over small counts (activity repetitions, run lengths).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CountDist {
+    /// Inclusive lower bound.
+    pub lo: u32,
+    /// Inclusive upper bound.
+    pub hi: u32,
+    /// Granularity: samples are `lo + k·step` (1 = plain uniform).
+    pub step: u32,
+}
+
+impl CountDist {
+    /// A uniform count in `[lo, hi]`.
+    pub fn new(lo: u32, hi: u32) -> CountDist {
+        assert!(lo <= hi, "invalid count bounds");
+        CountDist { lo, hi, step: 1 }
+    }
+
+    /// Exactly `n`.
+    pub fn exactly(n: u32) -> CountDist {
+        CountDist {
+            lo: n,
+            hi: n,
+            step: 1,
+        }
+    }
+
+    /// Counts clustered on a grid: `lo`, `lo+step`, …, up to `hi`
+    /// (media clips come in a few standard lengths, files in a few
+    /// standard sizes).
+    pub fn stepped(lo: u32, hi: u32, step: u32) -> CountDist {
+        assert!(lo <= hi && step > 0, "invalid stepped bounds");
+        CountDist { lo, hi, step }
+    }
+
+    /// Samples a count.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> u32 {
+        let buckets = (self.hi - self.lo) / self.step;
+        self.lo + rng.gen_range(0..=buckets) * self.step
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn fixed_is_exact() {
+        let mut r = rng();
+        let d = TimeDist::Fixed(2.5);
+        assert_eq!(d.sample(&mut r), SimDuration::from_secs_f64(2.5));
+    }
+
+    #[test]
+    fn uniform_stays_in_bounds() {
+        let mut r = rng();
+        let d = TimeDist::Uniform(1.0, 3.0);
+        for _ in 0..200 {
+            let s = d.sample(&mut r).as_secs_f64();
+            assert!((1.0..=3.0).contains(&s));
+        }
+    }
+
+    #[test]
+    fn loguniform_is_heavy_low() {
+        let mut r = rng();
+        let d = TimeDist::LogUniform(1.0, 100.0);
+        let mut below_ten = 0;
+        for _ in 0..1000 {
+            if d.sample(&mut r).as_secs_f64() < 10.0 {
+                below_ten += 1;
+            }
+        }
+        // log-uniform puts half its mass below the geometric mean (10).
+        assert!((400..=600).contains(&below_ten), "{below_ten}");
+    }
+
+    #[test]
+    fn mixture_respects_probability() {
+        let mut r = rng();
+        let d = TimeDist::think(0.3, (1.0, 2.0), (10.0, 100.0));
+        let mut long = 0;
+        for _ in 0..1000 {
+            if d.sample(&mut r).as_secs_f64() > 5.0 {
+                long += 1;
+            }
+        }
+        assert!((240..=360).contains(&long), "{long}");
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let d = TimeDist::LogUniform(0.5, 50.0);
+        let a: Vec<_> = {
+            let mut r = rng();
+            (0..10).map(|_| d.sample(&mut r)).collect()
+        };
+        let b: Vec<_> = {
+            let mut r = rng();
+            (0..10).map(|_| d.sample(&mut r)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn max_secs_bounds() {
+        let d = TimeDist::think(0.3, (1.0, 2.0), (10.0, 100.0));
+        assert_eq!(d.max_secs(), 100.0);
+    }
+
+    #[test]
+    fn count_dist() {
+        let mut r = rng();
+        let d = CountDist::new(3, 7);
+        for _ in 0..100 {
+            let n = d.sample(&mut r);
+            assert!((3..=7).contains(&n));
+        }
+        assert_eq!(CountDist::exactly(5).sample(&mut r), 5);
+        let stepped = CountDist::stepped(420, 540, 60);
+        for _ in 0..50 {
+            let n = stepped.sample(&mut r);
+            assert!([420, 480, 540].contains(&n), "{n}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid uniform bounds")]
+    fn bad_bounds_panic() {
+        let mut r = rng();
+        let _ = TimeDist::Uniform(3.0, 1.0).sample(&mut r);
+    }
+}

@@ -1,0 +1,35 @@
+//! Synthetic interactive-application workloads calibrated to the HPCA
+//! 2004 PCAP paper.
+//!
+//! The paper evaluates on strace-derived traces of six applications
+//! driven by a real user. Those traces are not available, so this crate
+//! generates the closest synthetic equivalent (see `DESIGN.md` §2 for
+//! the substitution argument): seeded, deterministic application models
+//! whose I/O streams carry the properties the predictors key on —
+//! repeating PC paths per user activity, think-time mixtures straddling
+//! the breakeven time, cross-execution PC stability, subpath-aliasing
+//! page visits, and multi-process structure.
+//!
+//! # Example
+//!
+//! ```
+//! use pcap_workload::{AppModel, PaperApp};
+//!
+//! let nedit = PaperApp::Nedit.spec();
+//! let trace = nedit.generate_trace(42)?;
+//! assert_eq!(trace.runs.len(), 29); // Table 1: 29 executions
+//! // Deterministic: the same seed regenerates the identical trace.
+//! assert_eq!(trace, nedit.generate_trace(42)?);
+//! # Ok::<(), pcap_trace::TraceError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod apps;
+pub mod dists;
+pub mod spec;
+
+pub use apps::{paper_suite, PaperApp};
+pub use dists::{CountDist, TimeDist};
+pub use spec::{Activity, ActivityStep, AppModel, AppSpec, HelperSpec, IoOp, SpecError, UserState};

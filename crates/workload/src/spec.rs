@@ -1,0 +1,876 @@
+//! The workload DSL: activities, user-session Markov models, helper
+//! processes, and the engine that turns an [`AppSpec`] into validated
+//! trace runs.
+//!
+//! The paper's traces capture real users driving six interactive
+//! applications. The DSL reproduces the *structure* those traces have
+//! from the predictor's point of view:
+//!
+//! * each user-visible **activity** (open a page, save a file, refill a
+//!   stream buffer) issues a fixed sequence of I/Os from fixed call
+//!   sites — so the PC paths PCAP keys on repeat within and across
+//!   executions;
+//! * a Markov **user-state model** chooses activities and think times,
+//!   producing the mixture of sub-wait-window, short and long idle
+//!   periods the predictors must classify (with autocorrelation that
+//!   the history variants can exploit);
+//! * **helper processes** fork from the root and perform their own I/O
+//!   bursts triggered by root activities, creating the multi-process
+//!   local/global structure of §5.
+//!
+//! Every I/O is issued through a simulated
+//! [`pcap_capture::InstrumentedProcess`] stack, so
+//! the captured PCs come from the same machinery the paper's modified
+//! I/O library would use.
+
+use crate::dists::{CountDist, TimeDist};
+use pcap_capture::{CaptureStrategy, InstrumentedProcess, SiteMap};
+use pcap_trace::{TraceError, TraceRun, TraceRunBuilder};
+use pcap_types::{Fd, FileId, IoKind, Pid, SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One I/O operation issued by an activity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IoOp {
+    /// Call-site name; maps to a stable PC via [`SiteMap`].
+    pub site: String,
+    /// Operation type.
+    pub kind: IoKind,
+    /// File tag; maps to a stable fd and (per-instance) file id.
+    pub file: String,
+    /// Pages transferred per operation.
+    pub pages: CountDist,
+    /// How many times to repeat the operation (sequential cursor).
+    pub repeat: CountDist,
+    /// Probability that the operation happens at all in a given
+    /// activity execution (sparse autosaves and the like).
+    pub prob: f64,
+}
+
+impl IoOp {
+    /// A read of `pages` pages from `file`, issued at `site`.
+    pub fn read(site: &str, file: &str, pages: u32) -> IoOp {
+        IoOp {
+            site: site.into(),
+            kind: IoKind::Read,
+            file: file.into(),
+            pages: CountDist::exactly(pages),
+            repeat: CountDist::exactly(1),
+            prob: 1.0,
+        }
+    }
+
+    /// A write of `pages` pages to `file`, issued at `site`.
+    pub fn write(site: &str, file: &str, pages: u32) -> IoOp {
+        IoOp {
+            kind: IoKind::Write,
+            ..IoOp::read(site, file, pages)
+        }
+    }
+
+    /// A synchronously flushed (`fsync`) write — an editor save that
+    /// reaches the disk immediately with the application PC attached.
+    pub fn write_sync(site: &str, file: &str, pages: u32) -> IoOp {
+        IoOp {
+            kind: IoKind::SyncWrite,
+            ..IoOp::read(site, file, pages)
+        }
+    }
+
+    /// An `open(2)` of `file` issued at `site`.
+    pub fn open(site: &str, file: &str) -> IoOp {
+        IoOp {
+            kind: IoKind::Open,
+            pages: CountDist::exactly(0),
+            ..IoOp::read(site, file, 0)
+        }
+    }
+
+    /// Repeats the operation `lo..=hi` times with an advancing cursor.
+    #[must_use]
+    pub fn times(mut self, lo: u32, hi: u32) -> IoOp {
+        self.repeat = CountDist::new(lo, hi);
+        self
+    }
+
+    /// Performs the operation only with probability `p` per activity
+    /// execution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    #[must_use]
+    pub fn with_prob(mut self, p: f64) -> IoOp {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.prob = p;
+        self
+    }
+}
+
+/// One step of an activity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ActivityStep {
+    /// Perform an I/O operation.
+    Io(IoOp),
+    /// Wait (intra-activity; keep below the wait-window so the burst
+    /// reads as one busy period).
+    Pause(TimeDist),
+}
+
+/// A named burst of I/O the user (or a helper) performs as one unit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Activity {
+    /// Activity name; also the enclosing call-site, so every activity
+    /// has a distinct PC context.
+    pub name: String,
+    /// The steps, in order.
+    pub steps: Vec<ActivityStep>,
+    /// If true, file tags used by this activity denote fresh content
+    /// each time (new page, new document) — guaranteeing cache misses;
+    /// the fd stays stable per tag.
+    pub fresh_files: bool,
+    /// Think time following this activity, overriding the user state's
+    /// think time. This is how activity→idle-length correlation is
+    /// expressed (a preview is watched, a save is followed by more
+    /// typing) — the correlation PCAP's path signatures key on.
+    pub think: Option<TimeDist>,
+}
+
+impl Activity {
+    /// Starts building an activity.
+    pub fn named(name: &str) -> Activity {
+        Activity {
+            name: name.into(),
+            steps: Vec::new(),
+            fresh_files: false,
+            think: None,
+        }
+    }
+
+    /// Appends an I/O step.
+    #[must_use]
+    pub fn io(mut self, op: IoOp) -> Activity {
+        self.steps.push(ActivityStep::Io(op));
+        self
+    }
+
+    /// Appends an intra-activity pause.
+    #[must_use]
+    pub fn pause(mut self, dist: TimeDist) -> Activity {
+        self.steps.push(ActivityStep::Pause(dist));
+        self
+    }
+
+    /// Marks the activity as touching fresh content each execution.
+    #[must_use]
+    pub fn fresh(mut self) -> Activity {
+        self.fresh_files = true;
+        self
+    }
+
+    /// Sets the think time that follows this activity (overriding the
+    /// user state's).
+    #[must_use]
+    pub fn think(mut self, dist: TimeDist) -> Activity {
+        self.think = Some(dist);
+        self
+    }
+}
+
+/// A state of the user-session Markov model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UserState {
+    /// State name ("skim", "read", …).
+    pub name: String,
+    /// Weighted choice over activity indices to perform in this state.
+    pub activity_weights: Vec<(usize, f64)>,
+    /// Think time after the activity completes.
+    pub think: TimeDist,
+    /// Weighted transition to the next state.
+    pub next: Vec<(usize, f64)>,
+}
+
+/// A helper process forked by the application.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HelperSpec {
+    /// Helper name (labels its call sites).
+    pub name: String,
+    /// Per root-activity-index probability that the helper reacts with
+    /// its own burst.
+    pub triggers: Vec<(usize, f64)>,
+    /// The helper's burst.
+    pub activity: Activity,
+    /// Delay between the root activity start and the helper burst.
+    pub lag: TimeDist,
+}
+
+/// A complete synthetic application.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppSpec {
+    /// Application name ("mozilla", …).
+    pub name: String,
+    /// Number of traced executions (Table 1).
+    pub executions: usize,
+    /// Burst at process start (loading binaries, config, libraries).
+    pub startup: Activity,
+    /// Burst just before exit (saving state), if any.
+    pub shutdown: Option<Activity>,
+    /// The user-driven activities.
+    pub activities: Vec<Activity>,
+    /// The user-session Markov model over those activities.
+    pub states: Vec<UserState>,
+    /// Index of the state the session starts in.
+    pub initial_state: usize,
+    /// Activities per execution.
+    pub activities_per_run: CountDist,
+    /// Helper processes.
+    pub helpers: Vec<HelperSpec>,
+    /// Idle tail between the last activity (or shutdown burst) and
+    /// process exit.
+    pub final_pause: TimeDist,
+    /// Library frames each I/O call pushes (exercises the capture
+    /// strategies' costs).
+    pub io_library_depth: u32,
+    /// How the instrumented processes capture PCs (§3.2.1; the paper
+    /// prefers library hooks). All strategies attribute I/Os to the
+    /// same PC — only the accounted overhead differs.
+    pub capture: CaptureStrategy,
+}
+
+/// A structural defect in an [`AppSpec`], reported by
+/// [`AppSpec::validate`] before any generation happens.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpecError {
+    /// A user state references an activity index that does not exist.
+    UnknownActivity {
+        /// Offending state name.
+        state: String,
+        /// The out-of-range activity index.
+        index: usize,
+    },
+    /// A user state's transition references a state index that does not
+    /// exist.
+    UnknownState {
+        /// Offending state name.
+        state: String,
+        /// The out-of-range state index.
+        index: usize,
+    },
+    /// The initial state index is out of range.
+    BadInitialState(usize),
+    /// A weight list is empty or sums to a non-positive value.
+    BadWeights {
+        /// The state whose weights are degenerate.
+        state: String,
+    },
+    /// A helper trigger references an activity index that does not
+    /// exist.
+    UnknownTrigger {
+        /// Offending helper name.
+        helper: String,
+        /// The out-of-range activity index.
+        index: usize,
+    },
+    /// An I/O operation carries a probability outside `[0, 1]`.
+    BadProbability {
+        /// Activity containing the op.
+        activity: String,
+        /// The offending probability.
+        prob: f64,
+    },
+    /// The spec declares no user states.
+    NoStates,
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecError::UnknownActivity { state, index } => {
+                write!(f, "state {state:?} references missing activity {index}")
+            }
+            SpecError::UnknownState { state, index } => {
+                write!(f, "state {state:?} transitions to missing state {index}")
+            }
+            SpecError::BadInitialState(i) => write!(f, "initial state {i} out of range"),
+            SpecError::BadWeights { state } => {
+                write!(f, "state {state:?} has empty or non-positive weights")
+            }
+            SpecError::UnknownTrigger { helper, index } => {
+                write!(f, "helper {helper:?} triggers on missing activity {index}")
+            }
+            SpecError::BadProbability { activity, prob } => {
+                write!(
+                    f,
+                    "activity {activity:?} has probability {prob} outside [0, 1]"
+                )
+            }
+            SpecError::NoStates => f.write_str("spec declares no user states"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl AppSpec {
+    /// Checks the spec's internal references and weight sanity.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`SpecError`] found. The six built-in paper
+    /// applications validate by construction (asserted in tests).
+    pub fn validate(&self) -> Result<(), SpecError> {
+        if self.states.is_empty() {
+            return Err(SpecError::NoStates);
+        }
+        if self.initial_state >= self.states.len() {
+            return Err(SpecError::BadInitialState(self.initial_state));
+        }
+        let check_weights = |state: &UserState,
+                             weights: &[(usize, f64)],
+                             bound: usize,
+                             unknown: &dyn Fn(usize) -> SpecError|
+         -> Result<(), SpecError> {
+            if weights.is_empty() || weights.iter().map(|(_, w)| w).sum::<f64>() <= 0.0 {
+                return Err(SpecError::BadWeights {
+                    state: state.name.clone(),
+                });
+            }
+            for &(index, _) in weights {
+                if index >= bound {
+                    return Err(unknown(index));
+                }
+            }
+            Ok(())
+        };
+        for state in &self.states {
+            check_weights(
+                state,
+                &state.activity_weights,
+                self.activities.len(),
+                &|index| SpecError::UnknownActivity {
+                    state: state.name.clone(),
+                    index,
+                },
+            )?;
+            check_weights(state, &state.next, self.states.len(), &|index| {
+                SpecError::UnknownState {
+                    state: state.name.clone(),
+                    index,
+                }
+            })?;
+        }
+        for helper in &self.helpers {
+            for &(index, _) in &helper.triggers {
+                if index >= self.activities.len() {
+                    return Err(SpecError::UnknownTrigger {
+                        helper: helper.name.clone(),
+                        index,
+                    });
+                }
+            }
+        }
+        let all_activities = self
+            .activities
+            .iter()
+            .chain(std::iter::once(&self.startup))
+            .chain(self.shutdown.iter())
+            .chain(self.helpers.iter().map(|h| &h.activity));
+        for activity in all_activities {
+            for step in &activity.steps {
+                if let ActivityStep::Io(op) = step {
+                    if !(0.0..=1.0).contains(&op.prob) {
+                        return Err(SpecError::BadProbability {
+                            activity: activity.name.clone(),
+                            prob: op.prob,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Anything that can generate the paper-style multi-execution trace of
+/// one application.
+pub trait AppModel {
+    /// Application name.
+    fn name(&self) -> &str;
+
+    /// Number of executions in the full trace (Table 1).
+    fn executions(&self) -> usize;
+
+    /// Generates execution `run` under `seed`. Deterministic in
+    /// `(name, seed, run)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TraceError`] if the generated event stream fails
+    /// validation — a bug in the spec, surfaced rather than masked.
+    fn generate_run(&self, seed: u64, run: usize) -> Result<TraceRun, TraceError>;
+
+    /// Generates the full multi-execution trace.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`TraceError`] from any run.
+    fn generate_trace(&self, seed: u64) -> Result<pcap_trace::ApplicationTrace, TraceError> {
+        let mut trace = pcap_trace::ApplicationTrace::new(self.name());
+        for run in 0..self.executions() {
+            trace.runs.push(self.generate_run(seed, run)?);
+        }
+        Ok(trace)
+    }
+}
+
+/// Deterministic 64-bit FNV-1a over string/byte chunks.
+fn fnv64(chunks: &[&[u8]]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for chunk in chunks {
+        for &b in *chunk {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    hash
+}
+
+/// Per-run file bookkeeping: stable fds per tag, per-instance file ids,
+/// sequential cursors.
+struct FileSpace {
+    app: String,
+    run: usize,
+    /// tag → instance counter (bumped by fresh activities).
+    instances: HashMap<String, u64>,
+    /// (tag, instance) → sequential page cursor.
+    cursors: HashMap<(String, u64), u64>,
+}
+
+impl FileSpace {
+    fn new(app: &str, run: usize) -> FileSpace {
+        FileSpace {
+            app: app.to_owned(),
+            run,
+            instances: HashMap::new(),
+            cursors: HashMap::new(),
+        }
+    }
+
+    /// Stable descriptor for a tag: deterministic across runs and
+    /// executions (§4.1.2 — descriptors "show less variability").
+    fn fd(&self, tag: &str) -> Fd {
+        Fd(3 + (fnv64(&[tag.as_bytes()]) % 13) as u32)
+    }
+
+    fn instance(&self, tag: &str) -> u64 {
+        self.instances.get(tag).copied().unwrap_or(0)
+    }
+
+    /// Bump the instance of a tag (fresh content).
+    fn refresh(&mut self, tag: &str) {
+        *self.instances.entry(tag.to_owned()).or_insert(0) += 1;
+    }
+
+    fn file_id(&self, tag: &str) -> FileId {
+        FileId(fnv64(&[
+            self.app.as_bytes(),
+            tag.as_bytes(),
+            &self.run.to_le_bytes(),
+            &self.instance(tag).to_le_bytes(),
+        ]))
+    }
+
+    /// Advances the sequential cursor of the tag's current instance by
+    /// `pages`, returning the starting byte offset.
+    fn advance(&mut self, tag: &str, pages: u64) -> u64 {
+        let key = (tag.to_owned(), self.instance(tag));
+        let cursor = self.cursors.entry(key).or_insert(0);
+        let offset = *cursor * 4096;
+        *cursor += pages;
+        offset
+    }
+}
+
+/// The generation engine for one run.
+struct RunEngine<'a> {
+    spec: &'a AppSpec,
+    rng: StdRng,
+    sites: SiteMap,
+    files: FileSpace,
+    builder: TraceRunBuilder,
+    /// Per-pid instrumented processes.
+    procs: HashMap<Pid, InstrumentedProcess>,
+    /// Per-pid earliest next event time (keeps helper bursts ordered).
+    next_free: HashMap<Pid, SimTime>,
+}
+
+/// Root process id.
+const ROOT: Pid = Pid(1);
+
+impl<'a> RunEngine<'a> {
+    fn new(spec: &'a AppSpec, seed: u64, run: usize) -> RunEngine<'a> {
+        let rng = StdRng::seed_from_u64(fnv64(&[
+            spec.name.as_bytes(),
+            &seed.to_le_bytes(),
+            &run.to_le_bytes(),
+        ]));
+        let mut procs = HashMap::new();
+        let mut proc_root = InstrumentedProcess::new(ROOT, spec.capture);
+        proc_root.enter(SiteMap::new(&spec.name).pc("main"));
+        procs.insert(ROOT, proc_root);
+        RunEngine {
+            spec,
+            rng,
+            sites: SiteMap::new(&spec.name),
+            files: FileSpace::new(&spec.name, run),
+            builder: TraceRunBuilder::new(ROOT),
+            procs,
+            next_free: HashMap::new(),
+        }
+    }
+
+    fn weighted<T: Copy>(&mut self, options: &[(T, f64)]) -> T {
+        let total: f64 = options.iter().map(|(_, w)| w).sum();
+        assert!(total > 0.0, "weights must be positive");
+        let mut roll = self.rng.gen_range(0.0..total);
+        for &(value, w) in options {
+            if roll < w {
+                return value;
+            }
+            roll -= w;
+        }
+        options.last().expect("non-empty weights").0
+    }
+
+    /// Executes `activity` on process `pid` starting no earlier than
+    /// `start`; returns the completion time.
+    fn run_activity(&mut self, pid: Pid, start: SimTime, activity: &Activity) -> SimTime {
+        let free = self.next_free.get(&pid).copied().unwrap_or(SimTime::ZERO);
+        let mut t = start.max(free);
+        if activity.fresh_files {
+            let tags: Vec<String> = activity
+                .steps
+                .iter()
+                .filter_map(|s| match s {
+                    ActivityStep::Io(op) => Some(op.file.clone()),
+                    ActivityStep::Pause(_) => None,
+                })
+                .collect();
+            for tag in tags {
+                self.files.refresh(&tag);
+            }
+        }
+        let entry_pc = self.sites.pc(&format!("{}::{}", pid.0, activity.name));
+        let proc = self.procs.get_mut(&pid).expect("known pid");
+        proc.enter(entry_pc);
+        for step in &activity.steps {
+            match step {
+                ActivityStep::Pause(dist) => {
+                    t += dist.sample(&mut self.rng);
+                }
+                ActivityStep::Io(op) => {
+                    if op.prob < 1.0 && !self.rng.gen_bool(op.prob) {
+                        continue;
+                    }
+                    let repeats = op.repeat.sample(&mut self.rng);
+                    let site_pc = self
+                        .sites
+                        .pc(&format!("{}::{}::{}", pid.0, activity.name, op.site));
+                    for _ in 0..repeats {
+                        let pages = op.pages.sample(&mut self.rng);
+                        let len = u64::from(pages) * 4096;
+                        let offset = self.files.advance(&op.file, u64::from(pages));
+                        let proc = self.procs.get_mut(&pid).expect("known pid");
+                        proc.enter(site_pc);
+                        let captured = proc
+                            .issue_io(self.spec.io_library_depth)
+                            .expect("app frame present");
+                        proc.leave();
+                        self.builder.io(
+                            t,
+                            pid,
+                            captured.pc,
+                            op.kind,
+                            self.files.fd(&op.file),
+                            self.files.file_id(&op.file),
+                            offset,
+                            len,
+                        );
+                        // Issue cost: a few milliseconds per call.
+                        t += SimDuration::from_micros(self.rng.gen_range(2_000..8_000));
+                    }
+                }
+            }
+        }
+        let proc = self.procs.get_mut(&pid).expect("known pid");
+        proc.leave();
+        self.next_free.insert(pid, t);
+        t
+    }
+
+    fn generate(mut self) -> Result<TraceRun, TraceError> {
+        let spec = self.spec;
+        // Fork helpers shortly after start.
+        let helper_pids: Vec<Pid> = (0..spec.helpers.len()).map(|i| Pid(2 + i as u32)).collect();
+        for (i, &pid) in helper_pids.iter().enumerate() {
+            let t = SimTime::from_millis(10 * (i as u64 + 1));
+            self.builder.fork(t, ROOT, pid);
+            let mut proc = InstrumentedProcess::new(pid, spec.capture);
+            proc.enter(
+                self.sites
+                    .pc(&format!("helper::{}::main", spec.helpers[i].name)),
+            );
+            self.procs.insert(pid, proc);
+            self.next_free.insert(pid, t);
+        }
+
+        // Startup burst.
+        let mut t = self.run_activity(ROOT, SimTime::from_millis(200), &spec.startup);
+
+        // User session.
+        let mut state_idx = spec.initial_state;
+        let n_activities = spec.activities_per_run.sample(&mut self.rng);
+        // Think once after startup, as after any burst.
+        let startup_think = spec
+            .startup
+            .think
+            .as_ref()
+            .unwrap_or(&spec.states[state_idx].think)
+            .clone();
+        t += startup_think.sample(&mut self.rng);
+
+        for _ in 0..n_activities {
+            let state = &spec.states[state_idx];
+            let activity_idx = self.weighted(&state.activity_weights);
+            let activity = &spec.activities[activity_idx];
+            let end = self.run_activity(ROOT, t, activity);
+
+            // Helper reactions.
+            for (h, &pid) in helper_pids.iter().enumerate() {
+                let helper = &spec.helpers[h];
+                let prob = helper
+                    .triggers
+                    .iter()
+                    .find(|(idx, _)| *idx == activity_idx)
+                    .map_or(0.0, |(_, p)| *p);
+                if prob > 0.0 && self.rng.gen_bool(prob.min(1.0)) {
+                    let lag = helper.lag.sample(&mut self.rng);
+                    self.run_activity(pid, t + lag, &helper.activity);
+                }
+            }
+
+            let think = activity.think.as_ref().unwrap_or(&state.think);
+            t = end + think.sample(&mut self.rng);
+            state_idx = self.weighted(&state.next);
+        }
+
+        // Shutdown burst and exits.
+        if let Some(shutdown) = &spec.shutdown {
+            t = self.run_activity(ROOT, t, shutdown);
+        }
+        t += spec.final_pause.sample(&mut self.rng);
+        for &pid in &helper_pids {
+            let free = self.next_free.get(&pid).copied().unwrap_or(SimTime::ZERO);
+            self.builder
+                .exit(t.max(free) + SimDuration::from_millis(50), pid);
+        }
+        let root_free = self.next_free.get(&ROOT).copied().unwrap_or(SimTime::ZERO);
+        self.builder
+            .exit(t.max(root_free) + SimDuration::from_millis(100), ROOT);
+        self.builder.finish()
+    }
+}
+
+impl AppModel for AppSpec {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn executions(&self) -> usize {
+        self.executions
+    }
+
+    fn generate_run(&self, seed: u64, run: usize) -> Result<TraceRun, TraceError> {
+        debug_assert!(
+            self.validate().is_ok(),
+            "invalid spec: {:?}",
+            self.validate()
+        );
+        RunEngine::new(self, seed, run).generate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcap_types::TraceEvent;
+
+    fn tiny_spec() -> AppSpec {
+        AppSpec {
+            name: "tiny".into(),
+            executions: 3,
+            startup: Activity::named("startup")
+                .io(IoOp::open("open_cfg", "config"))
+                .io(IoOp::read("read_cfg", "config", 2)),
+            shutdown: Some(Activity::named("shutdown").io(IoOp::write("save_cfg", "config", 1))),
+            activities: vec![Activity::named("work")
+                .io(IoOp::read("read_doc", "doc", 4).times(2, 4))
+                .pause(TimeDist::Fixed(0.1))
+                .io(IoOp::write("log", "logfile", 1))
+                .fresh()],
+            states: vec![UserState {
+                name: "using".into(),
+                activity_weights: vec![(0, 1.0)],
+                think: TimeDist::think(0.4, (1.0, 4.0), (8.0, 60.0)),
+                next: vec![(0, 1.0)],
+            }],
+            initial_state: 0,
+            activities_per_run: CountDist::new(4, 6),
+            helpers: vec![HelperSpec {
+                name: "indexer".into(),
+                triggers: vec![(0, 0.5)],
+                activity: Activity::named("index").io(IoOp::read("scan", "index_db", 2)),
+                lag: TimeDist::Fixed(0.2),
+            }],
+            final_pause: TimeDist::Fixed(0.5),
+            io_library_depth: 2,
+            capture: CaptureStrategy::LibraryHook,
+        }
+    }
+
+    #[test]
+    fn validation_accepts_good_specs_and_names_defects() {
+        assert_eq!(tiny_spec().validate(), Ok(()));
+
+        let mut bad = tiny_spec();
+        bad.initial_state = 9;
+        assert_eq!(bad.validate(), Err(SpecError::BadInitialState(9)));
+
+        let mut bad = tiny_spec();
+        bad.states[0].activity_weights = vec![(7, 1.0)];
+        assert!(matches!(
+            bad.validate(),
+            Err(SpecError::UnknownActivity { index: 7, .. })
+        ));
+
+        let mut bad = tiny_spec();
+        bad.states[0].next = vec![(3, 1.0)];
+        assert!(matches!(
+            bad.validate(),
+            Err(SpecError::UnknownState { index: 3, .. })
+        ));
+
+        let mut bad = tiny_spec();
+        bad.states[0].next = vec![];
+        assert!(matches!(bad.validate(), Err(SpecError::BadWeights { .. })));
+
+        let mut bad = tiny_spec();
+        bad.helpers[0].triggers = vec![(5, 0.5)];
+        assert!(matches!(
+            bad.validate(),
+            Err(SpecError::UnknownTrigger { index: 5, .. })
+        ));
+
+        let mut bad = tiny_spec();
+        bad.states.clear();
+        assert_eq!(bad.validate(), Err(SpecError::NoStates));
+
+        let e = SpecError::BadInitialState(9);
+        assert!(e.to_string().contains('9'));
+    }
+
+    #[test]
+    fn generates_valid_runs() {
+        let spec = tiny_spec();
+        let trace = spec.generate_trace(7).unwrap();
+        assert_eq!(trace.runs.len(), 3);
+        for run in &trace.runs {
+            assert!(run.io_count() > 5);
+            // Events sorted (builder guarantees it, but assert anyway).
+            let times: Vec<_> = run.events.iter().map(TraceEvent::time).collect();
+            assert!(times.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = tiny_spec();
+        let a = spec.generate_trace(7).unwrap();
+        let b = spec.generate_trace(7).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let spec = tiny_spec();
+        let a = spec.generate_trace(7).unwrap();
+        let b = spec.generate_trace(8).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn pc_paths_are_stable_across_runs() {
+        // The same activity must produce the same PC in every run and
+        // execution — the property table reuse (§4.2) rests on.
+        let spec = tiny_spec();
+        let trace = spec.generate_trace(7).unwrap();
+        let pcs_of = |run: &TraceRun| -> Vec<_> { run.io_events().map(|io| io.pc).collect() };
+        let first_startup: Vec<_> = pcs_of(&trace.runs[0])[..2].to_vec();
+        let second_startup: Vec<_> = pcs_of(&trace.runs[1])[..2].to_vec();
+        assert_eq!(first_startup, second_startup);
+    }
+
+    #[test]
+    fn helper_process_appears_with_fork_and_exit() {
+        let spec = tiny_spec();
+        let run = spec.generate_run(7, 0).unwrap();
+        let pids = run.pids();
+        assert_eq!(pids, vec![Pid(1), Pid(2)]);
+        let forks = run
+            .events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Fork { .. }))
+            .count();
+        let exits = run
+            .events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Exit { .. }))
+            .count();
+        assert_eq!(forks, 1);
+        assert_eq!(exits, 2);
+    }
+
+    #[test]
+    fn fresh_files_get_new_ids_stable_fds() {
+        let spec = tiny_spec();
+        let run = spec.generate_run(7, 0).unwrap();
+        let doc_events: Vec<_> = run
+            .io_events()
+            .filter(|io| io.kind == IoKind::Read && io.len == 4 * 4096)
+            .collect();
+        assert!(doc_events.len() >= 4);
+        let fds: std::collections::HashSet<_> = doc_events.iter().map(|e| e.fd).collect();
+        assert_eq!(fds.len(), 1, "fd stable for the doc tag");
+        let files: std::collections::HashSet<_> = doc_events.iter().map(|e| e.file).collect();
+        assert!(files.len() > 1, "fresh content per activity");
+    }
+
+    #[test]
+    fn think_times_produce_long_gaps() {
+        let spec = tiny_spec();
+        let run = spec.generate_run(7, 0).unwrap();
+        let root_times: Vec<SimTime> = run
+            .io_events()
+            .filter(|io| io.pid == ROOT)
+            .map(|io| io.time)
+            .collect();
+        let max_gap = root_times
+            .windows(2)
+            .map(|w| (w[1] - w[0]).as_secs_f64())
+            .fold(0.0f64, f64::max);
+        assert!(max_gap > 5.43, "at least one long think (got {max_gap})");
+    }
+}

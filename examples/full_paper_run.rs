@@ -1,0 +1,18 @@
+//! Regenerate every table and figure of the paper in one go — the
+//! programmatic equivalent of `pcap all`.
+//!
+//! ```sh
+//! cargo run --release --example full_paper_run
+//! ```
+
+use pcap_dpm::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bench = Workbench::generate(42, SimConfig::paper())?;
+    for experiment in Experiment::ALL {
+        for table in experiment.run(&bench) {
+            println!("{table}");
+        }
+    }
+    Ok(())
+}

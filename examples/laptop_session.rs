@@ -1,0 +1,63 @@
+//! A full laptop scenario: the six paper applications side by side
+//! under every predictor this repository implements — the view a
+//! power-management engineer would want before picking a policy.
+//!
+//! ```sh
+//! cargo run --release --example laptop_session
+//! ```
+
+use pcap_dpm::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = SimConfig::paper();
+    let kinds = [
+        PowerManagerKind::Timeout,
+        PowerManagerKind::ExponentialAverage,
+        PowerManagerKind::AdaptiveTimeout,
+        PowerManagerKind::LastBusy,
+        PowerManagerKind::Stochastic,
+        PowerManagerKind::LT,
+        PowerManagerKind::PCAP,
+        PowerManagerKind::MultiStatePcap,
+        PowerManagerKind::Oracle,
+    ];
+
+    println!(
+        "{:<9} {:<9} {:>9} {:>6} {:>9} {:>11}",
+        "app", "manager", "coverage", "miss", "savings", "energy (J)"
+    );
+    let mut totals: Vec<(PowerManagerKind, f64, f64)> = Vec::new();
+    for app in PaperApp::ALL {
+        let trace = app.spec().generate_trace(42)?;
+        for kind in kinds {
+            let report = evaluate_app(&trace, &config, kind);
+            println!(
+                "{:<9} {:<9} {:>8.0}% {:>5.0}% {:>8.1}% {:>11.0}",
+                report.app,
+                report.manager,
+                report.global.coverage() * 100.0,
+                report.global.miss_rate() * 100.0,
+                report.savings() * 100.0,
+                report.energy.total().0,
+            );
+            totals.push((kind, report.energy.total().0, report.base_energy.total().0));
+        }
+        println!();
+    }
+
+    println!("=== whole-laptop totals (all six applications) ===");
+    for kind in kinds {
+        let (managed, base): (f64, f64) = totals
+            .iter()
+            .filter(|(k, _, _)| *k == kind)
+            .fold((0.0, 0.0), |(m, b), (_, e, be)| (m + e, b + be));
+        println!(
+            "{:<9} {:>9.0} J of {:>9.0} J ({:.1}% saved)",
+            kind.label(),
+            managed,
+            base,
+            100.0 * (1.0 - managed / base)
+        );
+    }
+    Ok(())
+}

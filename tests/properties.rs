@@ -1,0 +1,373 @@
+//! Property-based tests (proptest) for the core data structures and
+//! simulator invariants.
+
+use pcap_cache::{CacheConfig, FileCache};
+use pcap_core::{GlobalDecision, GlobalPredictor, ShutdownVote};
+use pcap_disk::{DiskParams, DiskSim, GapBreakdown};
+use pcap_dpm::prelude::*;
+use pcap_trace::TraceRunBuilder;
+use pcap_types::{IoEvent, LruMap};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------- LRU
+
+proptest! {
+    /// LruMap agrees with a naive reference model (vector of entries in
+    /// recency order) on arbitrary operation sequences.
+    #[test]
+    fn lru_matches_reference_model(ops in prop::collection::vec((0u8..3, 0u8..12, 0u16..100), 1..200)) {
+        let capacity = 4usize;
+        let mut lru: LruMap<u8, u16> = LruMap::new(capacity);
+        // Reference: most recent last.
+        let mut reference: Vec<(u8, u16)> = Vec::new();
+
+        for (op, key, value) in ops {
+            match op {
+                0 => {
+                    // insert
+                    if let Some(pos) = reference.iter().position(|(k, _)| *k == key) {
+                        reference.remove(pos);
+                    } else if reference.len() == capacity {
+                        let evicted = reference.remove(0);
+                        let got = lru.insert(key, value);
+                        prop_assert_eq!(got, Some(evicted));
+                        reference.push((key, value));
+                        continue;
+                    }
+                    prop_assert_eq!(lru.insert(key, value), None);
+                    reference.push((key, value));
+                }
+                1 => {
+                    // get_mut (touch)
+                    let expected = reference.iter().position(|(k, _)| *k == key);
+                    match expected {
+                        Some(pos) => {
+                            let entry = reference.remove(pos);
+                            prop_assert_eq!(lru.get_mut(&key).copied(), Some(entry.1));
+                            reference.push(entry);
+                        }
+                        None => prop_assert!(lru.get_mut(&key).is_none()),
+                    }
+                }
+                _ => {
+                    // remove
+                    let expected = reference.iter().position(|(k, _)| *k == key);
+                    match expected {
+                        Some(pos) => {
+                            let entry = reference.remove(pos);
+                            prop_assert_eq!(lru.remove(&key), Some(entry.1));
+                        }
+                        None => prop_assert!(lru.remove(&key).is_none()),
+                    }
+                }
+            }
+            prop_assert_eq!(lru.len(), reference.len());
+        }
+    }
+}
+
+// -------------------------------------------------------------- cache
+
+proptest! {
+    /// The cache never exceeds its capacity, never emits out-of-order
+    /// accesses, and only the flush daemon writes with the kernel PC
+    /// (given app-PC events).
+    #[test]
+    fn cache_invariants(
+        events in prop::collection::vec(
+            (0u64..120_000u64, 0u8..3, 0u64..4, 0u64..40, 1u64..5),
+            1..150,
+        )
+    ) {
+        let mut sorted = events;
+        sorted.sort_by_key(|e| e.0);
+        let mut cache = FileCache::new(CacheConfig::paper());
+        let capacity = CacheConfig::paper().capacity_pages() as usize;
+        let mut last_time = SimTime::ZERO;
+        for (t_ms, kind, file, page, pages) in sorted {
+            let kind = match kind {
+                0 => IoKind::Read,
+                1 => IoKind::Write,
+                _ => IoKind::Open,
+            };
+            let event = IoEvent {
+                time: SimTime::from_millis(t_ms),
+                pid: Pid(1),
+                pc: Pc(0x1000),
+                kind,
+                fd: Fd(3),
+                file: FileId(file),
+                offset: page * 4096,
+                len: pages * 4096,
+            };
+            for access in cache.access(&event) {
+                prop_assert!(access.time >= last_time, "accesses must be time-ordered");
+                last_time = access.time;
+                if access.is_kernel() {
+                    prop_assert_eq!(access.kind, IoKind::Write, "kernel accesses are flushes");
+                }
+                prop_assert!(access.pages > 0);
+            }
+            prop_assert!(cache.resident_pages() <= capacity);
+        }
+    }
+}
+
+// --------------------------------------------------------------- disk
+
+proptest! {
+    /// Closed-form gap accounting: energy is non-negative, a shutdown
+    /// never helps for gaps at/below breakeven, and always helps for
+    /// gaps comfortably above it.
+    #[test]
+    fn gap_energy_properties(gap_ms in 1u64..200_000, shutdown_ms in 0u64..50_000) {
+        let params = DiskParams::fujitsu_mhf2043at();
+        let gap = SimDuration::from_millis(gap_ms);
+        let at = SimDuration::from_millis(shutdown_ms);
+        let managed = GapBreakdown::managed(&params, gap, at);
+        let unmanaged = GapBreakdown::unmanaged(&params, gap);
+        prop_assert!(managed.total().0 >= -1e9_f64.recip());
+        if at >= gap {
+            prop_assert_eq!(managed, unmanaged);
+        }
+        // Device-off interval beyond breakeven ⇒ energy strictly saved.
+        if at < gap && gap - at > params.breakeven_time() + SimDuration::from_millis(100) {
+            prop_assert!(managed.total().0 < unmanaged.total().0);
+        }
+        // Off interval below the *derived* breakeven ⇒ no saving.
+        if at < gap && gap - at < params.derived_breakeven() {
+            prop_assert!(managed.total().0 >= unmanaged.total().0 - 1e-9);
+        }
+    }
+
+    /// The state machine and the closed form agree on arbitrary
+    /// single-gap scenarios.
+    #[test]
+    fn disk_sim_matches_closed_form(gap_s in 6u64..300, shutdown_s in 1u64..100) {
+        let params = DiskParams::fujitsu_mhf2043at();
+        let gap = SimDuration::from_secs(gap_s);
+        let at = SimDuration::from_secs(shutdown_s);
+        prop_assume!(at + params.shutdown_time + params.spinup_time < gap);
+
+        let mut sim = DiskSim::new(params.clone());
+        sim.request_shutdown(SimTime::ZERO + at);
+        // Wake so that spin-up completes exactly at gap end.
+        sim.access(SimTime::ZERO + gap - params.spinup_time, 0);
+        let ledger = sim.finish(SimTime::ZERO + gap);
+        let machine = ledger.idle_energy + ledger.standby_energy + ledger.transition_energy;
+        let closed = GapBreakdown::managed(&params, gap, at).total();
+        prop_assert!((machine.0 - closed.0).abs() < 1e-6, "machine {} vs closed {}", machine, closed);
+    }
+}
+
+// ---------------------------------------------------------- signature
+
+proptest! {
+    /// The additive encoding is permutation-invariant (the documented
+    /// aliasing) and associative with respect to concatenation.
+    #[test]
+    fn signature_addition_properties(pcs in prop::collection::vec(0u32..u32::MAX, 0..20), split in 0usize..20) {
+        let sig = Signature::of_path(pcs.iter().map(|&p| Pc(p)));
+        let mut shuffled = pcs.clone();
+        shuffled.reverse();
+        prop_assert_eq!(Signature::of_path(shuffled.into_iter().map(Pc)), sig);
+        let split = split.min(pcs.len());
+        let (a, b) = pcs.split_at(split);
+        let sig_a = Signature::of_path(a.iter().map(|&p| Pc(p)));
+        let combined = b.iter().fold(sig_a, |s, &p| s.push(Pc(p)));
+        prop_assert_eq!(combined, sig);
+    }
+}
+
+// ------------------------------------------------------------ history
+
+proptest! {
+    /// HistoryTracker agrees with a reference VecDeque model.
+    #[test]
+    fn history_tracker_matches_reference(bits in prop::collection::vec(any::<bool>(), 0..40), cap in 1usize..12) {
+        let mut tracker = pcap_core::HistoryTracker::new(cap);
+        let mut reference: std::collections::VecDeque<bool> = std::collections::VecDeque::new();
+        for bit in bits {
+            tracker.push(bit);
+            reference.push_back(bit);
+            if reference.len() > cap {
+                reference.pop_front();
+            }
+            let got = tracker.bits();
+            prop_assert_eq!(got.len as usize, reference.len());
+            // Most recent period is bit 0.
+            for (age, &b) in reference.iter().rev().enumerate() {
+                prop_assert_eq!((got.bits >> age) & 1 == 1, b, "mismatch at age {}", age);
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------- global
+
+proptest! {
+    /// The global decision is exactly the maximum of the per-process
+    /// vote-ready times, or KeepSpinning if any process abstains.
+    #[test]
+    fn global_predictor_is_max_composition(
+        votes in prop::collection::vec((1u32..6, 0u64..100, prop::option::of(0u64..30), any::<bool>()), 1..30)
+    ) {
+        let mut global = GlobalPredictor::new();
+        let mut latest: std::collections::HashMap<u32, Option<(u64, bool)>> =
+            std::collections::HashMap::new();
+        for &(pid, at, delay, backup) in &votes {
+            if !latest.contains_key(&pid) {
+                global.process_started(Pid(pid), SimTime::from_secs(at));
+            }
+            let vote = match (delay, backup) {
+                (None, _) => ShutdownVote::never(),
+                (Some(d), false) => ShutdownVote::after(SimDuration::from_secs(d)),
+                (Some(d), true) => ShutdownVote::backup_after(SimDuration::from_secs(d)),
+            };
+            global.record_vote(Pid(pid), SimTime::from_secs(at), vote);
+            latest.insert(pid, delay.map(|d| (at + d, backup)));
+        }
+        let expected = if latest.values().any(Option::is_none) {
+            None
+        } else {
+            latest.values().flatten().map(|&(t, _)| t).max()
+        };
+        match (global.decision(), expected) {
+            (GlobalDecision::KeepSpinning, None) => {}
+            (GlobalDecision::ShutdownAt(t, _), Some(exp)) => {
+                prop_assert_eq!(t, SimTime::from_secs(exp));
+            }
+            (got, exp) => prop_assert!(false, "decision {got:?} vs expected {exp:?}"),
+        }
+    }
+}
+
+// ---------------------------------------------------------- simulator
+
+/// Random but valid single-process run: monotone access times with a
+/// mix of sub-second and minute-scale gaps.
+fn arbitrary_run() -> impl Strategy<Value = pcap_trace::TraceRun> {
+    prop::collection::vec((1u64..40_000u64, 0u32..4u32), 1..40).prop_map(|gaps| {
+        let mut b = TraceRunBuilder::new(Pid(1));
+        let mut t = SimTime::from_millis(200);
+        for (i, (gap_ms, pc)) in gaps.iter().enumerate() {
+            b.io(
+                t,
+                Pid(1),
+                Pc(0x1000 + pc),
+                IoKind::Read,
+                Fd(3),
+                FileId(1),
+                (i as u64) * 4096,
+                4096,
+            );
+            t += SimDuration::from_millis(*gap_ms);
+        }
+        b.exit(t + SimDuration::from_secs(10), Pid(1));
+        b.finish().expect("valid by construction")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    /// On arbitrary traces: the oracle never mispredicts, covers every
+    /// opportunity, and no predictor beats its savings; every
+    /// predictor's counts are internally consistent.
+    #[test]
+    fn simulator_invariants_on_random_traces(run in arbitrary_run()) {
+        let config = SimConfig::paper();
+        let mut trace = ApplicationTrace::new("random");
+        trace.runs.push(run);
+
+        let oracle = evaluate_app(&trace, &config, PowerManagerKind::Oracle);
+        prop_assert_eq!(oracle.global.misses(), 0);
+        prop_assert_eq!(oracle.global.not_predicted, 0);
+        prop_assert_eq!(oracle.global.hits(), oracle.global.opportunities);
+
+        for kind in [PowerManagerKind::Timeout, PowerManagerKind::LT, PowerManagerKind::PCAP] {
+            let r = evaluate_app(&trace, &config, kind);
+            // Savings bounded by the clairvoyant predictor.
+            prop_assert!(r.savings() <= oracle.savings() + 1e-9, "{}", kind.label());
+            // Hits + not-predicted never exceed opportunities.
+            prop_assert!(r.global.hits() + r.global.not_predicted <= r.global.opportunities + r.global.misses());
+            // Identical opportunity counts across predictors.
+            prop_assert_eq!(r.global.opportunities, oracle.global.opportunities);
+            // Base energy identical for all managers.
+            prop_assert!((r.base_energy.total().0 - oracle.base_energy.total().0).abs() < 1e-6);
+        }
+    }
+
+    /// The full engine agrees exactly with an independent, naive
+    /// closed-form model of the timeout predictor on single-process
+    /// traces: per-gap arithmetic, no event loop, no voting machinery.
+    #[test]
+    fn engine_matches_naive_timeout_reference(run in arbitrary_run()) {
+        let config = SimConfig::paper();
+        let be = config.disk.breakeven_time();
+        let timeout = config.timeout;
+
+        // Reference: straight arithmetic over the preprocessed gaps.
+        let streams = pcap_sim::RunStreams::build(&run, &config);
+        let mut reference = pcap_sim::PredictionCounts::default();
+        let mut ref_energy = 0.0f64;
+        let mut ref_base = 0.0f64;
+        for (i, access) in streams.accesses.iter().enumerate() {
+            let busy = (config.disk.busy_power * config.disk.service_time(access.pages)).0;
+            ref_energy += busy;
+            ref_base += busy;
+            let gap = streams.global_gaps[i];
+            if gap > be {
+                reference.opportunities += 1;
+            }
+            let managed = GapBreakdown::managed(&config.disk, gap, timeout);
+            ref_energy += managed.total().0;
+            ref_base += GapBreakdown::unmanaged(&config.disk, gap).total().0;
+            if timeout < gap {
+                if gap - timeout > be {
+                    reference.hit_primary += 1;
+                } else {
+                    reference.miss_primary += 1;
+                }
+            } else if gap > be {
+                reference.not_predicted += 1;
+            }
+        }
+
+        let mut trace = ApplicationTrace::new("ref");
+        trace.runs.push(run);
+        let engine = evaluate_app(&trace, &config, PowerManagerKind::Timeout);
+        prop_assert_eq!(engine.global, reference);
+        prop_assert!((engine.energy.total().0 - ref_energy).abs() < 1e-6,
+            "energy {} vs reference {}", engine.energy.total().0, ref_energy);
+        prop_assert!((engine.base_energy.total().0 - ref_base).abs() < 1e-6);
+    }
+
+    /// Merged system runs stay valid and conserve I/O events for
+    /// arbitrary run pairs and offsets.
+    #[test]
+    fn merge_preserves_events(a in arbitrary_run(), b in arbitrary_run(), offset_s in 0u64..30) {
+        let merged = pcap_trace::merge::merge_runs(&[
+            (&a, SimDuration::ZERO),
+            (&b, SimDuration::from_secs(offset_s)),
+        ]).expect("valid inputs merge");
+        prop_assert_eq!(merged.io_count(), a.io_count() + b.io_count());
+        // Still time-ordered and simulatable.
+        let config = SimConfig::paper();
+        let mut trace = ApplicationTrace::new("merged");
+        trace.runs.push(merged);
+        let oracle = evaluate_app(&trace, &config, PowerManagerKind::Oracle);
+        prop_assert_eq!(oracle.global.misses(), 0);
+    }
+
+    /// Determinism: simulating the same random trace twice gives
+    /// identical reports.
+    #[test]
+    fn simulator_deterministic_on_random_traces(run in arbitrary_run()) {
+        let config = SimConfig::paper();
+        let mut trace = ApplicationTrace::new("random");
+        trace.runs.push(run);
+        let a = evaluate_app(&trace, &config, PowerManagerKind::PCAP);
+        let b = evaluate_app(&trace, &config, PowerManagerKind::PCAP);
+        prop_assert_eq!(a, b);
+    }
+}
