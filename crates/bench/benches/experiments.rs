@@ -27,7 +27,7 @@ fn bench_experiment(c: &mut Criterion, experiment: Experiment) {
         println!("{table}");
     }
     let reduced = reduced();
-    c.bench_function(&format!("regenerate/{experiment}"), |b| {
+    c.bench_function(format!("regenerate/{experiment}"), |b| {
         b.iter(|| {
             // Workbench memoization would hide the work; re-run the
             // experiment against a fresh view each iteration.

@@ -78,7 +78,7 @@ fn capture_strategies(c: &mut Criterion) {
         CaptureStrategy::SyscallInterception,
         CaptureStrategy::KernelHook,
     ] {
-        c.bench_function(&format!("micro/capture/{strategy}"), |b| {
+        c.bench_function(format!("micro/capture/{strategy}"), |b| {
             b.iter(|| black_box(strategy.capture(&stack).expect("app frame")))
         });
     }

@@ -2,15 +2,23 @@
 //!
 //! ```text
 //! pcap run <experiment> [--seed N] [--csv]   regenerate one table/figure
-//! pcap all [--seed N] [--csv]                regenerate everything
+//! pcap all [--seeds A..B] [--jobs N] [--csv] regenerate everything (per seed + sweep)
+//! pcap sweep [--seeds A..B] [--jobs N]       mean/min/max savings across seeds
+//! pcap verify [--update] [--golden DIR]      diff reports+tables against golden/
 //! pcap chart <figure> [--seed N]             draw a figure as stacked ASCII bars
 //! pcap list                                  list experiments
 //! pcap gen <app> [--seed N] [--out FILE]     generate a trace (JSON lines)
 //! pcap profile <app> [--seed N]              Table 1 row for one app
 //! pcap inspect <app> <run#> [--seed N]       per-gap PCAP decisions for one execution
 //! ```
+//!
+//! Every command is deterministic in `(seed, config)`: `--jobs` changes
+//! wall clock, never a byte of output.
 
-use pcap_report::{figure_chart, Experiment, Figure, Workbench};
+use pcap_report::{
+    figure_chart, run_sweep, sweep_table, verify_snapshot, write_snapshot, Experiment, Figure,
+    Workbench, GOLDEN_SEED, GRID_KINDS, SWEEP_KINDS,
+};
 use pcap_sim::{SimConfig, WorkloadProfile};
 use pcap_trace::io::write_jsonl;
 use pcap_workload::{AppModel, PaperApp};
@@ -18,28 +26,69 @@ use std::io::Write;
 use std::process::ExitCode;
 
 const USAGE: &str = "usage:
-  pcap run <experiment> [--seed N] [--csv]
-  pcap all [--seed N] [--csv]
-  pcap chart <fig6|fig7|fig8|fig9|fig10> [--seed N]
+  pcap run <experiment> [--seed N] [--jobs N] [--csv]
+  pcap all [--seed N | --seeds A..B] [--jobs N] [--csv]
+  pcap sweep [--seeds A..B] [--jobs N] [--csv]
+  pcap verify [--update] [--golden DIR] [--seed N] [--jobs N]
+  pcap chart <fig6|fig7|fig8|fig9|fig10> [--seed N] [--jobs N]
   pcap list
   pcap gen <app> [--seed N] [--out FILE]
   pcap profile <app> [--seed N]
   pcap inspect <app> <run#> [--seed N]
+
+flags:
+  --seed N       workload seed (default 42)
+  --seeds A..B   seed range, half-open (42..46 = 42,43,44,45); A..=B inclusive
+  --jobs N       worker threads; 0 = all cores (default); output is identical for any N
+  --csv          emit CSV instead of aligned tables
+  --update       re-bless the golden snapshot instead of verifying
+  --golden DIR   golden snapshot directory (default golden/)
 
 experiments: table1 table2 fig6 fig7 fig8 fig9 fig10 table3 ablations system
 apps: mozilla writer impress xemacs nedit mplayer";
 
 struct Options {
     seed: u64,
+    seeds: Option<Vec<u64>>,
+    jobs: usize,
     csv: bool,
+    update: bool,
+    golden: String,
     out: Option<String>,
     positional: Vec<String>,
 }
 
+/// Parses a `--seeds` range: `A..B` (half-open), `A..=B` (inclusive),
+/// or a single seed.
+fn parse_seed_range(spec: &str) -> Result<Vec<u64>, String> {
+    let bad = || format!("bad seed range: {spec} (expected A..B, A..=B, or N)");
+    let (start, end) = if let Some((a, b)) = spec.split_once("..=") {
+        let a: u64 = a.parse().map_err(|_| bad())?;
+        let b: u64 = b.parse().map_err(|_| bad())?;
+        (a, b.checked_add(1).ok_or_else(bad)?)
+    } else if let Some((a, b)) = spec.split_once("..") {
+        (a.parse().map_err(|_| bad())?, b.parse().map_err(|_| bad())?)
+    } else {
+        let n: u64 = spec.parse().map_err(|_| bad())?;
+        (n, n.checked_add(1).ok_or_else(bad)?)
+    };
+    if start >= end {
+        return Err(format!("empty seed range: {spec}"));
+    }
+    if end - start > 1_000 {
+        return Err(format!("seed range too large: {spec} (max 1000 seeds)"));
+    }
+    Ok((start..end).collect())
+}
+
 fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut options = Options {
-        seed: 42,
+        seed: GOLDEN_SEED,
+        seeds: None,
+        jobs: 0,
         csv: false,
+        update: false,
+        golden: "golden".to_owned(),
         out: None,
         positional: Vec::new(),
     };
@@ -50,7 +99,21 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 let value = it.next().ok_or("--seed needs a value")?;
                 options.seed = value.parse().map_err(|_| format!("bad seed: {value}"))?;
             }
+            "--seeds" => {
+                let value = it.next().ok_or("--seeds needs a value")?;
+                options.seeds = Some(parse_seed_range(value)?);
+            }
+            "--jobs" => {
+                let value = it.next().ok_or("--jobs needs a value")?;
+                options.jobs = value
+                    .parse()
+                    .map_err(|_| format!("bad job count: {value}"))?;
+            }
             "--csv" => options.csv = true,
+            "--update" => options.update = true,
+            "--golden" => {
+                options.golden = it.next().ok_or("--golden needs a value")?.clone();
+            }
             "--out" => {
                 options.out = Some(it.next().ok_or("--out needs a value")?.clone());
             }
@@ -94,26 +157,87 @@ fn run() -> Result<(), String> {
             let name = positional.next().ok_or("run needs an experiment name")?;
             let experiment =
                 Experiment::by_name(name).ok_or_else(|| format!("unknown experiment {name}"))?;
-            let bench =
-                Workbench::generate(options.seed, SimConfig::paper()).map_err(|e| e.to_string())?;
+            let bench = Workbench::generate_par(options.seed, SimConfig::paper(), options.jobs)
+                .map_err(|e| e.to_string())?;
             emit(&experiment.run(&bench), options.csv);
             Ok(())
         }
         "chart" => {
             let name = positional.next().ok_or("chart needs a figure name")?;
             let figure = Figure::by_name(name).ok_or_else(|| format!("no chart for {name}"))?;
-            let bench =
-                Workbench::generate(options.seed, SimConfig::paper()).map_err(|e| e.to_string())?;
+            let bench = Workbench::generate_par(options.seed, SimConfig::paper(), options.jobs)
+                .map_err(|e| e.to_string())?;
             print!("{}", figure_chart(&bench, figure));
             Ok(())
         }
         "all" => {
-            let bench =
-                Workbench::generate(options.seed, SimConfig::paper()).map_err(|e| e.to_string())?;
-            for experiment in Experiment::ALL {
-                emit(&experiment.run(&bench), options.csv);
+            let seeds = options.seeds.clone().unwrap_or_else(|| vec![options.seed]);
+            let benches = run_sweep(&seeds, &SimConfig::paper(), &GRID_KINDS, options.jobs)
+                .map_err(|e| e.to_string())?;
+            for (seed, bench) in &benches {
+                if seeds.len() > 1 {
+                    if options.csv {
+                        println!("# seed {seed}");
+                    } else {
+                        println!("===== seed {seed} =====\n");
+                    }
+                }
+                for experiment in Experiment::ALL {
+                    emit(&experiment.run(bench), options.csv);
+                }
+            }
+            if seeds.len() > 1 {
+                if options.csv {
+                    println!("# sweep");
+                } else {
+                    println!("===== sweep =====\n");
+                }
+                emit(&[sweep_table(&benches, &SWEEP_KINDS)], options.csv);
             }
             Ok(())
+        }
+        "sweep" => {
+            let seeds = options
+                .seeds
+                .clone()
+                .unwrap_or_else(|| (GOLDEN_SEED..GOLDEN_SEED + 5).collect());
+            let benches = run_sweep(&seeds, &SimConfig::paper(), &SWEEP_KINDS, options.jobs)
+                .map_err(|e| e.to_string())?;
+            emit(&[sweep_table(&benches, &SWEEP_KINDS)], options.csv);
+            Ok(())
+        }
+        "verify" => {
+            let bench = Workbench::generate_par(options.seed, SimConfig::paper(), options.jobs)
+                .map_err(|e| e.to_string())?;
+            bench.warm_up(&GRID_KINDS, options.jobs);
+            let dir = std::path::Path::new(&options.golden);
+            if options.update {
+                write_snapshot(&bench, dir).map_err(|e| e.to_string())?;
+                eprintln!(
+                    "pcap: golden snapshot updated in {} (seed {})",
+                    dir.display(),
+                    bench.seed()
+                );
+                return Ok(());
+            }
+            let drifts = verify_snapshot(&bench, dir).map_err(|e| e.to_string())?;
+            if drifts.is_empty() {
+                eprintln!(
+                    "pcap: golden snapshot OK ({} files, seed {})",
+                    pcap_report::snapshot_files(&bench).len(),
+                    bench.seed()
+                );
+                Ok(())
+            } else {
+                for drift in &drifts {
+                    eprintln!("pcap: drift: {drift}");
+                }
+                Err(format!(
+                    "{} file(s) drifted from {} — if intentional, re-bless with `pcap verify --update`",
+                    drifts.len(),
+                    dir.display()
+                ))
+            }
         }
         "gen" => {
             let name = positional.next().ok_or("gen needs an application name")?;
@@ -282,6 +406,29 @@ mod tests {
         assert!(parse_args(&args(&["--seed", "x"])).is_err());
         assert!(parse_args(&args(&["--bogus"])).is_err());
         assert!(parse_args(&args(&["--out"])).is_err());
+        assert!(parse_args(&args(&["--jobs", "many"])).is_err());
+        assert!(parse_args(&args(&["--seeds", "46..42"])).is_err());
+    }
+
+    #[test]
+    fn parses_parallel_flags() {
+        let o = parse_args(&args(&["all", "--seeds", "42..46", "--jobs", "8"])).unwrap();
+        assert_eq!(o.seeds.as_deref(), Some(&[42, 43, 44, 45][..]));
+        assert_eq!(o.jobs, 8);
+        let o = parse_args(&args(&["verify", "--update", "--golden", "g"])).unwrap();
+        assert!(o.update);
+        assert_eq!(o.golden, "g");
+        assert_eq!(o.jobs, 0, "jobs defaults to all cores");
+    }
+
+    #[test]
+    fn seed_ranges() {
+        assert_eq!(parse_seed_range("42..46").unwrap(), vec![42, 43, 44, 45]);
+        assert_eq!(parse_seed_range("42..=44").unwrap(), vec![42, 43, 44]);
+        assert_eq!(parse_seed_range("7").unwrap(), vec![7]);
+        assert!(parse_seed_range("5..5").is_err());
+        assert!(parse_seed_range("a..b").is_err());
+        assert!(parse_seed_range("0..5000").is_err());
     }
 
     #[test]

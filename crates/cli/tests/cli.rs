@@ -1,0 +1,84 @@
+//! End-to-end tests of the `pcap` binary: exit codes, stderr
+//! diagnostics, and machine-readable output.
+
+use std::process::{Command, Output};
+
+fn pcap(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_pcap"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn stderr(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stderr).into_owned()
+}
+
+#[test]
+fn unknown_experiment_fails_with_diagnostic() {
+    let out = pcap(&["run", "fig99"]);
+    assert!(!out.status.success());
+    assert!(
+        stderr(&out).contains("pcap: unknown experiment fig99"),
+        "stderr: {}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn unknown_app_fails_with_diagnostic() {
+    let out = pcap(&["profile", "emacs"]);
+    assert!(!out.status.success());
+    assert!(
+        stderr(&out).contains("pcap: unknown application emacs"),
+        "stderr: {}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn bad_flags_fail_before_any_work() {
+    for (args, needle) in [
+        (&["run", "fig7", "--seed", "lots"][..], "bad seed: lots"),
+        (&["all", "--seeds", "46..42"][..], "empty seed range"),
+        (&["all", "--jobs", "-1"][..], "bad job count"),
+        (&["run", "fig7", "--frobnicate"][..], "unknown flag"),
+        (&["frobnicate"][..], "unknown command"),
+    ] {
+        let out = pcap(args);
+        assert!(!out.status.success(), "{args:?} must fail");
+        assert!(
+            stderr(&out).contains(needle),
+            "{args:?} stderr: {}",
+            stderr(&out)
+        );
+        assert!(out.stdout.is_empty(), "{args:?} wrote to stdout");
+    }
+}
+
+#[test]
+fn list_and_help_succeed() {
+    let out = pcap(&["list"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("fig7"));
+    let out = pcap(&["help"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("--jobs"));
+}
+
+#[test]
+fn run_fig7_csv_emits_parseable_csv() {
+    let out = pcap(&["run", "fig7", "--csv"]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let stdout = String::from_utf8(out.stdout).expect("utf-8");
+    let mut lines = stdout.lines();
+    let header = lines.next().expect("header row");
+    let columns = header.split(',').count();
+    assert!(header.split(',').any(|c| c == "app"), "header: {header}");
+    let mut rows = 0;
+    for line in lines {
+        assert_eq!(line.split(',').count(), columns, "ragged CSV row: {line}");
+        rows += 1;
+    }
+    assert!(rows >= 6, "one row per paper app, got {rows}");
+}

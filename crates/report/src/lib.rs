@@ -20,10 +20,14 @@
 pub mod chart;
 pub mod experiments;
 pub mod paper;
+pub mod snapshot;
+pub mod sweep;
 pub mod tables;
 pub mod workbench;
 
 pub use chart::{figure_chart, Figure};
 pub use experiments::Experiment;
+pub use snapshot::{snapshot_files, verify_snapshot, write_snapshot, Drift, GOLDEN_SEED};
+pub use sweep::{run_sweep, sweep_table, SWEEP_KINDS};
 pub use tables::Table;
-pub use workbench::Workbench;
+pub use workbench::{Workbench, GRID_KINDS};

@@ -1,0 +1,228 @@
+//! Multi-seed experiment sweeps.
+//!
+//! The paper's robustness claims (§6) are statements about behaviour
+//! across user sessions; in this reproduction that means across
+//! workload seeds. This module fans the full `seed × app × manager`
+//! grid across a [`SweepRunner`] and aggregates per-seed savings and
+//! accuracy into a mean/min/max table — the `sweep` experiment.
+//!
+//! Determinism contract: trace generation depends only on
+//! `(app, seed)`, simulation only on `(trace, config, kind)`, and all
+//! merges happen in canonical order (seed-major, then [`PaperApp::ALL`]
+//! order, then kind order), so output is byte-identical for every
+//! `--jobs` value.
+
+use crate::tables::{pct1, Table};
+use crate::workbench::Workbench;
+use pcap_sim::{evaluate_app, PowerManagerKind, SeedStat, SimConfig, SweepRunner};
+use pcap_trace::TraceError;
+use pcap_workload::{AppModel, PaperApp};
+
+/// The managers aggregated by the `sweep` experiment: the paper's
+/// headline predictors plus the clairvoyant bound.
+pub const SWEEP_KINDS: [PowerManagerKind; 4] = [
+    PowerManagerKind::Timeout,
+    PowerManagerKind::LT,
+    PowerManagerKind::PCAP,
+    PowerManagerKind::Oracle,
+];
+
+/// Generates one workbench per seed and simulates `kinds` for every
+/// `(seed, app)` cell, batching the whole grid through one parallel
+/// runner.
+///
+/// # Errors
+///
+/// Propagates trace-validation failures from the workload generator.
+pub fn run_sweep(
+    seeds: &[u64],
+    config: &SimConfig,
+    kinds: &[PowerManagerKind],
+    jobs: usize,
+) -> Result<Vec<(u64, Workbench)>, TraceError> {
+    let runner = SweepRunner::new(jobs);
+    let apps = PaperApp::ALL;
+
+    // Stage 1: every (seed, app) trace, seed-major so per-seed chunks
+    // come back contiguous.
+    let generation_tasks: Vec<(u64, PaperApp)> = seeds
+        .iter()
+        .flat_map(|&seed| apps.iter().map(move |&app| (seed, app)))
+        .collect();
+    let traces = runner
+        .run(&generation_tasks, |_, &(seed, app)| {
+            app.spec().generate_trace(seed)
+        })
+        .into_iter()
+        .collect::<Result<Vec<_>, _>>()?;
+    let mut traces = traces.into_iter();
+    let benches: Vec<(u64, Workbench)> = seeds
+        .iter()
+        .map(|&seed| {
+            let suite: Vec<_> = (0..apps.len())
+                .map(|_| traces.next().expect("chunk"))
+                .collect();
+            (
+                seed,
+                Workbench::from_traces_seeded(seed, suite, config.clone()),
+            )
+        })
+        .collect();
+
+    // Stage 2: the full seed × app × kind simulation grid in one batch.
+    let simulation_tasks: Vec<(usize, usize, PowerManagerKind)> = (0..benches.len())
+        .flat_map(|bench_idx| {
+            (0..apps.len()).flat_map(move |trace_idx| {
+                kinds.iter().map(move |&kind| (bench_idx, trace_idx, kind))
+            })
+        })
+        .collect();
+    let reports = runner.run(&simulation_tasks, |_, &(bench_idx, trace_idx, kind)| {
+        evaluate_app(&benches[bench_idx].1.traces()[trace_idx], config, kind)
+    });
+    for (&(bench_idx, trace_idx, kind), report) in simulation_tasks.iter().zip(reports) {
+        benches[bench_idx].1.prime(trace_idx, kind, report);
+    }
+    Ok(benches)
+}
+
+/// Aggregates a sweep into the mean/min/max table: one row per
+/// `app × manager`, plus per-manager suite averages.
+pub fn sweep_table(benches: &[(u64, Workbench)], kinds: &[PowerManagerKind]) -> Table {
+    let seeds: Vec<u64> = benches.iter().map(|(seed, _)| *seed).collect();
+    let apps = benches.first().map_or(0, |(_, bench)| bench.traces().len());
+    let mut t = Table::new(
+        format!(
+            "Sweep: savings and accuracy across {} seeds ({})",
+            seeds.len(),
+            render_seeds(&seeds)
+        ),
+        &[
+            "app",
+            "predictor",
+            "savings mean",
+            "savings min",
+            "savings max",
+            "coverage mean",
+            "coverage min",
+            "coverage max",
+            "miss mean",
+            "miss max",
+        ],
+    );
+    let stat_row = |t: &mut Table, app: &str, kind: PowerManagerKind, cells: &[(usize, usize)]| {
+        // `cells` are (bench index, trace index) pairs to average over.
+        let collect = |metric: &dyn Fn(&pcap_sim::AppReport) -> f64| -> SeedStat {
+            let samples: Vec<f64> = cells
+                .iter()
+                .map(|&(bench_idx, trace_idx)| {
+                    metric(&benches[bench_idx].1.report(trace_idx, kind))
+                })
+                .collect();
+            SeedStat::of(&samples)
+        };
+        let savings = collect(&|r| r.savings());
+        let coverage = collect(&|r| r.global.coverage());
+        let miss = collect(&|r| r.global.miss_rate());
+        t.row(vec![
+            app.to_owned(),
+            kind.label(),
+            pct1(savings.mean),
+            pct1(savings.min),
+            pct1(savings.max),
+            pct1(coverage.mean),
+            pct1(coverage.min),
+            pct1(coverage.max),
+            pct1(miss.mean),
+            pct1(miss.max),
+        ]);
+    };
+    for trace_idx in 0..apps {
+        let app = benches[0].1.traces()[trace_idx].app.clone();
+        for &kind in kinds {
+            let cells: Vec<(usize, usize)> = (0..benches.len())
+                .map(|bench_idx| (bench_idx, trace_idx))
+                .collect();
+            stat_row(&mut t, &app, kind, &cells);
+        }
+    }
+    // Suite-wide aggregation: every app × seed sample per manager.
+    for &kind in kinds {
+        let cells: Vec<(usize, usize)> = (0..benches.len())
+            .flat_map(|bench_idx| (0..apps).map(move |trace_idx| (bench_idx, trace_idx)))
+            .collect();
+        stat_row(&mut t, "AVERAGE", kind, &cells);
+    }
+    t
+}
+
+/// Renders a seed list compactly: contiguous runs as `a..=b`.
+fn render_seeds(seeds: &[u64]) -> String {
+    let contiguous = seeds
+        .windows(2)
+        .all(|pair| pair[1] == pair[0].wrapping_add(1));
+    match (seeds.first(), seeds.last()) {
+        (Some(first), Some(last)) if contiguous && seeds.len() > 1 => {
+            format!("seeds {first}..={last}")
+        }
+        _ => format!(
+            "seeds {}",
+            seeds
+                .iter()
+                .map(u64::to_string)
+                .collect::<Vec<_>>()
+                .join(", ")
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn truncated_sweep(seeds: &[u64], jobs: usize) -> Vec<(u64, Workbench)> {
+        // Full multi-seed sweeps are exercised by the CLI; tests use a
+        // reduced suite for speed by truncating each generated trace.
+        let benches = run_sweep(seeds, &SimConfig::paper(), &[], jobs).expect("valid specs");
+        let benches: Vec<(u64, Workbench)> = benches
+            .into_iter()
+            .map(|(seed, bench)| {
+                let traces: Vec<_> = bench
+                    .traces()
+                    .iter()
+                    .map(|t| {
+                        let mut t = t.clone();
+                        t.runs.truncate(3);
+                        t
+                    })
+                    .collect();
+                (
+                    seed,
+                    Workbench::from_traces_seeded(seed, traces, SimConfig::paper()),
+                )
+            })
+            .collect();
+        for (_, bench) in &benches {
+            bench.warm_up(&SWEEP_KINDS, jobs);
+        }
+        benches
+    }
+
+    #[test]
+    fn sweep_table_is_job_count_invariant() {
+        let seeds = [42u64, 43];
+        let serial = sweep_table(&truncated_sweep(&seeds, 1), &SWEEP_KINDS);
+        let parallel = sweep_table(&truncated_sweep(&seeds, 8), &SWEEP_KINDS);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial.to_csv(), parallel.to_csv());
+        // 6 apps × 4 kinds + 4 AVERAGE rows.
+        assert_eq!(serial.rows.len(), 6 * 4 + 4);
+    }
+
+    #[test]
+    fn seed_ranges_render_compactly() {
+        assert_eq!(render_seeds(&[42, 43, 44]), "seeds 42..=44");
+        assert_eq!(render_seeds(&[42]), "seeds 42");
+        assert_eq!(render_seeds(&[7, 42]), "seeds 7, 42");
+    }
+}

@@ -1,11 +1,41 @@
 //! The workbench: generated traces plus a memoized report cache, shared
 //! by all experiments.
 
-use pcap_sim::{evaluate_app, AppReport, PowerManagerKind, SimConfig};
+use pcap_core::PcapVariant;
+use pcap_sim::{evaluate_app, AppReport, PowerManagerKind, SimConfig, SweepRunner};
 use pcap_trace::{ApplicationTrace, TraceError};
 use pcap_workload::{AppModel, PaperApp};
 use std::collections::HashMap;
 use std::sync::Mutex;
+
+/// Every `(app, manager)` cell the experiment suite reads through the
+/// memo, in canonical order. Warming this grid up front (in parallel)
+/// makes `pcap all`/`pcap verify` embarrassingly parallel while their
+/// rendered output stays byte-identical to a serial run.
+pub const GRID_KINDS: [PowerManagerKind; 10] = [
+    PowerManagerKind::Timeout,
+    PowerManagerKind::Oracle,
+    PowerManagerKind::LT,
+    PowerManagerKind::LearningTree { reuse: false },
+    PowerManagerKind::PCAP,
+    PowerManagerKind::Pcap {
+        variant: PcapVariant::Base,
+        reuse: false,
+    },
+    PowerManagerKind::Pcap {
+        variant: PcapVariant::History,
+        reuse: true,
+    },
+    PowerManagerKind::Pcap {
+        variant: PcapVariant::FileDescriptor,
+        reuse: true,
+    },
+    PowerManagerKind::Pcap {
+        variant: PcapVariant::FileDescriptorHistory,
+        reuse: true,
+    },
+    PowerManagerKind::MultiStatePcap,
+];
 
 /// Generated traces for the six-application suite plus a memo of
 /// simulator reports, so experiments that share configurations (Figures
@@ -26,27 +56,83 @@ impl Workbench {
     /// Propagates trace-validation failures from the generator (a
     /// workload-spec bug).
     pub fn generate(seed: u64, config: SimConfig) -> Result<Workbench, TraceError> {
-        let traces = PaperApp::ALL
-            .iter()
-            .map(|app| app.spec().generate_trace(seed))
+        Workbench::generate_par(seed, config, 1)
+    }
+
+    /// Like [`Workbench::generate`], but generates the six application
+    /// traces on `jobs` worker threads. Each trace is a pure function
+    /// of `(app, seed)` and the results are merged in [`PaperApp::ALL`]
+    /// order, so the workbench is identical for every job count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates trace-validation failures from the generator (a
+    /// workload-spec bug).
+    pub fn generate_par(
+        seed: u64,
+        config: SimConfig,
+        jobs: usize,
+    ) -> Result<Workbench, TraceError> {
+        let apps = PaperApp::ALL;
+        let traces = SweepRunner::new(jobs)
+            .run(&apps, |_, app| app.spec().generate_trace(seed))
+            .into_iter()
             .collect::<Result<Vec<_>, _>>()?;
-        Ok(Workbench {
-            config,
-            seed,
-            traces,
-            memo: Mutex::new(HashMap::new()),
-        })
+        Ok(Workbench::from_traces_seeded(seed, traces, config))
     }
 
     /// Builds a workbench from pre-generated traces (tests, custom
     /// suites).
     pub fn from_traces(traces: Vec<ApplicationTrace>, config: SimConfig) -> Workbench {
+        Workbench::from_traces_seeded(0, traces, config)
+    }
+
+    /// Builds a workbench from pre-generated traces, recording the seed
+    /// they were generated with.
+    pub fn from_traces_seeded(
+        seed: u64,
+        traces: Vec<ApplicationTrace>,
+        config: SimConfig,
+    ) -> Workbench {
         Workbench {
             config,
-            seed: 0,
+            seed,
             traces,
             memo: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// Simulates every `(trace, kind)` cell not already memoized, on
+    /// `jobs` worker threads, and fills the memo.
+    ///
+    /// The per-cell simulation is a pure function of
+    /// `(trace, config, kind)`, so a warmed workbench returns exactly
+    /// the reports a cold one would — parallel warm-up changes wall
+    /// clock, never output.
+    pub fn warm_up(&self, kinds: &[PowerManagerKind], jobs: usize) {
+        let pending: Vec<(usize, PowerManagerKind)> = {
+            let memo = self.memo.lock().expect("memo lock");
+            (0..self.traces.len())
+                .flat_map(|trace_idx| kinds.iter().map(move |&kind| (trace_idx, kind)))
+                .filter(|cell| !memo.contains_key(cell))
+                .collect()
+        };
+        let reports = SweepRunner::new(jobs).run(&pending, |_, &(trace_idx, kind)| {
+            evaluate_app(&self.traces[trace_idx], &self.config, kind)
+        });
+        let mut memo = self.memo.lock().expect("memo lock");
+        for (cell, report) in pending.into_iter().zip(reports) {
+            memo.insert(cell, report);
+        }
+    }
+
+    /// Inserts a pre-computed report into the memo (used by the
+    /// multi-seed sweep, which batches simulation across workbenches).
+    pub fn prime(&self, trace_idx: usize, kind: PowerManagerKind, report: AppReport) {
+        self.memo
+            .lock()
+            .expect("memo lock")
+            .insert((trace_idx, kind), report);
     }
 
     /// The simulation configuration.
@@ -101,6 +187,34 @@ mod tests {
         b.exit(SimTime::from_secs(30), Pid(1));
         trace.runs.push(b.finish().unwrap());
         trace
+    }
+
+    #[test]
+    fn warm_up_fills_memo_identically_for_any_job_count() {
+        let serial = Workbench::from_traces(vec![tiny_trace()], SimConfig::paper());
+        let parallel = Workbench::from_traces(vec![tiny_trace()], SimConfig::paper());
+        serial.warm_up(&GRID_KINDS, 1);
+        parallel.warm_up(&GRID_KINDS, 8);
+        assert_eq!(serial.memo.lock().unwrap().len(), GRID_KINDS.len());
+        for kind in GRID_KINDS {
+            assert_eq!(
+                serial.report(0, kind),
+                parallel.report(0, kind),
+                "{}",
+                kind.label()
+            );
+        }
+        // A second warm-up has nothing left to simulate.
+        serial.warm_up(&GRID_KINDS, 4);
+        assert_eq!(serial.memo.lock().unwrap().len(), GRID_KINDS.len());
+    }
+
+    #[test]
+    fn generate_par_matches_serial_generation() {
+        let serial = Workbench::generate(7, SimConfig::paper()).expect("valid");
+        let parallel = Workbench::generate_par(7, SimConfig::paper(), 6).expect("valid");
+        assert_eq!(serial.traces(), parallel.traces());
+        assert_eq!(parallel.seed(), 7);
     }
 
     #[test]

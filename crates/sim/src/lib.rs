@@ -34,6 +34,7 @@ pub mod factory;
 pub mod metrics;
 pub mod profile;
 pub mod streams;
+pub mod sweep;
 
 pub use engine::{
     evaluate_app, simulate_run, simulate_run_logged, AppReport, GapRecord, GapVerdict, RunOutcome,
@@ -42,6 +43,7 @@ pub use factory::{Manager, PowerManagerKind};
 pub use metrics::{EnergyBreakdown, PredictionCounts};
 pub use profile::WorkloadProfile;
 pub use streams::RunStreams;
+pub use sweep::{SeedStat, SweepRunner};
 
 use pcap_cache::CacheConfig;
 use pcap_disk::DiskParams;

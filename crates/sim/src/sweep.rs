@@ -1,0 +1,188 @@
+//! Deterministic parallel execution of simulation grids.
+//!
+//! [`SweepRunner`] fans an ordered task list across scoped worker
+//! threads and merges the results back **in task order**, so the output
+//! of a parallel run is byte-identical to a serial run: parallelism
+//! only changes *when* each task executes, never *what* it produces or
+//! where its result lands. Every simulation task is itself a pure
+//! function of `(trace, config, kind)` — the engine holds no global
+//! state — which is what makes this safe.
+//!
+//! [`SeedStat`] aggregates per-seed metrics (mean/min/max) for the
+//! multi-seed sweep experiment built on top of the runner.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A pool of scoped worker threads that evaluates an ordered task list
+/// and returns results in canonical (task) order.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepRunner {
+    jobs: usize,
+}
+
+impl SweepRunner {
+    /// A runner with `jobs` workers; `0` selects the machine's
+    /// available parallelism.
+    pub fn new(jobs: usize) -> SweepRunner {
+        let jobs = if jobs == 0 {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        } else {
+            jobs
+        };
+        SweepRunner { jobs }
+    }
+
+    /// The number of worker threads this runner uses.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Runs `worker` over every task and returns the results in task
+    /// order, regardless of which worker finished first.
+    ///
+    /// Workers pull tasks from a shared atomic cursor (dynamic load
+    /// balancing: simulation costs vary wildly across apps) and write
+    /// each result into the slot of its task index, so the merge is a
+    /// canonical-order readout.
+    pub fn run<T, R, F>(&self, tasks: &[T], worker: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        if self.jobs <= 1 || tasks.len() <= 1 {
+            return tasks
+                .iter()
+                .enumerate()
+                .map(|(index, task)| worker(index, task))
+                .collect();
+        }
+        let cursor = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<R>>> = tasks.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..self.jobs.min(tasks.len()) {
+                scope.spawn(|| loop {
+                    let index = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(task) = tasks.get(index) else {
+                        break;
+                    };
+                    let result = worker(index, task);
+                    *slots[index].lock().expect("result slot") = Some(result);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot")
+                    .expect("every task index was claimed exactly once")
+            })
+            .collect()
+    }
+}
+
+impl Default for SweepRunner {
+    /// The default runner uses all available parallelism.
+    fn default() -> SweepRunner {
+        SweepRunner::new(0)
+    }
+}
+
+/// Mean/min/max of one metric across seeds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SeedStat {
+    /// Arithmetic mean over the seeds.
+    pub mean: f64,
+    /// Smallest per-seed value.
+    pub min: f64,
+    /// Largest per-seed value.
+    pub max: f64,
+}
+
+impl SeedStat {
+    /// Aggregates samples; an empty slice yields all zeros.
+    pub fn of(samples: &[f64]) -> SeedStat {
+        if samples.is_empty() {
+            return SeedStat {
+                mean: 0.0,
+                min: 0.0,
+                max: 0.0,
+            };
+        }
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        for &x in samples {
+            min = min.min(x);
+            max = max.max(x);
+            sum += x;
+        }
+        SeedStat {
+            mean: sum / samples.len() as f64,
+            min,
+            max,
+        }
+    }
+
+    /// The max−min spread across seeds.
+    pub fn spread(&self) -> f64 {
+        self.max - self.min
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_come_back_in_task_order() {
+        let tasks: Vec<u64> = (0..64).collect();
+        // Deliberately uneven task costs so workers finish out of order.
+        let work = |_: usize, n: &u64| -> u64 {
+            let spin = (n % 7) * 1_000;
+            let mut acc = 0u64;
+            for i in 0..spin {
+                acc = acc.wrapping_add(i);
+            }
+            std::hint::black_box(acc);
+            n * 3
+        };
+        let serial = SweepRunner::new(1).run(&tasks, work);
+        let parallel = SweepRunner::new(8).run(&tasks, work);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial, (0..64).map(|n| n * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let tasks: Vec<usize> = (0..100).collect();
+        let results = SweepRunner::new(4).run(&tasks, |index, task| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            assert_eq!(index, *task);
+            index
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+        assert_eq!(results.len(), 100);
+    }
+
+    #[test]
+    fn zero_jobs_selects_available_parallelism() {
+        assert!(SweepRunner::new(0).jobs() >= 1);
+        assert_eq!(SweepRunner::new(3).jobs(), 3);
+    }
+
+    #[test]
+    fn seed_stat_aggregates() {
+        let s = SeedStat::of(&[0.2, 0.4, 0.3]);
+        assert!((s.mean - 0.3).abs() < 1e-12);
+        assert_eq!(s.min, 0.2);
+        assert_eq!(s.max, 0.4);
+        assert!((s.spread() - 0.2).abs() < 1e-12);
+        assert_eq!(SeedStat::of(&[]).mean, 0.0);
+    }
+}

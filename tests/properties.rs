@@ -371,3 +371,80 @@ proptest! {
         prop_assert_eq!(a, b);
     }
 }
+
+// ------------------------------------------------- energy accounting
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    /// Every spin-down is scored exactly once: global hits + misses
+    /// equal the number of logged gaps in which the disk was shut down,
+    /// and the gap log covers every merged idle gap.
+    #[test]
+    fn hits_plus_misses_equal_logged_shutdowns(run in arbitrary_run()) {
+        let config = SimConfig::paper();
+        let streams = pcap_sim::RunStreams::build(&run, &config);
+        for kind in [
+            PowerManagerKind::Timeout,
+            PowerManagerKind::LT,
+            PowerManagerKind::PCAP,
+            PowerManagerKind::Oracle,
+        ] {
+            let mut manager = kind.manager(&config);
+            let mut log = Vec::new();
+            let out = pcap_sim::simulate_run_logged(&run, &streams, &config, &mut manager, &mut log);
+            let shutdowns = log.iter().filter(|g| g.shutdown.is_some()).count() as u64;
+            prop_assert_eq!(
+                out.global.hits() + out.global.misses(),
+                shutdowns,
+                "{}: hit/miss accounting must match the gap log",
+                kind.label()
+            );
+            prop_assert_eq!(log.len(), streams.accesses.len());
+        }
+    }
+
+    /// The energy integrator's components always sum to its total —
+    /// managed and baseline — so no term is dropped or double-counted
+    /// when a breakdown field is added.
+    #[test]
+    fn energy_components_sum_to_total(run in arbitrary_run()) {
+        let config = SimConfig::paper();
+        let mut trace = ApplicationTrace::new("random");
+        trace.runs.push(run);
+        for kind in [PowerManagerKind::Timeout, PowerManagerKind::PCAP, PowerManagerKind::Oracle] {
+            let r = evaluate_app(&trace, &config, kind);
+            for energy in [&r.energy, &r.base_energy] {
+                let sum = energy.busy.0
+                    + energy.idle_short.0
+                    + energy.idle_long.0
+                    + energy.power_cycle.0;
+                prop_assert!(
+                    (energy.total().0 - sum).abs() < 1e-9,
+                    "{}: components {sum} vs total {}",
+                    kind.label(),
+                    energy.total().0
+                );
+                prop_assert!(energy.total().0.is_finite() && energy.total().0 >= 0.0);
+            }
+        }
+    }
+
+    /// The clairvoyant oracle never loses energy to power management:
+    /// its managed total is bounded by the spin-always baseline on
+    /// every trace. (Real predictors may lose energy on miss-heavy
+    /// traces; the bound is only guaranteed for perfect prediction.)
+    #[test]
+    fn oracle_never_loses_energy(run in arbitrary_run()) {
+        let config = SimConfig::paper();
+        let mut trace = ApplicationTrace::new("random");
+        trace.runs.push(run);
+        let r = evaluate_app(&trace, &config, PowerManagerKind::Oracle);
+        prop_assert!(
+            r.energy.total().0 <= r.base_energy.total().0 + 1e-9,
+            "oracle managed {} vs base {}",
+            r.energy.total().0,
+            r.base_energy.total().0
+        );
+        prop_assert!(r.savings() >= -1e-12);
+    }
+}

@@ -1,0 +1,203 @@
+//! Vendored offline stand-in for the `criterion` crate.
+//!
+//! Keeps the workspace's bench targets compiling and runnable without
+//! crates.io: `criterion_group!`/`criterion_main!`, `bench_function`,
+//! benchmark groups with throughput annotations, and `Bencher::iter`.
+//! Measurement is a simple best-of-N wall-clock loop printed to stdout —
+//! enough for coarse comparisons, with none of criterion's statistics.
+
+use std::time::Instant;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The per-benchmark timing harness.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    best_ns: Option<f64>,
+    samples: usize,
+}
+
+impl Bencher {
+    /// Times the closure; the best of `samples` runs is reported.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let mut best = f64::INFINITY;
+        for _ in 0..self.samples.max(1) {
+            let start = Instant::now();
+            let value = routine();
+            let elapsed = start.elapsed().as_secs_f64() * 1e9;
+            best = best.min(elapsed);
+            std::hint::black_box(value);
+        }
+        self.best_ns = Some(best);
+    }
+}
+
+fn report(id: &str, bencher: &Bencher, throughput: Option<Throughput>) {
+    let Some(ns) = bencher.best_ns else {
+        println!("{id:<50} (no measurement)");
+        return;
+    };
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  {:>12.0} elem/s", n as f64 / (ns / 1e9))
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!("  {:>12.0} B/s", n as f64 / (ns / 1e9))
+        }
+        None => String::new(),
+    };
+    println!("{id:<50} {:>14.0} ns/iter{rate}", ns);
+}
+
+/// The top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timing runs each benchmark takes (best is kept).
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, mut routine: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            best_ns: None,
+            samples: self.sample_size,
+        };
+        routine(&mut bencher);
+        report(id.as_ref(), &bencher, None);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl AsRef<str>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.as_ref().to_owned(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _parent: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing throughput/sample settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one named benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            best_ns: None,
+            samples: self.sample_size,
+        };
+        routine(&mut bencher);
+        report(
+            &format!("{}/{}", self.name, id.as_ref()),
+            &bencher,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Ends the group (no-op; parity with the real API).
+    pub fn finish(self) {}
+}
+
+/// Re-export so `criterion::black_box` callers work.
+pub use std::hint::black_box;
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        let mut group = c.benchmark_group("grouped");
+        group.throughput(Throughput::Elements(100));
+        group.sample_size(3);
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+    criterion_group!(
+        name = configured;
+        config = Criterion::default().sample_size(2);
+        targets = sample_bench
+    );
+
+    #[test]
+    fn groups_run() {
+        benches();
+        configured();
+    }
+}

@@ -1,0 +1,482 @@
+//! Vendored offline stand-in for the `proptest` crate.
+//!
+//! Implements the slice of the proptest 1.x API this workspace's
+//! property tests use: the [`proptest!`] macro (with an optional
+//! `#![proptest_config(...)]` header), [`Strategy`] with `prop_map`,
+//! range and tuple strategies, `prop::collection::vec`,
+//! `prop::option::of`, [`any`], and the `prop_assert*`/`prop_assume!`
+//! macros. Generation is purely random-search (no shrinking) and fully
+//! deterministic: each test's stream is seeded from its own name, so
+//! failures reproduce across runs and machines.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+/// The deterministic generator handed to strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// Seeds the stream from a test's name (FNV-1a), so every test has
+    /// its own reproducible sequence.
+    pub fn from_name(name: &str) -> TestRng {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng {
+            inner: StdRng::seed_from_u64(hash),
+        }
+    }
+
+    fn gen_index(&mut self, bound: usize) -> usize {
+        self.inner.gen_range(0..bound)
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// `prop_assume!` filtered the input; the case is retried.
+    Reject(String),
+    /// A `prop_assert*` failed; the test fails.
+    Fail(String),
+}
+
+/// The result type of one generated test case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Test-runner configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 96 }
+    }
+}
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { source: self, f }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.source.generate(rng))
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.inner.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.inner.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! tuple_strategy {
+    ($($s:ident . $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(A.0);
+tuple_strategy!(A.0, B.1);
+tuple_strategy!(A.0, B.1, C.2);
+tuple_strategy!(A.0, B.1, C.2, D.3);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.inner.gen_bool(0.5)
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.inner.gen_range(<$t>::MIN..=<$t>::MAX)
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, i8, i16, i32, i64);
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T> {
+    marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// `any::<T>()`: the canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        marker: std::marker::PhantomData,
+    }
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// An inclusive-exclusive length range for generated collections.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates `Vec`s whose length is uniform in `size` and whose
+    /// elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.size.hi - self.size.lo;
+            let len = self.size.lo + if span > 0 { rng.gen_index(span) } else { 0 };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Option strategies (`prop::option::of`).
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// The strategy returned by [`of`].
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// Generates `None` a quarter of the time, `Some` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.gen_index(4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+/// Drives one `proptest!`-generated test: runs `config.cases`
+/// successful cases, retrying rejected ones (bounded), panicking on the
+/// first failure.
+#[doc(hidden)]
+pub fn run_cases<S: Strategy>(
+    name: &str,
+    config: &ProptestConfig,
+    strategy: &S,
+    case: impl Fn(S::Value) -> TestCaseResult,
+) {
+    let mut rng = TestRng::from_name(name);
+    let mut passed: u32 = 0;
+    let mut rejected: u32 = 0;
+    let budget = config.cases * 10 + 100;
+    while passed < config.cases {
+        if passed + rejected >= budget {
+            panic!(
+                "{name}: gave up after {rejected} rejected cases \
+                 ({passed}/{} passed)",
+                config.cases
+            );
+        }
+        let input = strategy.generate(&mut rng);
+        match case(input) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => rejected += 1,
+            Err(TestCaseError::Fail(message)) => {
+                panic!("{name}: case #{passed} failed: {message}")
+            }
+        }
+    }
+}
+
+/// Defines property tests. See the crate docs for the supported syntax.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($config:expr) ) => {};
+    ( ($config:expr)
+      $(#[$meta:meta])*
+      fn $name:ident( $($arg:pat in $strategy:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $config;
+            let __strategy = ( $($strategy,)+ );
+            $crate::run_cases(
+                stringify!($name),
+                &__config,
+                &__strategy,
+                |( $($arg,)+ )| -> $crate::TestCaseResult {
+                    $body
+                    ::std::result::Result::Ok(())
+                },
+            );
+        }
+        $crate::__proptest_fns! { ($config) $($rest)* }
+    };
+}
+
+/// Fails the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless both sides compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: {:?} == {:?}",
+            __l,
+            __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: {:?} == {:?}: {}",
+            __l,
+            __r,
+            ::std::format!($($fmt)+)
+        );
+    }};
+}
+
+/// Fails the current case if both sides compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(*__l != *__r, "assertion failed: {:?} != {:?}", __l, __r);
+    }};
+}
+
+/// Rejects the current case (retried with fresh input) unless the
+/// assumption holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject(
+                ::std::string::String::from(stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// The glob-import surface: `use proptest::prelude::*;`.
+pub mod prelude {
+    /// `prop::collection::vec(...)`-style paths.
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Any, Just,
+        ProptestConfig, Strategy, TestCaseError, TestCaseResult,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_tuples((a, b) in (0u32..10, 5u64..=6), flag in any::<bool>()) {
+            prop_assert!(a < 10);
+            prop_assert!(b == 5 || b == 6);
+            let _ = flag;
+        }
+
+        #[test]
+        fn vec_lengths_respect_bounds(xs in prop::collection::vec(0u8..4, 2..7)) {
+            prop_assert!((2..7).contains(&xs.len()));
+            for x in xs {
+                prop_assert!(x < 4);
+            }
+        }
+
+        #[test]
+        fn assume_rejects_and_retries(n in 0u32..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        #[test]
+        fn config_header_is_honored(n in 0u64..10, opt in prop::option::of(1u32..3)) {
+            prop_assert!(n < 10);
+            if let Some(x) = opt {
+                prop_assert!(x == 1 || x == 2);
+            }
+        }
+    }
+
+    #[test]
+    fn prop_map_transforms() {
+        let strategy = (1u32..5).prop_map(|n| n * 10);
+        let mut rng = crate::TestRng::from_name("prop_map_transforms");
+        for _ in 0..50 {
+            let v = strategy.generate(&mut rng);
+            assert!(v % 10 == 0 && (10..50).contains(&v));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "case #")]
+    fn failures_panic_with_case_number() {
+        crate::run_cases(
+            "failures_panic_with_case_number",
+            &ProptestConfig::with_cases(4),
+            &(0u32..10),
+            |n| {
+                prop_assert!(n >= 10, "n was {}", n);
+                Ok(())
+            },
+        );
+    }
+}

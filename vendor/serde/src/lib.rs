@@ -1,0 +1,581 @@
+//! Vendored offline stand-in for the `serde` crate.
+//!
+//! The build environment for this repository has no access to crates.io,
+//! so this crate implements the small slice of the serde API the
+//! workspace actually uses: a self-describing [`Value`] data model and
+//! [`Serialize`]/[`Deserialize`] traits expressed directly in terms of
+//! it. The `derive` feature re-exports the matching derive macros from
+//! `serde_derive`, which support plain structs, `#[serde(transparent)]`
+//! newtypes and externally tagged enums — producing the same JSON wire
+//! format (via `serde_json`) that the real serde stack produces for the
+//! types in this workspace.
+//!
+//! Object keys keep insertion order, so serialized output is
+//! byte-deterministic — a property the golden-snapshot harness in
+//! `pcap-report` relies on.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::fmt;
+
+/// The self-describing data model every serializable type lowers to.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null` (also the encoding of `None`).
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    UInt(u64),
+    /// Negative integer.
+    Int(i64),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Sequence.
+    Array(Vec<Value>),
+    /// Map with insertion-ordered keys (deterministic output).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The entries of an object, or `None` for any other value.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Looks a key up in an object.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// A short name of the value's kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::UInt(_) | Value::Int(_) => "integer",
+            Value::Float(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Deserialization error: a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    message: String,
+}
+
+impl DeError {
+    /// Builds an error from any displayable message.
+    pub fn custom(message: impl fmt::Display) -> DeError {
+        DeError {
+            message: message.to_string(),
+        }
+    }
+
+    fn expected(what: &str, got: &Value) -> DeError {
+        DeError::custom(format!("expected {what}, got {}", got.kind()))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can lower themselves into a [`Value`].
+pub trait Serialize {
+    /// Converts `self` into the data model.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from the data model.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DeError`] when the value's shape does not match.
+    fn from_value(value: &Value) -> Result<Self, DeError>;
+}
+
+// --- primitive impls -------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<bool, DeError> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::expected("bool", other)),
+        }
+    }
+}
+
+fn to_u64(value: &Value) -> Result<u64, DeError> {
+    match value {
+        Value::UInt(n) => Ok(*n),
+        Value::Int(n) if *n >= 0 => Ok(*n as u64),
+        other => Err(DeError::expected("unsigned integer", other)),
+    }
+}
+
+fn to_i64(value: &Value) -> Result<i64, DeError> {
+    match value {
+        Value::Int(n) => Ok(*n),
+        Value::UInt(n) => i64::try_from(*n)
+            .map_err(|_| DeError::custom(format!("integer {n} out of range for i64"))),
+        other => Err(DeError::expected("integer", other)),
+    }
+}
+
+macro_rules! unsigned_impl {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(u64::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<$t, DeError> {
+                let n = to_u64(value)?;
+                <$t>::try_from(n)
+                    .map_err(|_| DeError::custom(format!(
+                        "integer {n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+unsigned_impl!(u8, u16, u32, u64);
+
+impl Serialize for usize {
+    fn to_value(&self) -> Value {
+        Value::UInt(*self as u64)
+    }
+}
+
+impl Deserialize for usize {
+    fn from_value(value: &Value) -> Result<usize, DeError> {
+        let n = to_u64(value)?;
+        usize::try_from(n)
+            .map_err(|_| DeError::custom(format!("integer {n} out of range for usize")))
+    }
+}
+
+macro_rules! signed_impl {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let n = i64::from(*self);
+                if n >= 0 { Value::UInt(n as u64) } else { Value::Int(n) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<$t, DeError> {
+                let n = to_i64(value)?;
+                <$t>::try_from(n)
+                    .map_err(|_| DeError::custom(format!(
+                        "integer {n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+signed_impl!(i8, i16, i32, i64);
+
+impl Serialize for isize {
+    fn to_value(&self) -> Value {
+        (*self as i64).to_value()
+    }
+}
+
+impl Deserialize for isize {
+    fn from_value(value: &Value) -> Result<isize, DeError> {
+        let n = to_i64(value)?;
+        isize::try_from(n)
+            .map_err(|_| DeError::custom(format!("integer {n} out of range for isize")))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<f64, DeError> {
+        match value {
+            Value::Float(x) => Ok(*x),
+            Value::UInt(n) => Ok(*n as f64),
+            Value::Int(n) => Ok(*n as f64),
+            other => Err(DeError::expected("number", other)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<f32, DeError> {
+        f64::from_value(value).map(|x| x as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<String, DeError> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::expected("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(value: &Value) -> Result<char, DeError> {
+        let s = String::from_value(value)?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::custom("expected single-character string")),
+        }
+    }
+}
+
+// --- container impls -------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(inner) => inner.to_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Option<T>, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Vec<T>, DeError> {
+        match value {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::expected("array", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(value: &Value) -> Result<Box<T>, DeError> {
+        T::from_value(value).map(Box::new)
+    }
+}
+
+macro_rules! tuple_impl {
+    ($len:literal: $($t:ident . $idx:tt),+) => {
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(value: &Value) -> Result<($($t,)+), DeError> {
+                match value {
+                    Value::Array(items) if items.len() == $len => {
+                        Ok(($($t::from_value(&items[$idx])?,)+))
+                    }
+                    other => Err(DeError::expected(
+                        concat!("array of length ", $len), other)),
+                }
+            }
+        }
+    };
+}
+tuple_impl!(2: A.0, B.1);
+tuple_impl!(3: A.0, B.1, C.2);
+tuple_impl!(4: A.0, B.1, C.2, D.3);
+
+/// Types usable as map keys (JSON object keys are always strings; like
+/// serde_json, integer keys are stringified).
+pub trait MapKey: Ord + Sized {
+    /// The key's string form.
+    fn to_key(&self) -> String;
+    /// Parses the key back from its string form.
+    fn from_key(key: &str) -> Result<Self, DeError>;
+}
+
+impl MapKey for String {
+    fn to_key(&self) -> String {
+        self.clone()
+    }
+
+    fn from_key(key: &str) -> Result<String, DeError> {
+        Ok(key.to_owned())
+    }
+}
+
+macro_rules! int_key_impl {
+    ($($t:ty),*) => {$(
+        impl MapKey for $t {
+            fn to_key(&self) -> String {
+                self.to_string()
+            }
+
+            fn from_key(key: &str) -> Result<$t, DeError> {
+                key.parse().map_err(|_| {
+                    DeError::custom(format!("invalid integer map key `{key}`"))
+                })
+            }
+        }
+    )*};
+}
+int_key_impl!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<K: MapKey, V: Serialize, S> Serialize for std::collections::HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        // Sorted by key: HashMap iteration order is nondeterministic,
+        // and serialized output must be byte-stable for the golden
+        // snapshot harness.
+        let mut entries: Vec<(&K, &V)> = self.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        Value::Object(
+            entries
+                .into_iter()
+                .map(|(k, v)| (k.to_key(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K, V, S> Deserialize for std::collections::HashMap<K, V, S>
+where
+    K: MapKey + std::hash::Hash + Eq,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Object(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((K::from_key(k)?, V::from_value(v)?)))
+                .collect(),
+            other => Err(DeError::expected("object", other)),
+        }
+    }
+}
+
+impl<K: MapKey, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_key(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: MapKey, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Object(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((K::from_key(k)?, V::from_value(v)?)))
+                .collect(),
+            other => Err(DeError::expected("object", other)),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Value, DeError> {
+        Ok(value.clone())
+    }
+}
+
+/// Support routines for derive-generated code. Not a public API.
+#[doc(hidden)]
+pub mod __private {
+    use super::{DeError, Deserialize, Value};
+
+    /// Expects an object and returns its entries.
+    pub fn expect_object<'a>(value: &'a Value, ty: &str) -> Result<&'a [(String, Value)], DeError> {
+        value
+            .as_object()
+            .ok_or_else(|| DeError::custom(format!("{ty}: expected object, got {}", value.kind())))
+    }
+
+    /// Expects an array of exactly `len` elements.
+    pub fn expect_array<'a>(
+        value: &'a Value,
+        ty: &str,
+        len: usize,
+    ) -> Result<&'a [Value], DeError> {
+        match value {
+            Value::Array(items) if items.len() == len => Ok(items),
+            other => Err(DeError::custom(format!(
+                "{ty}: expected array of {len} elements, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Reads one named field; missing fields deserialize from `Null`
+    /// (so `Option` fields default to `None`, like real serde).
+    pub fn field<T: Deserialize>(
+        entries: &[(String, Value)],
+        ty: &str,
+        name: &str,
+    ) -> Result<T, DeError> {
+        match entries.iter().find(|(k, _)| k == name) {
+            Some((_, value)) => {
+                T::from_value(value).map_err(|e| DeError::custom(format!("{ty}.{name}: {e}")))
+            }
+            None => T::from_value(&Value::Null)
+                .map_err(|_| DeError::custom(format!("missing field `{name}` in {ty}"))),
+        }
+    }
+
+    /// Splits an externally tagged enum value into tag and payload.
+    pub fn variant<'a>(
+        value: &'a Value,
+        ty: &str,
+    ) -> Result<(&'a str, Option<&'a Value>), DeError> {
+        match value {
+            Value::Str(tag) => Ok((tag, None)),
+            Value::Object(entries) if entries.len() == 1 => {
+                Ok((&entries[0].0, Some(&entries[0].1)))
+            }
+            other => Err(DeError::custom(format!(
+                "{ty}: expected variant tag, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// A data-carrying variant must come with a payload.
+    pub fn payload<'a>(payload: Option<&'a Value>, variant: &str) -> Result<&'a Value, DeError> {
+        payload.ok_or_else(|| DeError::custom(format!("variant {variant} is missing its payload")))
+    }
+
+    /// A unit variant must come without a payload.
+    pub fn unit_variant(payload: Option<&Value>, variant: &str) -> Result<(), DeError> {
+        match payload {
+            None => Ok(()),
+            Some(_) => Err(DeError::custom(format!(
+                "unit variant {variant} carries an unexpected payload"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_roundtrip() {
+        assert_eq!(Some(3u32).to_value(), Value::UInt(3));
+        assert_eq!(Option::<u32>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(Option::<u32>::from_value(&Value::UInt(9)).unwrap(), Some(9));
+    }
+
+    #[test]
+    fn missing_field_defaults_options_only() {
+        let entries: Vec<(String, Value)> = vec![];
+        let missing: Result<Option<u32>, _> = __private::field(&entries, "T", "x");
+        assert_eq!(missing.unwrap(), None);
+        let required: Result<u32, _> = __private::field(&entries, "T", "x");
+        assert!(required.unwrap_err().to_string().contains("missing field"));
+    }
+
+    #[test]
+    fn tuples_and_vecs_roundtrip() {
+        let v = vec![(1u64, 2.5f64), (3, 4.0)];
+        let value = v.to_value();
+        let back: Vec<(u64, f64)> = Deserialize::from_value(&value).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn signed_integers_cross_coerce() {
+        assert_eq!(i32::from_value(&Value::UInt(7)).unwrap(), 7);
+        assert_eq!(u64::from_value(&Value::Int(7)).unwrap(), 7);
+        assert!(u64::from_value(&Value::Int(-1)).is_err());
+    }
+}

@@ -1,0 +1,382 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! Supports the shapes this workspace uses: structs with named fields,
+//! tuple (newtype) structs — including `#[serde(transparent)]` — and
+//! externally tagged enums with unit, tuple and struct variants. The
+//! macros parse the item's token stream directly (no `syn`/`quote`,
+//! which are unavailable offline): only field and variant *names* are
+//! needed because the generated code lets type inference pick the right
+//! `Serialize`/`Deserialize` impl per field.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+/// Derives `serde::Serialize` (vendored data-model flavour).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = Item::parse(input);
+    item.serialize_impl()
+        .parse()
+        .expect("generated Serialize impl must parse")
+}
+
+/// Derives `serde::Deserialize` (vendored data-model flavour).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = Item::parse(input);
+    item.deserialize_impl()
+        .parse()
+        .expect("generated Deserialize impl must parse")
+}
+
+struct Item {
+    name: String,
+    kind: Kind,
+}
+
+enum Kind {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+    Enum(Vec<(String, Shape)>),
+}
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+type Tokens = Peekable<proc_macro::token_stream::IntoIter>;
+
+fn is_punct(tree: Option<&TokenTree>, c: char) -> bool {
+    matches!(tree, Some(TokenTree::Punct(p)) if p.as_char() == c)
+}
+
+/// Skips any `#[...]` / `#![...]` attributes in front of the cursor.
+fn skip_attributes(tokens: &mut Tokens) {
+    while is_punct(tokens.peek(), '#') {
+        tokens.next();
+        if is_punct(tokens.peek(), '!') {
+            tokens.next();
+        }
+        tokens.next(); // the bracket group
+    }
+}
+
+/// Skips a `pub` / `pub(crate)` visibility qualifier.
+fn skip_visibility(tokens: &mut Tokens) {
+    if matches!(tokens.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        tokens.next();
+        if matches!(
+            tokens.peek(),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            tokens.next();
+        }
+    }
+}
+
+/// Consumes tokens through the next comma that sits outside any
+/// `<...>` nesting (groups are atomic tokens, so parens and brackets
+/// take care of themselves).
+fn skip_to_field_end(tokens: &mut Tokens) {
+    let mut angle = 0i32;
+    for tree in tokens.by_ref() {
+        if let TokenTree::Punct(p) = tree {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => break,
+                _ => {}
+            }
+        }
+    }
+}
+
+fn named_fields(stream: TokenStream) -> Vec<String> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut names = Vec::new();
+    loop {
+        skip_attributes(&mut tokens);
+        skip_visibility(&mut tokens);
+        match tokens.next() {
+            Some(TokenTree::Ident(name)) => names.push(name.to_string()),
+            None => break,
+            Some(other) => panic!("unsupported token in struct fields: {other}"),
+        }
+        skip_to_field_end(&mut tokens);
+    }
+    names
+}
+
+fn tuple_arity(stream: TokenStream) -> usize {
+    let mut fields = 0usize;
+    let mut angle = 0i32;
+    let mut in_field = false;
+    for tree in stream {
+        match tree {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                if in_field {
+                    fields += 1;
+                    in_field = false;
+                }
+            }
+            _ => in_field = true,
+        }
+    }
+    if in_field {
+        fields += 1;
+    }
+    fields
+}
+
+fn enum_variants(stream: TokenStream) -> Vec<(String, Shape)> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attributes(&mut tokens);
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(name)) => name.to_string(),
+            None => break,
+            Some(other) => panic!("unsupported token in enum body: {other}"),
+        };
+        let shape = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = tuple_arity(g.stream());
+                tokens.next();
+                Shape::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = named_fields(g.stream());
+                tokens.next();
+                Shape::Named(fields)
+            }
+            _ => Shape::Unit,
+        };
+        skip_to_field_end(&mut tokens);
+        variants.push((name, shape));
+    }
+    variants
+}
+
+impl Item {
+    fn parse(input: TokenStream) -> Item {
+        let mut tokens = input.into_iter().peekable();
+        loop {
+            skip_attributes(&mut tokens);
+            skip_visibility(&mut tokens);
+            match tokens.next() {
+                Some(TokenTree::Ident(word)) if word.to_string() == "struct" => {
+                    let name = expect_ident(&mut tokens, "struct name");
+                    reject_generics(tokens.peek(), &name);
+                    let kind = match tokens.next() {
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                            Kind::Named(named_fields(g.stream()))
+                        }
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                            Kind::Tuple(tuple_arity(g.stream()))
+                        }
+                        _ => Kind::Unit,
+                    };
+                    return Item { name, kind };
+                }
+                Some(TokenTree::Ident(word)) if word.to_string() == "enum" => {
+                    let name = expect_ident(&mut tokens, "enum name");
+                    reject_generics(tokens.peek(), &name);
+                    let kind = match tokens.next() {
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                            Kind::Enum(enum_variants(g.stream()))
+                        }
+                        other => panic!("enum {name}: expected body, got {other:?}"),
+                    };
+                    return Item { name, kind };
+                }
+                Some(_) => continue,
+                None => panic!("derive input contained no struct or enum"),
+            }
+        }
+    }
+
+    fn serialize_impl(&self) -> String {
+        let name = &self.name;
+        let body = match &self.kind {
+            Kind::Unit => "::serde::Value::Null".to_owned(),
+            Kind::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_owned(),
+            Kind::Tuple(n) => format!(
+                "::serde::Value::Array(::std::vec![{}])",
+                (0..*n)
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+            Kind::Named(fields) => object_literal(fields.iter().map(|f| {
+                (
+                    f.clone(),
+                    format!("::serde::Serialize::to_value(&self.{f})"),
+                )
+            })),
+            Kind::Enum(variants) => {
+                let arms: String = variants
+                    .iter()
+                    .map(|(v, shape)| serialize_arm(name, v, shape))
+                    .collect();
+                format!("match self {{ {arms} }}")
+            }
+        };
+        format!(
+            "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+             }}"
+        )
+    }
+
+    fn deserialize_impl(&self) -> String {
+        let name = &self.name;
+        let body = match &self.kind {
+            Kind::Unit => format!("::std::result::Result::Ok({name})"),
+            Kind::Tuple(1) => {
+                format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+            }
+            Kind::Tuple(n) => format!(
+                "let __t = ::serde::__private::expect_array(__v, \"{name}\", {n})?;\n\
+                 ::std::result::Result::Ok({name}({}))",
+                (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_value(&__t[{i}])?"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+            Kind::Named(fields) => format!(
+                "let __obj = ::serde::__private::expect_object(__v, \"{name}\")?;\n\
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                fields
+                    .iter()
+                    .map(|f| format!("{f}: ::serde::__private::field(__obj, \"{name}\", \"{f}\")?"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+            Kind::Enum(variants) => {
+                let arms: String = variants
+                    .iter()
+                    .map(|(v, shape)| deserialize_arm(name, v, shape))
+                    .collect();
+                format!(
+                    "let (__tag, __payload) = ::serde::__private::variant(__v, \"{name}\")?;\n\
+                     match __tag {{ {arms}\n\
+                     __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                     ::std::format!(\"unknown variant `{{}}` of {name}\", __other))) }}"
+                )
+            }
+        };
+        format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Value) \
+             -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\n\
+             }}"
+        )
+    }
+}
+
+fn expect_ident(tokens: &mut Tokens, what: &str) -> String {
+    match tokens.next() {
+        Some(TokenTree::Ident(name)) => name.to_string(),
+        other => panic!("expected {what}, got {other:?}"),
+    }
+}
+
+fn reject_generics(next: Option<&TokenTree>, name: &str) {
+    if is_punct(next, '<') {
+        panic!("derive on {name}: generic types are not supported by the vendored serde");
+    }
+}
+
+/// `Value::Object(vec![(String::from(key), expr), ...])`.
+fn object_literal(entries: impl Iterator<Item = (String, String)>) -> String {
+    let inner = entries
+        .map(|(key, expr)| format!("(::std::string::String::from(\"{key}\"), {expr})"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!("::serde::Value::Object(::std::vec![{inner}])")
+}
+
+fn tagged(variant: &str, payload: String) -> String {
+    format!(
+        "::serde::Value::Object(::std::vec![(::std::string::String::from(\"{variant}\"), {payload})])"
+    )
+}
+
+fn serialize_arm(name: &str, variant: &str, shape: &Shape) -> String {
+    match shape {
+        Shape::Unit => format!(
+            "{name}::{variant} => \
+             ::serde::Value::Str(::std::string::String::from(\"{variant}\")),\n"
+        ),
+        Shape::Tuple(1) => {
+            let payload = "::serde::Serialize::to_value(__f0)".to_owned();
+            format!("{name}::{variant}(__f0) => {},\n", tagged(variant, payload))
+        }
+        Shape::Tuple(n) => {
+            let binders = (0..*n).map(|i| format!("__f{i}")).collect::<Vec<_>>();
+            let payload = format!(
+                "::serde::Value::Array(::std::vec![{}])",
+                binders
+                    .iter()
+                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+            format!(
+                "{name}::{variant}({}) => {},\n",
+                binders.join(", "),
+                tagged(variant, payload)
+            )
+        }
+        Shape::Named(fields) => {
+            let payload = object_literal(
+                fields
+                    .iter()
+                    .map(|f| (f.clone(), format!("::serde::Serialize::to_value({f})"))),
+            );
+            format!(
+                "{name}::{variant} {{ {} }} => {},\n",
+                fields.join(", "),
+                tagged(variant, payload)
+            )
+        }
+    }
+}
+
+fn deserialize_arm(name: &str, variant: &str, shape: &Shape) -> String {
+    let full = format!("{name}::{variant}");
+    match shape {
+        Shape::Unit => format!(
+            "\"{variant}\" => {{ ::serde::__private::unit_variant(__payload, \"{full}\")?; \
+             ::std::result::Result::Ok({full}) }}\n"
+        ),
+        Shape::Tuple(1) => format!(
+            "\"{variant}\" => {{ let __p = ::serde::__private::payload(__payload, \"{full}\")?; \
+             ::std::result::Result::Ok({full}(::serde::Deserialize::from_value(__p)?)) }}\n"
+        ),
+        Shape::Tuple(n) => format!(
+            "\"{variant}\" => {{ let __p = ::serde::__private::payload(__payload, \"{full}\")?; \
+             let __t = ::serde::__private::expect_array(__p, \"{full}\", {n})?; \
+             ::std::result::Result::Ok({full}({})) }}\n",
+            (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__t[{i}])?"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ),
+        Shape::Named(fields) => format!(
+            "\"{variant}\" => {{ let __p = ::serde::__private::payload(__payload, \"{full}\")?; \
+             let __obj = ::serde::__private::expect_object(__p, \"{full}\")?; \
+             ::std::result::Result::Ok({full} {{ {} }}) }}\n",
+            fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::__private::field(__obj, \"{full}\", \"{f}\")?"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ),
+    }
+}
