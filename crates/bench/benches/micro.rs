@@ -10,7 +10,7 @@ use pcap_capture::{CallStack, CaptureStrategy, FrameKind};
 use pcap_core::{
     IdlePredictor, Pcap, PcapConfig, PredictionTable, SharedTable, SignatureTracker, TableKey,
 };
-use pcap_sim::{evaluate_app, PowerManagerKind, SimConfig};
+use pcap_sim::{evaluate_app, evaluate_prepared, PowerManagerKind, PreparedTrace, SimConfig};
 use pcap_types::{
     DiskAccess, Fd, FileId, IoEvent, IoKind, Pc, Pid, Signature, SimDuration, SimTime,
 };
@@ -134,6 +134,34 @@ fn simulator_throughput(c: &mut Criterion) {
     group.finish();
 }
 
+/// The two phases of the prepare-once pipeline, measured separately:
+/// `prepare` is the manager-independent work (cache filtering, gap
+/// extraction) paid once per trace, `evaluate_prepared` is the
+/// per-manager increment paid for every grid cell. Their ratio is the
+/// headroom the shared-streams warm-up exploits.
+fn prepare_vs_evaluate(c: &mut Criterion) {
+    let trace = sample_trace();
+    let events = trace.total_ios() as u64;
+    let config = SimConfig::paper();
+    let mut group = c.benchmark_group("micro/prepared");
+    group.throughput(Throughput::Elements(events));
+    group.sample_size(10);
+    group.bench_function("prepare", |b| {
+        b.iter(|| black_box(PreparedTrace::build(&trace, &config)))
+    });
+    let prepared = PreparedTrace::build(&trace, &config);
+    for kind in [
+        PowerManagerKind::Timeout,
+        PowerManagerKind::LT,
+        PowerManagerKind::PCAP,
+    ] {
+        group.bench_function(format!("evaluate_prepared/{kind}"), |b| {
+            b.iter(|| black_box(evaluate_prepared(&prepared, &config, kind)))
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     micro,
     signature_update,
@@ -141,6 +169,7 @@ criterion_group!(
     pcap_on_access,
     capture_strategies,
     cache_throughput,
-    simulator_throughput
+    simulator_throughput,
+    prepare_vs_evaluate
 );
 criterion_main!(micro);

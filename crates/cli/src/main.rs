@@ -10,6 +10,7 @@
 //! pcap gen <app> [--seed N] [--out FILE]     generate a trace (JSON lines)
 //! pcap profile <app> [--seed N]              Table 1 row for one app
 //! pcap inspect <app> <run#> [--seed N]       per-gap PCAP decisions for one execution
+//! pcap bench [--quick] [--jobs N]            time the prepare/warm-up phases, append BENCH_sim.json
 //! ```
 //!
 //! Every command is deterministic in `(seed, config)`: `--jobs` changes
@@ -35,6 +36,7 @@ const USAGE: &str = "usage:
   pcap gen <app> [--seed N] [--out FILE]
   pcap profile <app> [--seed N]
   pcap inspect <app> <run#> [--seed N]
+  pcap bench [--quick] [--seed N] [--jobs N] [--out FILE] [--label L]
 
 flags:
   --seed N       workload seed (default 42)
@@ -43,6 +45,8 @@ flags:
   --csv          emit CSV instead of aligned tables
   --update       re-bless the golden snapshot instead of verifying
   --golden DIR   golden snapshot directory (default golden/)
+  --quick        bench: truncate every trace to 6 runs (CI-sized measurement)
+  --label L      bench: label recorded in the trajectory entry (default prepare-once)
 
 experiments: table1 table2 fig6 fig7 fig8 fig9 fig10 table3 ablations system
 apps: mozilla writer impress xemacs nedit mplayer";
@@ -53,7 +57,9 @@ struct Options {
     jobs: usize,
     csv: bool,
     update: bool,
+    quick: bool,
     golden: String,
+    label: Option<String>,
     out: Option<String>,
     positional: Vec<String>,
 }
@@ -88,7 +94,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         jobs: 0,
         csv: false,
         update: false,
+        quick: false,
         golden: "golden".to_owned(),
+        label: None,
         out: None,
         positional: Vec::new(),
     };
@@ -111,8 +119,12 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--csv" => options.csv = true,
             "--update" => options.update = true,
+            "--quick" => options.quick = true,
             "--golden" => {
                 options.golden = it.next().ok_or("--golden needs a value")?.clone();
+            }
+            "--label" => {
+                options.label = Some(it.next().ok_or("--label needs a value")?.clone());
             }
             "--out" => {
                 options.out = Some(it.next().ok_or("--out needs a value")?.clone());
@@ -270,15 +282,16 @@ fn run() -> Result<(), String> {
                 .generate_trace(options.seed)
                 .map_err(|e| e.to_string())?;
             let config = SimConfig::paper();
-            let profile = WorkloadProfile::measure(&trace, &config);
+            // One preparation feeds both the profile and the histogram.
+            let prepared = pcap_sim::PreparedTrace::build(&trace, &config);
+            let profile = WorkloadProfile::of_prepared(&prepared, &config);
             println!(
                 "{}",
                 serde_json::to_string_pretty(&profile).map_err(|e| e.to_string())?
             );
             // Gap-length histogram over the merged disk-access stream.
             let mut all_gaps = Vec::new();
-            for run in &trace.runs {
-                let streams = pcap_sim::RunStreams::build(run, &config);
+            for streams in prepared.streams() {
                 all_gaps.extend(pcap_trace::idle::idle_gaps(
                     &streams.completions,
                     streams.run_end,
@@ -315,7 +328,7 @@ idle-gap distribution (all executions):"
                     .generate_run(options.seed, j)
                     .map_err(|e| e.to_string())?;
                 let streams = pcap_sim::RunStreams::build(&run, &config);
-                pcap_sim::simulate_run(&run, &streams, &config, &mut manager);
+                pcap_sim::simulate_run(&streams, &config, &mut manager);
                 manager.on_run_end();
             }
             let run = spec
@@ -323,7 +336,7 @@ idle-gap distribution (all executions):"
                 .map_err(|e| e.to_string())?;
             let streams = pcap_sim::RunStreams::build(&run, &config);
             let mut log = Vec::new();
-            pcap_sim::simulate_run_logged(&run, &streams, &config, &mut manager, &mut log);
+            pcap_sim::simulate_run_logged(&streams, &config, &mut manager, &mut log);
             println!(
                 "{name} execution {run_idx}: {} disk accesses, {} idle gaps (PCAP manager)\n",
                 streams.accesses.len(),
@@ -358,11 +371,162 @@ idle-gap distribution (all executions):"
             }
             Ok(())
         }
+        "bench" => run_bench(&options),
         "help" | "--help" => {
             println!("{USAGE}");
             Ok(())
         }
         other => Err(format!("unknown command {other}\n{USAGE}")),
+    }
+}
+
+/// Runs per app in `--quick` mode: enough executions to exercise
+/// cross-run training while keeping the measurement CI-sized.
+const QUICK_RUNS: usize = 6;
+
+/// `pcap bench`: times the three pipeline phases (trace generation,
+/// stream preparation, manager-grid warm-up) against the shared
+/// [`GRID_KINDS`] grid and appends one trajectory entry to
+/// `BENCH_sim.json` (see README for the format). The prepare-call
+/// counter deltas pin the prepare-once invariant at runtime: the
+/// warm-up phase must not rebuild any streams.
+fn run_bench(options: &Options) -> Result<(), String> {
+    use std::time::Instant;
+    let config = SimConfig::paper();
+    let out = options
+        .out
+        .clone()
+        .unwrap_or_else(|| "BENCH_sim.json".to_owned());
+    let label = options
+        .label
+        .clone()
+        .unwrap_or_else(|| "prepare-once".to_owned());
+    let mode = if options.quick { "quick" } else { "full" };
+
+    let t0 = Instant::now();
+    let bench = Workbench::generate_par(options.seed, config.clone(), options.jobs)
+        .map_err(|e| e.to_string())?;
+    let bench = if options.quick {
+        let traces = bench
+            .traces()
+            .iter()
+            .map(|t| {
+                let mut t = t.clone();
+                t.runs.truncate(QUICK_RUNS);
+                t
+            })
+            .collect();
+        Workbench::from_traces_seeded(options.seed, traces, config)
+    } else {
+        bench
+    };
+    let generate_s = t0.elapsed().as_secs_f64();
+    let runs: usize = bench.traces().iter().map(|t| t.runs.len()).sum();
+
+    let before_prepare = pcap_sim::prepare_call_count();
+    let t1 = Instant::now();
+    bench.prepare_all(options.jobs);
+    let prepare_s = t1.elapsed().as_secs_f64();
+    let prepare_calls = pcap_sim::prepare_call_count() - before_prepare;
+
+    let before_warmup = pcap_sim::prepare_call_count();
+    let t2 = Instant::now();
+    bench.warm_up(&GRID_KINDS, options.jobs);
+    let warmup_s = t2.elapsed().as_secs_f64();
+    let warmup_calls = pcap_sim::prepare_call_count() - before_warmup;
+
+    let cells = bench.traces().len() * GRID_KINDS.len();
+    let cells_per_s = cells as f64 / warmup_s;
+    eprintln!(
+        "pcap bench ({mode}, seed {}, jobs {}): generate {generate_s:.3}s, \
+         prepare {prepare_s:.3}s ({prepare_calls} stream builds, {runs} runs), \
+         warm-up {warmup_s:.3}s ({cells} cells, {cells_per_s:.2} cells/s, \
+         {warmup_calls} stream rebuilds)",
+        options.seed, options.jobs
+    );
+    if prepare_calls as usize != runs {
+        return Err(format!(
+            "prepare-once violated: {prepare_calls} stream builds for {runs} runs"
+        ));
+    }
+    if warmup_calls != 0 {
+        return Err(format!(
+            "prepare-once violated: warm-up rebuilt streams {warmup_calls} times"
+        ));
+    }
+
+    // Trajectory file: a JSON array of entries; append ours, reporting
+    // the speedup against the committed legacy baseline when present.
+    let mut entries: Vec<serde::Value> = match std::fs::read_to_string(&out) {
+        Ok(text) => match serde_json::from_str::<serde::Value>(&text) {
+            Ok(serde::Value::Array(entries)) => entries,
+            _ => return Err(format!("{out}: expected a JSON array of bench entries")),
+        },
+        Err(_) => Vec::new(),
+    };
+    let baseline_warmup = entries
+        .iter()
+        .filter(|e| {
+            e.get("label").and_then(as_str) == Some("legacy-baseline")
+                && e.get("mode").and_then(as_str) == Some(mode)
+        })
+        .filter_map(|e| e.get("warmup_s").and_then(as_f64))
+        .next();
+    let speedup = baseline_warmup.map(|base| base / warmup_s);
+    if let Some(speedup) = speedup {
+        eprintln!(
+            "pcap bench: warm-up speedup vs legacy-baseline ({mode}): {speedup:.2}x \
+             ({:.3}s -> {warmup_s:.3}s)",
+            baseline_warmup.unwrap_or_default()
+        );
+    }
+    let entry = serde::Value::Object(vec![
+        ("label".into(), serde::Value::Str(label)),
+        ("mode".into(), serde::Value::Str(mode.to_owned())),
+        ("seed".into(), serde::Value::UInt(options.seed)),
+        ("jobs".into(), serde::Value::UInt(options.jobs as u64)),
+        (
+            "apps".into(),
+            serde::Value::UInt(bench.traces().len() as u64),
+        ),
+        ("runs".into(), serde::Value::UInt(runs as u64)),
+        ("cells".into(), serde::Value::UInt(cells as u64)),
+        ("generate_s".into(), serde::Value::Float(generate_s)),
+        ("prepare_s".into(), serde::Value::Float(prepare_s)),
+        ("warmup_s".into(), serde::Value::Float(warmup_s)),
+        ("cells_per_s".into(), serde::Value::Float(cells_per_s)),
+        ("prepare_calls".into(), serde::Value::UInt(prepare_calls)),
+        (
+            "warmup_prepare_calls".into(),
+            serde::Value::UInt(warmup_calls),
+        ),
+        (
+            "speedup_vs_legacy".into(),
+            speedup.map_or(serde::Value::Null, serde::Value::Float),
+        ),
+    ]);
+    entries.push(entry);
+    let rendered =
+        serde_json::to_string_pretty(&serde::Value::Array(entries)).map_err(|e| e.to_string())?;
+    std::fs::write(&out, rendered + "\n").map_err(|e| e.to_string())?;
+    eprintln!("pcap bench: appended trajectory entry to {out}");
+    Ok(())
+}
+
+/// `Value` field readers for the trajectory entries.
+fn as_str(v: &serde::Value) -> Option<&str> {
+    match v {
+        serde::Value::Str(s) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+fn as_f64(v: &serde::Value) -> Option<f64> {
+    match v {
+        serde::Value::Float(f) => Some(*f),
+        serde::Value::UInt(n) => Some(*n as f64),
+        serde::Value::Int(n) => Some(*n as f64),
+        _ => None,
     }
 }
 
@@ -429,6 +593,21 @@ mod tests {
         assert!(parse_seed_range("5..5").is_err());
         assert!(parse_seed_range("a..b").is_err());
         assert!(parse_seed_range("0..5000").is_err());
+    }
+
+    #[test]
+    fn parses_bench_flags() {
+        let o = parse_args(&args(&[
+            "bench", "--quick", "--label", "tuned", "--jobs", "2",
+        ]))
+        .unwrap();
+        assert!(o.quick);
+        assert_eq!(o.label.as_deref(), Some("tuned"));
+        assert_eq!(o.jobs, 2);
+        let o = parse_args(&args(&["bench"])).unwrap();
+        assert!(!o.quick, "quick is opt-in");
+        assert!(o.label.is_none(), "label defaults at the command");
+        assert!(parse_args(&args(&["bench", "--label"])).is_err());
     }
 
     #[test]

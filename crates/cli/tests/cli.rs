@@ -82,3 +82,37 @@ fn run_fig7_csv_emits_parseable_csv() {
     }
     assert!(rows >= 6, "one row per paper app, got {rows}");
 }
+
+#[test]
+fn bench_quick_appends_trajectory_entries() {
+    let dir = std::env::temp_dir().join(format!("pcap-bench-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let out_path = dir.join("BENCH_sim.json");
+    let out_arg = out_path.to_str().expect("utf-8 path");
+    let run = || {
+        pcap(&[
+            "bench", "--quick", "--jobs", "1", "--label", "cli-test", "--out", out_arg,
+        ])
+    };
+    let out = run();
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    // The invariant checks are part of the command: one stream build
+    // per run in the prepare phase, zero during warm-up.
+    assert!(
+        stderr(&out).contains("0 stream rebuilds"),
+        "stderr: {}",
+        stderr(&out)
+    );
+    let text = std::fs::read_to_string(&out_path).expect("trajectory written");
+    assert!(text.contains("\"label\": \"cli-test\""), "entry: {text}");
+    assert!(
+        text.contains("\"warmup_prepare_calls\": 0"),
+        "entry: {text}"
+    );
+    // A second run appends instead of overwriting.
+    let out = run();
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = std::fs::read_to_string(&out_path).expect("trajectory written");
+    assert_eq!(text.matches("\"label\": \"cli-test\"").count(), 2);
+    std::fs::remove_dir_all(&dir).ok();
+}

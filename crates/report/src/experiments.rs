@@ -5,7 +5,9 @@ use crate::paper;
 use crate::tables::{pct, Table};
 use crate::workbench::Workbench;
 use pcap_core::PcapVariant;
-use pcap_sim::{evaluate_app, AppReport, PowerManagerKind, SimConfig, WorkloadProfile};
+use pcap_sim::{
+    evaluate_prepared, AppReport, PowerManagerKind, PreparedTrace, SimConfig, WorkloadProfile,
+};
 use pcap_types::SimDuration;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -120,10 +122,10 @@ pub fn table1(bench: &Workbench) -> Table {
             "cache hit",
         ],
     );
-    for (trace, reference) in bench.traces().iter().zip(paper::TABLE1) {
-        let p = WorkloadProfile::measure(trace, bench.config());
+    for (trace_idx, reference) in (0..bench.traces().len()).zip(paper::TABLE1) {
+        let p = WorkloadProfile::of_prepared(bench.prepared(trace_idx), bench.config());
         t.row(vec![
-            p.app.clone(),
+            p.app.to_string(),
             p.executions.to_string(),
             p.global_idle_periods.to_string(),
             reference.global_idle.to_string(),
@@ -177,7 +179,7 @@ pub fn table2(config: &SimConfig) -> Table {
 fn fraction_rows(t: &mut Table, report: &AppReport, local: bool) {
     let c = if local { &report.local } else { &report.global };
     t.row(vec![
-        report.app.clone(),
+        report.app.to_string(),
         report.manager.clone(),
         c.opportunities.to_string(),
         pct(c.coverage()),
@@ -282,7 +284,7 @@ pub fn fig8(bench: &Workbench) -> Table {
             };
             let frac = |j: pcap_disk::Joules| pct(j.0 / base_total);
             t.row(vec![
-                trace.app.clone(),
+                trace.app.to_string(),
                 label,
                 frac(energy.busy),
                 frac(energy.idle_short),
@@ -345,7 +347,7 @@ fn split_figure(bench: &Workbench, title: &str, kinds: &[PowerManagerKind]) -> T
                 }
             };
             t.row(vec![
-                trace.app.clone(),
+                trace.app.to_string(),
                 kind.label(),
                 c.opportunities.to_string(),
                 f(c.hit_primary),
@@ -456,7 +458,7 @@ pub fn table3(bench: &Workbench) -> Table {
         };
         let fh = entries(PcapVariant::FileDescriptorHistory);
         t.row(vec![
-            bench.traces()[trace_idx].app.clone(),
+            bench.traces()[trace_idx].app.to_string(),
             entries(PcapVariant::Base).to_string(),
             reference.pcap.to_string(),
             entries(PcapVariant::History).to_string(),
@@ -479,7 +481,9 @@ pub fn table3(bench: &Workbench) -> Table {
 pub fn system(bench: &Workbench) -> Table {
     let system_trace = pcap_trace::merge::merge_traces(bench.traces(), SimDuration::from_secs(2))
         .expect("valid traces merge");
-    let profile = WorkloadProfile::measure(&system_trace, bench.config());
+    // One preparation shared by the profile and all five managers.
+    let prepared = PreparedTrace::build(&system_trace, bench.config());
+    let profile = WorkloadProfile::of_prepared(&prepared, bench.config());
     let mut t = Table::new(
         format!(
             "Extension: whole-system sessions ({} sessions, {} I/Os, {} global idle periods)",
@@ -504,7 +508,7 @@ pub fn system(bench: &Workbench) -> Table {
         },
         PowerManagerKind::Oracle,
     ] {
-        let r = evaluate_app(&system_trace, bench.config(), kind);
+        let r = evaluate_prepared(&prepared, bench.config(), kind);
         t.row(vec![
             r.manager.clone(),
             r.global.opportunities.to_string(),
@@ -541,8 +545,10 @@ fn averaged_suite(
     let mut coverage = 0.0;
     let mut miss = 0.0;
     let mut savings = 0.0;
-    for trace in bench.traces() {
-        let r = evaluate_app(trace, config, kind);
+    for trace_idx in 0..bench.traces().len() {
+        // Predictor-only ablations share the workbench's prepared
+        // streams; stream-relevant ones transparently rebuild.
+        let r = bench.evaluate_with(trace_idx, config, kind);
         coverage += r.global.coverage();
         miss += r.global.miss_rate();
         savings += r.savings();
@@ -666,23 +672,21 @@ fn ablation_readahead(bench: &Workbench) -> Table {
     let mut ra_config = bench.config().clone();
     ra_config.cache.readahead = Some(pcap_cache::ReadaheadConfig::default());
     for (trace_idx, trace) in bench.traces().iter().enumerate() {
-        let plain_profile = WorkloadProfile::measure(trace, bench.config());
-        let ra_profile = WorkloadProfile::measure(trace, &ra_config);
+        let plain_profile = WorkloadProfile::of_prepared(bench.prepared(trace_idx), bench.config());
+        // One readahead preparation feeds the profile, the simulation,
+        // and the prefetched-page totals — the trace is re-filtered
+        // exactly once under the readahead cache.
+        let ra_prepared = PreparedTrace::build(trace, &ra_config);
+        let ra_profile = WorkloadProfile::of_prepared(&ra_prepared, &ra_config);
         let plain = bench.report(trace_idx, PowerManagerKind::PCAP);
-        let ra = evaluate_app(trace, &ra_config, PowerManagerKind::PCAP);
-        // Prefetched-page totals come from re-filtering one run's cache
-        // stats; sum across runs for the report.
-        let prefetched: u64 = trace
-            .runs
+        let ra = evaluate_prepared(&ra_prepared, &ra_config, PowerManagerKind::PCAP);
+        let prefetched: u64 = ra_prepared
+            .streams()
             .iter()
-            .map(|run| {
-                pcap_cache::filter_run(run, &ra_config.cache)
-                    .1
-                    .prefetched_pages
-            })
+            .map(|s| s.cache_stats.prefetched_pages)
             .sum();
         t.row(vec![
-            trace.app.clone(),
+            trace.app.to_string(),
             plain_profile.disk_accesses.to_string(),
             ra_profile.disk_accesses.to_string(),
             prefetched.to_string(),
@@ -718,8 +722,8 @@ fn ablation_signature_scheme(bench: &Workbench) -> Table {
         let mut sav = 0.0;
         let mut entries = 0usize;
         let mut aliases = 0u64;
-        for trace in bench.traces() {
-            let r = evaluate_app(trace, &config, PowerManagerKind::PCAP);
+        for trace_idx in 0..bench.traces().len() {
+            let r = bench.evaluate_with(trace_idx, &config, PowerManagerKind::PCAP);
             cov += r.global.coverage();
             miss += r.global.miss_rate();
             sav += r.savings();
@@ -757,7 +761,7 @@ fn ablation_multistate(bench: &Workbench) -> Table {
         let plain = bench.report(trace_idx, PowerManagerKind::PCAP);
         let multi = bench.report(trace_idx, PowerManagerKind::MultiStatePcap);
         t.row(vec![
-            trace.app.clone(),
+            trace.app.to_string(),
             pct(plain.savings()),
             pct(multi.savings()),
             crate::tables::joules(plain.energy.total() - multi.energy.total()),
@@ -791,7 +795,7 @@ fn ablation_capture(bench: &Workbench) -> Table {
         stack.push(Pc(0xc000_0000), FrameKind::Kernel);
         let cost = |s: CaptureStrategy| s.capture(&stack).expect("app frame").cost.memory_accesses;
         t.row(vec![
-            trace.app.clone(),
+            trace.app.to_string(),
             depth.to_string(),
             cost(CaptureStrategy::LibraryHook).to_string(),
             cost(CaptureStrategy::SyscallInterception).to_string(),

@@ -14,7 +14,7 @@
 
 use crate::tables::{pct1, Table};
 use crate::workbench::Workbench;
-use pcap_sim::{evaluate_app, PowerManagerKind, SeedStat, SimConfig, SweepRunner};
+use pcap_sim::{evaluate_prepared, PowerManagerKind, SeedStat, SimConfig, SweepRunner};
 use pcap_trace::TraceError;
 use pcap_workload::{AppModel, PaperApp};
 
@@ -69,19 +69,23 @@ pub fn run_sweep(
         })
         .collect();
 
-    // Stage 2: the full seed × app × kind simulation grid in one batch.
-    let simulation_tasks: Vec<(usize, usize, PowerManagerKind)> = (0..benches.len())
-        .flat_map(|bench_idx| {
-            (0..apps.len()).flat_map(move |trace_idx| {
-                kinds.iter().map(move |&kind| (bench_idx, trace_idx, kind))
-            })
-        })
-        .collect();
-    let reports = runner.run(&simulation_tasks, |_, &(bench_idx, trace_idx, kind)| {
-        evaluate_app(&benches[bench_idx].1.traces()[trace_idx], config, kind)
-    });
-    for (&(bench_idx, trace_idx, kind), report) in simulation_tasks.iter().zip(reports) {
-        benches[bench_idx].1.prime(trace_idx, kind, report);
+    // Stage 2: per-seed batches. Each app's streams (cache filtering,
+    // gap extraction) are prepared exactly once per seed — into the
+    // workbench's shared `PreparedTrace` slots, so downstream
+    // experiments (Table 1 profiles, on-demand cells, predictor-only
+    // ablations) reuse them instead of re-preparing — then the whole
+    // kind grid simulates against those shared preparations.
+    for (_, bench) in &benches {
+        bench.prepare_all(jobs);
+        let simulation_tasks: Vec<(usize, PowerManagerKind)> = (0..apps.len())
+            .flat_map(|trace_idx| kinds.iter().map(move |&kind| (trace_idx, kind)))
+            .collect();
+        let reports = runner.run(&simulation_tasks, |_, &(trace_idx, kind)| {
+            evaluate_prepared(bench.prepared(trace_idx), config, kind)
+        });
+        for (&(trace_idx, kind), report) in simulation_tasks.iter().zip(reports) {
+            bench.prime(trace_idx, kind, report);
+        }
     }
     Ok(benches)
 }

@@ -1,12 +1,21 @@
 //! The workbench: generated traces plus a memoized report cache, shared
 //! by all experiments.
+//!
+//! Since the prepare-once pipeline, the workbench also owns one lazily
+//! built [`PreparedTrace`] per application: every `(app, manager)`
+//! cell — warmed in parallel or computed on demand — simulates against
+//! that shared preparation, so the manager grid pays for cache
+//! filtering and gap extraction once per app instead of once per cell.
 
 use pcap_core::PcapVariant;
-use pcap_sim::{evaluate_app, AppReport, PowerManagerKind, SimConfig, SweepRunner};
+use pcap_sim::{
+    evaluate_app, evaluate_prepared, AppReport, PowerManagerKind, PreparedTrace, SimConfig,
+    SweepRunner,
+};
 use pcap_trace::{ApplicationTrace, TraceError};
 use pcap_workload::{AppModel, PaperApp};
-use std::collections::HashMap;
-use std::sync::Mutex;
+use std::collections::{HashMap, HashSet};
+use std::sync::{Condvar, Mutex, OnceLock};
 
 /// Every `(app, manager)` cell the experiment suite reads through the
 /// memo, in canonical order. Warming this grid up front (in parallel)
@@ -37,6 +46,19 @@ pub const GRID_KINDS: [PowerManagerKind; 10] = [
     PowerManagerKind::MultiStatePcap,
 ];
 
+/// One report-memo cell.
+type Cell = (usize, PowerManagerKind);
+
+/// The memo's guarded state: finished reports plus the cells some
+/// caller has claimed and is currently simulating. Claiming under the
+/// lock is what stops two concurrent `warm_up`/`report` callers from
+/// simulating the same cell twice.
+#[derive(Debug, Default)]
+struct MemoState {
+    done: HashMap<Cell, AppReport>,
+    in_flight: HashSet<Cell>,
+}
+
 /// Generated traces for the six-application suite plus a memo of
 /// simulator reports, so experiments that share configurations (Figures
 /// 6–8 all need TP/LT/PCAP) do not re-simulate.
@@ -45,7 +67,9 @@ pub struct Workbench {
     config: SimConfig,
     seed: u64,
     traces: Vec<ApplicationTrace>,
-    memo: Mutex<HashMap<(usize, PowerManagerKind), AppReport>>,
+    prepared: Vec<OnceLock<PreparedTrace>>,
+    memo: Mutex<MemoState>,
+    memo_ready: Condvar,
 }
 
 impl Workbench {
@@ -94,12 +118,33 @@ impl Workbench {
         traces: Vec<ApplicationTrace>,
         config: SimConfig,
     ) -> Workbench {
+        let prepared = traces.iter().map(|_| OnceLock::new()).collect();
         Workbench {
             config,
             seed,
             traces,
-            memo: Mutex::new(HashMap::new()),
+            prepared,
+            memo: Mutex::new(MemoState::default()),
+            memo_ready: Condvar::new(),
         }
+    }
+
+    /// The shared [`PreparedTrace`] of application `trace_idx`, built
+    /// on first use. All manager-grid cells of the application borrow
+    /// this one preparation.
+    pub fn prepared(&self, trace_idx: usize) -> &PreparedTrace {
+        self.prepared[trace_idx]
+            .get_or_init(|| PreparedTrace::build(&self.traces[trace_idx], &self.config))
+    }
+
+    /// Builds every application's [`PreparedTrace`] up front, fanning
+    /// the builds out on `jobs` worker threads (the timed "prepare"
+    /// phase of `pcap bench`). Idempotent.
+    pub fn prepare_all(&self, jobs: usize) {
+        let indices: Vec<usize> = (0..self.traces.len()).collect();
+        SweepRunner::new(jobs).run(&indices, |_, &i| {
+            self.prepared(i);
+        });
     }
 
     /// Simulates every `(trace, kind)` cell not already memoized, on
@@ -109,30 +154,52 @@ impl Workbench {
     /// `(trace, config, kind)`, so a warmed workbench returns exactly
     /// the reports a cold one would — parallel warm-up changes wall
     /// clock, never output.
+    ///
+    /// Cells are *claimed* under the memo lock before simulating:
+    /// concurrent `warm_up` (or [`report`](Self::report)) callers
+    /// partition the pending cells instead of racing to simulate the
+    /// same cell twice, and this call returns only once every
+    /// requested cell is done (waiting on cells another caller
+    /// claimed).
     pub fn warm_up(&self, kinds: &[PowerManagerKind], jobs: usize) {
-        let pending: Vec<(usize, PowerManagerKind)> = {
-            let memo = self.memo.lock().expect("memo lock");
-            (0..self.traces.len())
-                .flat_map(|trace_idx| kinds.iter().map(move |&kind| (trace_idx, kind)))
-                .filter(|cell| !memo.contains_key(cell))
+        let requested: Vec<Cell> = (0..self.traces.len())
+            .flat_map(|trace_idx| kinds.iter().map(move |&kind| (trace_idx, kind)))
+            .collect();
+        let claimed: Vec<Cell> = {
+            let mut memo = self.memo.lock().expect("memo lock");
+            requested
+                .iter()
+                .filter(|cell| !memo.done.contains_key(cell) && memo.in_flight.insert(**cell))
+                .copied()
                 .collect()
         };
-        let reports = SweepRunner::new(jobs).run(&pending, |_, &(trace_idx, kind)| {
-            evaluate_app(&self.traces[trace_idx], &self.config, kind)
-        });
+        if !claimed.is_empty() {
+            // Share one preparation per app across the claimed cells.
+            self.prepare_all(jobs);
+            let reports = SweepRunner::new(jobs).run(&claimed, |_, &(trace_idx, kind)| {
+                evaluate_prepared(self.prepared(trace_idx), &self.config, kind)
+            });
+            let mut memo = self.memo.lock().expect("memo lock");
+            for (cell, report) in claimed.into_iter().zip(reports) {
+                memo.in_flight.remove(&cell);
+                memo.done.insert(cell, report);
+            }
+            self.memo_ready.notify_all();
+        }
+        // Wait for any requested cells claimed by concurrent callers.
         let mut memo = self.memo.lock().expect("memo lock");
-        for (cell, report) in pending.into_iter().zip(reports) {
-            memo.insert(cell, report);
+        while !requested.iter().all(|cell| memo.done.contains_key(cell)) {
+            memo = self.memo_ready.wait(memo).expect("memo lock");
         }
     }
 
     /// Inserts a pre-computed report into the memo (used by the
     /// multi-seed sweep, which batches simulation across workbenches).
     pub fn prime(&self, trace_idx: usize, kind: PowerManagerKind, report: AppReport) {
-        self.memo
-            .lock()
-            .expect("memo lock")
-            .insert((trace_idx, kind), report);
+        let mut memo = self.memo.lock().expect("memo lock");
+        memo.in_flight.remove(&(trace_idx, kind));
+        memo.done.insert((trace_idx, kind), report);
+        self.memo_ready.notify_all();
     }
 
     /// The simulation configuration.
@@ -151,17 +218,44 @@ impl Workbench {
     }
 
     /// The simulator report for one application × one manager,
-    /// memoized.
+    /// memoized. If another caller is already simulating the cell,
+    /// waits for its result instead of duplicating the work.
     pub fn report(&self, trace_idx: usize, kind: PowerManagerKind) -> AppReport {
-        if let Some(r) = self.memo.lock().expect("memo lock").get(&(trace_idx, kind)) {
-            return r.clone();
+        let cell = (trace_idx, kind);
+        {
+            let mut memo = self.memo.lock().expect("memo lock");
+            loop {
+                if let Some(r) = memo.done.get(&cell) {
+                    return r.clone();
+                }
+                if memo.in_flight.insert(cell) {
+                    break; // claimed: this caller simulates it
+                }
+                memo = self.memo_ready.wait(memo).expect("memo lock");
+            }
         }
-        let report = evaluate_app(&self.traces[trace_idx], &self.config, kind);
-        self.memo
-            .lock()
-            .expect("memo lock")
-            .insert((trace_idx, kind), report.clone());
+        let report = evaluate_prepared(self.prepared(trace_idx), &self.config, kind);
+        self.prime(trace_idx, kind, report.clone());
         report
+    }
+
+    /// Evaluates application `trace_idx` under a *modified*
+    /// configuration (the ablation sweeps), sharing this workbench's
+    /// prepared streams whenever `config` keeps the stream-relevant
+    /// cache/disk parameters and rebuilding them only when it does
+    /// not. Not memoized — ablation configs are transient.
+    pub fn evaluate_with(
+        &self,
+        trace_idx: usize,
+        config: &SimConfig,
+        kind: PowerManagerKind,
+    ) -> AppReport {
+        let prepared = self.prepared(trace_idx);
+        if prepared.matches(config) {
+            evaluate_prepared(prepared, config, kind)
+        } else {
+            evaluate_app(&self.traces[trace_idx], config, kind)
+        }
     }
 }
 
@@ -195,7 +289,7 @@ mod tests {
         let parallel = Workbench::from_traces(vec![tiny_trace()], SimConfig::paper());
         serial.warm_up(&GRID_KINDS, 1);
         parallel.warm_up(&GRID_KINDS, 8);
-        assert_eq!(serial.memo.lock().unwrap().len(), GRID_KINDS.len());
+        assert_eq!(serial.memo.lock().unwrap().done.len(), GRID_KINDS.len());
         for kind in GRID_KINDS {
             assert_eq!(
                 serial.report(0, kind),
@@ -206,7 +300,23 @@ mod tests {
         }
         // A second warm-up has nothing left to simulate.
         serial.warm_up(&GRID_KINDS, 4);
-        assert_eq!(serial.memo.lock().unwrap().len(), GRID_KINDS.len());
+        assert_eq!(serial.memo.lock().unwrap().done.len(), GRID_KINDS.len());
+    }
+
+    #[test]
+    fn concurrent_warm_up_simulates_each_cell_once() {
+        // Many threads warm the same grid; the prepare counter bounds
+        // the preparation work (one per run), and the memo ends exactly
+        // full — claimed cells are never simulated twice into the memo.
+        let bench = Workbench::from_traces(vec![tiny_trace(), tiny_trace()], SimConfig::paper());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| bench.warm_up(&GRID_KINDS, 2));
+            }
+        });
+        let memo = bench.memo.lock().unwrap();
+        assert_eq!(memo.done.len(), 2 * GRID_KINDS.len());
+        assert!(memo.in_flight.is_empty());
     }
 
     #[test]
@@ -223,8 +333,24 @@ mod tests {
         let a = bench.report(0, PowerManagerKind::Timeout);
         let b = bench.report(0, PowerManagerKind::Timeout);
         assert_eq!(a, b);
-        assert_eq!(bench.memo.lock().unwrap().len(), 1);
+        assert_eq!(bench.memo.lock().unwrap().done.len(), 1);
         assert_eq!(bench.traces().len(), 1);
         assert_eq!(bench.seed(), 0);
+    }
+
+    #[test]
+    fn evaluate_with_shares_or_rebuilds_streams() {
+        let bench = Workbench::from_traces(vec![tiny_trace()], SimConfig::paper());
+        let baseline = bench.evaluate_with(0, bench.config(), PowerManagerKind::Timeout);
+        // Predictor-only change: shares the prepared streams.
+        let mut longer = bench.config().clone();
+        longer.timeout = longer.timeout * 4;
+        let ablated = bench.evaluate_with(0, &longer, PowerManagerKind::Timeout);
+        assert_eq!(baseline.global.opportunities, ablated.global.opportunities);
+        // Stream-relevant change: must rebuild, not panic.
+        let mut bigger_cache = bench.config().clone();
+        bigger_cache.cache.capacity_bytes *= 4;
+        let rebuilt = bench.evaluate_with(0, &bigger_cache, PowerManagerKind::Timeout);
+        assert_eq!(&*rebuilt.app, "tiny");
     }
 }

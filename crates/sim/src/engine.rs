@@ -15,23 +15,28 @@
 //! is not stretched by spin-ups; the interval before a run's first disk
 //! access is excluded; the terminal gap (last access → run end) is
 //! included.
+//!
+//! The simulation borrows a pre-built [`RunStreams`] (which carries the
+//! run's accesses, gaps, lifetimes and lifecycle) and mutates only the
+//! manager plus a reusable [`EngineScratch`], so one prepared stream
+//! can be shared by the whole manager grid — see [`crate::prepared`].
 
 use crate::factory::{Manager, PowerManagerKind};
 use crate::metrics::{EnergyBreakdown, PredictionCounts};
-use crate::streams::RunStreams;
+use crate::prepared::{evaluate_prepared, PreparedTrace};
+use crate::streams::{LifecycleEvent, LifecycleKind, RunStreams};
 use crate::SimConfig;
 use pcap_core::{GlobalDecision, GlobalPredictor, IdlePredictor, VoteSource};
 use pcap_disk::GapBreakdown;
-use pcap_trace::{ApplicationTrace, TraceRun};
-use pcap_types::{Pid, SimDuration, SimTime, TraceEvent};
+use pcap_trace::ApplicationTrace;
+use pcap_types::{Pid, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// The simulator's verdict on one application × one power manager.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct AppReport {
-    /// Application name.
-    pub app: String,
+    /// Application name (shared with the source trace).
+    pub app: std::sync::Arc<str>,
     /// Power-manager label ("TP", "PCAPh", …).
     pub manager: String,
     /// Local (per-process) prediction counts, summed over processes and
@@ -59,34 +64,18 @@ impl AppReport {
 
 /// Evaluates one power manager over a full application trace (all
 /// executions, shared prediction state per the manager's reuse policy).
+///
+/// Prepares the trace's [`RunStreams`] internally; callers evaluating
+/// *several* managers over the same trace should build one
+/// [`PreparedTrace`] and call [`evaluate_prepared`] per manager
+/// instead, sharing the preparation.
 pub fn evaluate_app(
     trace: &ApplicationTrace,
     config: &SimConfig,
     kind: PowerManagerKind,
 ) -> AppReport {
-    let mut manager = kind.manager(config);
-    let mut report = AppReport {
-        app: trace.app.clone(),
-        manager: kind.label(),
-        local: PredictionCounts::default(),
-        global: PredictionCounts::default(),
-        energy: EnergyBreakdown::default(),
-        base_energy: EnergyBreakdown::default(),
-        table_entries: None,
-        table_aliases: None,
-    };
-    for run in &trace.runs {
-        let streams = RunStreams::build(run, config);
-        let outcome = simulate_run(run, &streams, config, &mut manager);
-        report.local += outcome.local;
-        report.global += outcome.global;
-        report.energy += outcome.energy;
-        report.base_energy += outcome.base_energy;
-        manager.on_run_end();
-    }
-    report.table_entries = manager.table_entries();
-    report.table_aliases = manager.table_aliases();
-    report
+    let prepared = PreparedTrace::build(trace, config);
+    evaluate_prepared(&prepared, config, kind)
 }
 
 /// The verdict on one idle gap under a power manager.
@@ -133,104 +122,131 @@ pub struct RunOutcome {
     pub base_energy: EnergyBreakdown,
 }
 
-#[derive(Debug, Clone, Copy)]
-enum Lifecycle {
-    Fork(Pid),
-    Exit(Pid),
+/// Reusable per-run engine state: dense per-process predictor and
+/// pending-idle tables keyed by the compact pid index of the current
+/// [`RunStreams`]. Reusing one scratch across the runs of a trace (and
+/// across managers) keeps the per-access path free of hashing and the
+/// per-run path free of table reallocation.
+#[derive(Default)]
+pub struct EngineScratch {
+    preds: Vec<Option<Box<dyn IdlePredictor>>>,
+    pending_idle: Vec<Option<SimDuration>>,
 }
 
-/// Live per-run simulation state.
-struct RunState<'m> {
-    manager: &'m mut Manager,
+impl EngineScratch {
+    /// An empty scratch; tables grow to each run's process count.
+    pub fn new() -> EngineScratch {
+        EngineScratch::default()
+    }
+
+    fn reset(&mut self, pid_count: usize) {
+        self.preds.clear();
+        self.preds.resize_with(pid_count, || None);
+        self.pending_idle.clear();
+        self.pending_idle.resize(pid_count, None);
+    }
+}
+
+/// Live per-run simulation state. Process-indexed tables are dense
+/// (compact pid index); the pid itself is only materialized at the
+/// `GlobalPredictor` boundary.
+struct RunState<'a> {
+    manager: &'a mut Manager,
     oracle: bool,
     global: GlobalPredictor,
-    preds: HashMap<Pid, Box<dyn IdlePredictor>>,
+    preds: &'a mut [Option<Box<dyn IdlePredictor>>],
     /// Gap lengths awaiting `on_idle_end` at each process's next access
     /// (or exit).
-    pending_idle: HashMap<Pid, SimDuration>,
-    root: Pid,
+    pending_idle: &'a mut [Option<SimDuration>],
+    pids: &'a [Pid],
 }
 
 impl RunState<'_> {
-    fn start_process(&mut self, pid: Pid, at: SimTime) {
+    fn start_process(&mut self, pidx: usize, at: SimTime) {
+        let pid = self.pids[pidx];
         self.global.process_started(pid, at);
         self.global
             .record_vote(pid, at, self.manager.initial_vote());
-        self.preds.insert(pid, self.manager.for_process(pid));
+        self.preds[pidx] = Some(self.manager.for_process(pid));
     }
 
-    fn end_process(&mut self, pid: Pid) {
-        if let Some(mut pred) = self.preds.remove(&pid) {
-            if let Some(gap) = self.pending_idle.remove(&pid) {
+    fn end_process(&mut self, pidx: usize) {
+        if let Some(mut pred) = self.preds[pidx].take() {
+            if let Some(gap) = self.pending_idle[pidx].take() {
                 pred.on_idle_end(gap);
             }
             pred.on_run_end();
         }
-        self.global.process_exited(pid);
+        self.global.process_exited(self.pids[pidx]);
     }
 
-    fn apply(&mut self, at: SimTime, event: Lifecycle) {
-        match event {
-            Lifecycle::Fork(pid) => self.start_process(pid, at),
-            Lifecycle::Exit(pid) => self.end_process(pid),
+    fn apply(&mut self, event: LifecycleEvent) {
+        match event.kind {
+            LifecycleKind::Start => self.start_process(event.pidx as usize, event.time),
+            LifecycleKind::Exit => self.end_process(event.pidx as usize),
         }
     }
 }
 
 /// Simulates one execution. Public for integration tests and the
-/// examples; most callers want [`evaluate_app`].
-pub fn simulate_run(
-    run: &TraceRun,
-    streams: &RunStreams,
-    config: &SimConfig,
-    manager: &mut Manager,
-) -> RunOutcome {
-    simulate_run_inner(run, streams, config, manager, None)
+/// examples; most callers want [`evaluate_app`] or
+/// [`evaluate_prepared`].
+pub fn simulate_run(streams: &RunStreams, config: &SimConfig, manager: &mut Manager) -> RunOutcome {
+    simulate_run_inner(streams, config, manager, &mut EngineScratch::new(), None)
 }
 
 /// [`simulate_run`] that additionally records every merged idle gap's
 /// decision into `log` — the data behind `pcap inspect`.
 pub fn simulate_run_logged(
-    run: &TraceRun,
     streams: &RunStreams,
     config: &SimConfig,
     manager: &mut Manager,
     log: &mut Vec<GapRecord>,
 ) -> RunOutcome {
-    simulate_run_inner(run, streams, config, manager, Some(log))
+    simulate_run_inner(
+        streams,
+        config,
+        manager,
+        &mut EngineScratch::new(),
+        Some(log),
+    )
 }
 
-fn simulate_run_inner(
-    run: &TraceRun,
+/// [`simulate_run`] reusing a caller-owned [`EngineScratch`] — the
+/// allocation-free path used by [`evaluate_prepared`].
+pub fn simulate_run_reusing(
     streams: &RunStreams,
     config: &SimConfig,
     manager: &mut Manager,
+    scratch: &mut EngineScratch,
+) -> RunOutcome {
+    simulate_run_inner(streams, config, manager, scratch, None)
+}
+
+fn simulate_run_inner(
+    streams: &RunStreams,
+    config: &SimConfig,
+    manager: &mut Manager,
+    scratch: &mut EngineScratch,
     mut log: Option<&mut Vec<GapRecord>>,
 ) -> RunOutcome {
     let be = config.disk.breakeven_time();
     let window_state = manager.window_state();
     let mut out = RunOutcome::default();
 
+    scratch.reset(streams.pid_count());
     let mut state = RunState {
         oracle: manager.is_oracle(),
         manager,
         global: GlobalPredictor::new(),
-        preds: HashMap::new(),
-        pending_idle: HashMap::new(),
-        root: run.root,
+        preds: &mut scratch.preds,
+        pending_idle: &mut scratch.pending_idle,
+        pids: streams.pids(),
     };
-    state.start_process(run.root, SimTime::ZERO);
 
-    // Lifecycle events in time order (the run is validated and sorted).
-    let lifecycle: Vec<(SimTime, Lifecycle)> = run
-        .events
-        .iter()
-        .filter_map(|e| match *e {
-            TraceEvent::Fork { time, child, .. } => Some((time, Lifecycle::Fork(child))),
-            TraceEvent::Exit { time, pid } => Some((time, Lifecycle::Exit(pid))),
-            TraceEvent::Io(_) => None,
-        })
-        .collect();
+    // Pre-resolved start/exit events in time order (the root's start at
+    // time zero is the first entry).
+    let lifecycle = streams.lifecycle();
     let mut li = 0usize;
 
     let n = streams.accesses.len();
@@ -243,9 +259,8 @@ fn simulate_run_inner(
         // Lifecycle events that happened before this access (when i ==
         // 0 nothing was stepped yet; later gaps already consumed
         // everything up to this access's arrival).
-        while li < lifecycle.len() && lifecycle[li].0 <= access.time {
-            let (t, ev) = lifecycle[li];
-            state.apply(t, ev);
+        while li < lifecycle.len() && lifecycle[li].time <= access.time {
+            state.apply(lifecycle[li]);
             li += 1;
         }
 
@@ -255,18 +270,19 @@ fn simulate_run_inner(
         out.base_energy.busy += busy;
 
         // Route the access: kernel write-backs attributed to an exited
-        // process act on behalf of the application (the root).
-        let pid = if state.preds.contains_key(&access.pid) {
-            access.pid
+        // process act on behalf of the application (the root, index 0).
+        let apidx = streams.access_pid_index(i);
+        let pidx = if state.preds[apidx].is_some() {
+            apidx
         } else {
-            state.root
+            0
         };
-        let vote = if let Some(pred) = state.preds.get_mut(&pid) {
-            if let Some(gap) = state.pending_idle.remove(&pid) {
+        let vote = if let Some(pred) = state.preds[pidx].as_mut() {
+            if let Some(gap) = state.pending_idle[pidx].take() {
                 pred.on_idle_end(gap);
             }
             let vote = pred.on_access(&access, local_gap);
-            state.pending_idle.insert(pid, local_gap);
+            state.pending_idle[pidx] = Some(local_gap);
             Some(vote)
         } else {
             None
@@ -289,7 +305,7 @@ fn simulate_run_inner(
                 _ => {}
             }
             if !state.oracle {
-                state.global.record_vote(pid, completion, vote);
+                state.global.record_vote(state.pids[pidx], completion, vote);
             }
         } else if local_gap > be {
             out.local.not_predicted += 1;
@@ -300,7 +316,7 @@ fn simulate_run_inner(
         let shutdown = if state.oracle {
             (global_gap > be).then_some((completion, VoteSource::Primary))
         } else {
-            resolve_gap_voting(&mut state, &lifecycle, &mut li, completion, gap_end)
+            resolve_gap_voting(&mut state, lifecycle, &mut li, completion, gap_end)
         };
 
         // Global classification and energy.
@@ -367,8 +383,7 @@ fn simulate_run_inner(
 
     // Remaining lifecycle (exits at/after the last access).
     while li < lifecycle.len() {
-        let (t, ev) = lifecycle[li];
-        state.apply(t, ev);
+        state.apply(lifecycle[li]);
         li += 1;
     }
 
@@ -381,7 +396,7 @@ fn simulate_run_inner(
 /// spinning until the gap ends.
 fn resolve_gap_voting(
     state: &mut RunState<'_>,
-    lifecycle: &[(SimTime, Lifecycle)],
+    lifecycle: &[LifecycleEvent],
     li: &mut usize,
     gap_start: SimTime,
     gap_end: SimTime,
@@ -389,8 +404,8 @@ fn resolve_gap_voting(
     let mut now = gap_start;
     let mut shutdown = None;
     loop {
-        let boundary = if *li < lifecycle.len() && lifecycle[*li].0 <= gap_end {
-            lifecycle[*li].0
+        let boundary = if *li < lifecycle.len() && lifecycle[*li].time <= gap_end {
+            lifecycle[*li].time
         } else {
             gap_end
         };
@@ -408,8 +423,7 @@ fn resolve_gap_voting(
             // timestamp are handled by the access loop.
             break;
         }
-        let (t, ev) = lifecycle[*li];
-        state.apply(t, ev);
+        state.apply(lifecycle[*li]);
         *li += 1;
         // Events that arrived while the disk was still busy (before the
         // gap started) must not pull `now` backwards.
@@ -421,7 +435,7 @@ fn resolve_gap_voting(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pcap_trace::TraceRunBuilder;
+    use pcap_trace::{TraceRun, TraceRunBuilder};
     use pcap_types::{Fd, FileId, IoKind, Pc};
 
     /// One process, fresh 1-page reads at the given seconds, exit at
@@ -448,7 +462,7 @@ mod tests {
         let config = SimConfig::paper();
         let streams = RunStreams::build(&run, &config);
         let mut manager = kind.manager(&config);
-        simulate_run(&run, &streams, &config, &mut manager)
+        simulate_run(&streams, &config, &mut manager)
     }
 
     #[test]
@@ -482,7 +496,7 @@ mod tests {
         let execute = |manager: &mut Manager| {
             let run = run_with_gaps(&[1.0, 1.2, 1.4], 31.4);
             let streams = RunStreams::build(&run, &config);
-            let out = simulate_run(&run, &streams, &config, manager);
+            let out = simulate_run(&streams, &config, manager);
             manager.on_run_end();
             out
         };
@@ -530,7 +544,7 @@ mod tests {
         let config = SimConfig::paper();
         let streams = RunStreams::build(&run, &config);
         let mut manager = PowerManagerKind::Timeout.manager(&config);
-        let out = simulate_run(&run, &streams, &config, &mut manager);
+        let out = simulate_run(&streams, &config, &mut manager);
         assert_eq!(out.global.hits(), 1);
         // Off interval = 59 s − 13 s = 46 s; energy must reflect a
         // 13−1−service ≈ 12 s spinning prefix. Compare with a no-fork
@@ -572,7 +586,7 @@ mod tests {
         let config = SimConfig::paper();
         let streams = RunStreams::build(&run, &config);
         let mut manager = PowerManagerKind::Timeout.manager(&config);
-        let out = simulate_run(&run, &streams, &config, &mut manager);
+        let out = simulate_run(&streams, &config, &mut manager);
         // Shutdown at max(root: 1 s + 10 s, helper: gone) = 11 s.
         assert_eq!(out.global.hits(), 1);
     }
@@ -584,7 +598,7 @@ mod tests {
             trace.runs.push(run_with_gaps(&[1.0, 1.2], 31.0));
         }
         let report = evaluate_app(&trace, &SimConfig::paper(), PowerManagerKind::PCAP);
-        assert_eq!(report.app, "test");
+        assert_eq!(&*report.app, "test");
         assert_eq!(report.manager, "PCAP");
         assert_eq!(report.global.opportunities, 3);
         // Run 1 trains (backup hit), runs 2–3 predict (primary hits).
@@ -595,13 +609,21 @@ mod tests {
     }
 
     #[test]
+    fn report_app_shares_trace_allocation() {
+        let mut trace = ApplicationTrace::new("shared");
+        trace.runs.push(run_with_gaps(&[1.0], 31.0));
+        let report = evaluate_app(&trace, &SimConfig::paper(), PowerManagerKind::Timeout);
+        assert!(std::sync::Arc::ptr_eq(&trace.app, &report.app));
+    }
+
+    #[test]
     fn gap_log_matches_counts() {
         let run = run_with_gaps(&[1.0, 21.0, 29.0], 41.0);
         let config = SimConfig::paper();
         let streams = RunStreams::build(&run, &config);
         let mut manager = PowerManagerKind::Timeout.manager(&config);
         let mut log = Vec::new();
-        let out = simulate_run_logged(&run, &streams, &config, &mut manager, &mut log);
+        let out = simulate_run_logged(&streams, &config, &mut manager, &mut log);
         assert_eq!(log.len(), streams.accesses.len());
         let hits = log.iter().filter(|g| g.verdict == GapVerdict::Hit).count();
         let misses = log.iter().filter(|g| g.verdict == GapVerdict::Miss).count();
@@ -664,7 +686,7 @@ mod tests {
         assert_eq!(flush.pid, Pid(2), "attributed to the dirtier");
         // And the simulation completes with consistent counts.
         let mut manager = PowerManagerKind::PCAP.manager(&config);
-        let out = simulate_run(&run, &streams, &config, &mut manager);
+        let out = simulate_run(&streams, &config, &mut manager);
         assert!(out.global.opportunities >= 2);
         assert!(out.base_energy.total().0 > 0.0);
     }
@@ -699,12 +721,12 @@ mod tests {
         // Train: single access then long gap.
         let train = run_with_gaps(&[1.0], 31.0);
         let streams = RunStreams::build(&train, &config);
-        simulate_run(&train, &streams, &config, &mut manager);
+        simulate_run(&streams, &config, &mut manager);
         manager.on_run_end();
         // Replay: the same PC, but the next access comes 0.5 s later.
         let replay = run_with_gaps(&[1.0, 1.5], 3.0);
         let streams = RunStreams::build(&replay, &config);
-        let out = simulate_run(&replay, &streams, &config, &mut manager);
+        let out = simulate_run(&streams, &config, &mut manager);
         assert_eq!(out.global.misses(), 0, "wait-window must filter");
     }
 }

@@ -26,23 +26,28 @@
 //! # Ok::<(), pcap_trace::TraceError>(())
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the sweep runner's lock-free result
+// slots carry one reviewed `#[allow(unsafe_code)]` (see `sweep.rs`).
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod engine;
 pub mod factory;
 pub mod metrics;
+pub mod prepared;
 pub mod profile;
 pub mod streams;
 pub mod sweep;
 
 pub use engine::{
-    evaluate_app, simulate_run, simulate_run_logged, AppReport, GapRecord, GapVerdict, RunOutcome,
+    evaluate_app, simulate_run, simulate_run_logged, simulate_run_reusing, AppReport,
+    EngineScratch, GapRecord, GapVerdict, RunOutcome,
 };
 pub use factory::{Manager, PowerManagerKind};
 pub use metrics::{EnergyBreakdown, PredictionCounts};
+pub use prepared::{evaluate_prepared, PreparedTrace};
 pub use profile::WorkloadProfile;
-pub use streams::RunStreams;
+pub use streams::{prepare_call_count, Lifetime, RunStreams};
 pub use sweep::{SeedStat, SweepRunner};
 
 use pcap_cache::CacheConfig;

@@ -1,7 +1,7 @@
 //! Predictor-independent workload profiling — the simulator half of
 //! Table 1 (idle-period counts exist only after cache filtering).
 
-use crate::streams::RunStreams;
+use crate::prepared::PreparedTrace;
 use crate::SimConfig;
 use pcap_trace::ApplicationTrace;
 use serde::{Deserialize, Serialize};
@@ -9,8 +9,8 @@ use serde::{Deserialize, Serialize};
 /// The Table 1 row of one application, measured from its trace.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct WorkloadProfile {
-    /// Application name.
-    pub app: String,
+    /// Application name (shared with the source trace).
+    pub app: std::sync::Arc<str>,
     /// Number of traced executions.
     pub executions: usize,
     /// Idle periods (merged stream) longer than breakeven — Table 1
@@ -27,22 +27,30 @@ pub struct WorkloadProfile {
 }
 
 impl WorkloadProfile {
-    /// Profiles a trace under the given simulation configuration.
+    /// Profiles a trace under the given simulation configuration,
+    /// preparing its streams internally. Callers that already hold a
+    /// [`PreparedTrace`] should use
+    /// [`of_prepared`](Self::of_prepared) and share the preparation.
     pub fn measure(trace: &ApplicationTrace, config: &SimConfig) -> WorkloadProfile {
+        Self::of_prepared(&PreparedTrace::build(trace, config), config)
+    }
+
+    /// Profiles an already-prepared trace; identical to
+    /// [`measure`](Self::measure) on the trace it was prepared from.
+    pub fn of_prepared(prepared: &PreparedTrace, config: &SimConfig) -> WorkloadProfile {
         let be = config.disk.breakeven_time();
         let mut profile = WorkloadProfile {
-            app: trace.app.clone(),
-            executions: trace.runs.len(),
+            app: std::sync::Arc::clone(prepared.app()),
+            executions: prepared.len(),
             global_idle_periods: 0,
             local_idle_periods: 0,
-            total_ios: trace.total_ios(),
+            total_ios: prepared.total_ios(),
             disk_accesses: 0,
             cache_hit_rate: 0.0,
         };
         let mut hits = 0u64;
         let mut lookups = 0u64;
-        for run in &trace.runs {
-            let s = RunStreams::build(run, config);
+        for s in prepared.streams() {
             profile.global_idle_periods += s.global_opportunities(be);
             profile.local_idle_periods += s.local_opportunities(be);
             profile.disk_accesses += s.accesses.len();

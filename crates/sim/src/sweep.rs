@@ -12,8 +12,23 @@
 //! multi-seed sweep experiment built on top of the runner.
 
 use serde::{Deserialize, Serialize};
+use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+
+/// One pre-sized result slot, written lock-free by exactly one worker.
+///
+/// The atomic cursor hands each task index to exactly one worker, so
+/// at most one thread ever writes a given slot, and the scope join
+/// orders all writes before the merge's reads — slots need no lock.
+struct Slot<R>(UnsafeCell<Option<R>>);
+
+// SAFETY: a `Slot` is shared across the scoped workers, but the
+// `fetch_add` cursor gives each task index — hence each slot — to
+// exactly one worker, so there are no concurrent accesses to the
+// inner value; the merge reads only after `thread::scope` joins every
+// worker. `R: Send` is required to move the value across threads.
+#[allow(unsafe_code)]
+unsafe impl<R: Send> Sync for Slot<R> {}
 
 /// A pool of scoped worker threads that evaluates an ordered task list
 /// and returns results in canonical (task) order.
@@ -44,8 +59,9 @@ impl SweepRunner {
     ///
     /// Workers pull tasks from a shared atomic cursor (dynamic load
     /// balancing: simulation costs vary wildly across apps) and write
-    /// each result into the slot of its task index, so the merge is a
-    /// canonical-order readout.
+    /// each result into the pre-sized, lock-free slot of its task
+    /// index, so the merge is a canonical-order readout with no
+    /// per-task lock.
     pub fn run<T, R, F>(&self, tasks: &[T], worker: F) -> Vec<R>
     where
         T: Sync,
@@ -60,7 +76,7 @@ impl SweepRunner {
                 .collect();
         }
         let cursor = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<R>>> = tasks.iter().map(|_| Mutex::new(None)).collect();
+        let slots: Vec<Slot<R>> = tasks.iter().map(|_| Slot(UnsafeCell::new(None))).collect();
         std::thread::scope(|scope| {
             for _ in 0..self.jobs.min(tasks.len()) {
                 scope.spawn(|| loop {
@@ -69,15 +85,21 @@ impl SweepRunner {
                         break;
                     };
                     let result = worker(index, task);
-                    *slots[index].lock().expect("result slot") = Some(result);
+                    // SAFETY: `fetch_add` yielded `index` to this worker
+                    // alone, so no other thread touches `slots[index]`;
+                    // the merge below reads only after the scope joins.
+                    #[allow(unsafe_code)]
+                    unsafe {
+                        *slots[index].0.get() = Some(result);
+                    }
                 });
             }
         });
         slots
             .into_iter()
             .map(|slot| {
-                slot.into_inner()
-                    .expect("result slot")
+                slot.0
+                    .into_inner()
                     .expect("every task index was claimed exactly once")
             })
             .collect()

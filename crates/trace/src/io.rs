@@ -55,7 +55,7 @@ pub fn write_jsonl<W: Write>(trace: &ApplicationTrace, mut w: W) -> Result<(), T
         Ok(())
     };
     emit(&Record::Header {
-        app: trace.app.clone(),
+        app: trace.app.to_string(),
         format_version: FORMAT_VERSION,
     })?;
     for run in &trace.runs {
@@ -138,7 +138,10 @@ pub fn read_jsonl<R: Read>(r: R) -> Result<ApplicationTrace, TraceError> {
     }
     flush(&mut current, &mut runs)?;
     let app = app.ok_or_else(|| TraceError::Format("missing header".into()))?;
-    Ok(ApplicationTrace { app, runs })
+    Ok(ApplicationTrace {
+        app: app.into(),
+        runs,
+    })
 }
 
 #[cfg(test)]

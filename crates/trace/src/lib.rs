@@ -145,17 +145,22 @@ impl TraceRun {
 }
 
 /// All traced executions of one application.
+///
+/// The application name is interned as an `Arc<str>`: every report,
+/// profile and statistics row derived from this trace shares the one
+/// allocation instead of copying the string per cell of the manager
+/// grid. (It serializes as a plain JSON string, exactly as before.)
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ApplicationTrace {
-    /// Application name ("mozilla", "writer", …).
-    pub app: String,
+    /// Application name ("mozilla", "writer", …), shared by reference.
+    pub app: std::sync::Arc<str>,
     /// The traced executions, in collection order.
     pub runs: Vec<TraceRun>,
 }
 
 impl ApplicationTrace {
     /// Creates an empty trace for `app`.
-    pub fn new(app: impl Into<String>) -> ApplicationTrace {
+    pub fn new(app: impl Into<std::sync::Arc<str>>) -> ApplicationTrace {
         ApplicationTrace {
             app: app.into(),
             runs: Vec::new(),
@@ -383,7 +388,7 @@ mod tests {
             t.runs.push(b.finish().unwrap());
         }
         assert_eq!(t.total_ios(), 6);
-        assert_eq!(t.app, "nedit");
+        assert_eq!(&*t.app, "nedit");
     }
 
     #[test]

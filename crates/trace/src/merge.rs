@@ -93,7 +93,7 @@ pub fn merge_runs(runs: &[(&TraceRun, SimDuration)]) -> Result<TraceRun, TraceEr
 /// #     t.runs.push(builder.finish()?);
 /// # }
 /// let system = merge_traces(&[a, b], SimDuration::from_secs(2))?;
-/// assert_eq!(system.app, "system");
+/// assert_eq!(&*system.app, "system");
 /// assert_eq!(system.runs.len(), 1);
 /// assert_eq!(system.runs[0].pids().len(), 3); // session root + 2 apps
 /// # Ok::<(), pcap_trace::TraceError>(())
@@ -169,7 +169,7 @@ mod tests {
         }
         let system = merge_traces(&[a, b], SimDuration::from_secs(1)).unwrap();
         assert_eq!(system.runs.len(), 2, "limited by the shortest trace");
-        assert_eq!(system.app, "system");
+        assert_eq!(&*system.app, "system");
         assert_eq!(system.total_ios(), 4);
     }
 

@@ -13,8 +13,8 @@ use std::collections::HashSet;
 /// Raw statistics of one application trace.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TraceStats {
-    /// Application name.
-    pub app: String,
+    /// Application name (shared with the source trace).
+    pub app: std::sync::Arc<str>,
     /// Number of traced executions.
     pub executions: usize,
     /// Total I/O operations across all executions (Table 1 "Total I/Os").

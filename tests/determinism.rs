@@ -41,6 +41,28 @@ fn serialized_reports_identical_for_any_job_count() {
 }
 
 #[test]
+fn prepared_pipeline_matches_legacy_evaluation_byte_for_byte() {
+    // The prepare-once invariant: evaluating against shared, pre-built
+    // streams serializes to exactly the bytes the legacy
+    // prepare-per-manager path produced, for every manager in the grid.
+    let config = SimConfig::paper();
+    let traces = truncated_suite(42);
+    for trace in &traces {
+        let prepared = pcap_sim::PreparedTrace::build(trace, &config);
+        for kind in GRID_KINDS {
+            let legacy =
+                serde_json::to_string_pretty(&pcap_sim::evaluate_app(trace, &config, kind))
+                    .unwrap();
+            let shared = serde_json::to_string_pretty(&pcap_sim::evaluate_prepared(
+                &prepared, &config, kind,
+            ))
+            .unwrap();
+            assert_eq!(legacy, shared, "{} × {}", trace.app, kind.label());
+        }
+    }
+}
+
+#[test]
 fn same_seed_runs_are_byte_identical() {
     let first: Vec<(String, String)> = snapshot_files(&warmed_bench(42, 4));
     let second: Vec<(String, String)> = snapshot_files(&warmed_bench(42, 4));

@@ -192,7 +192,7 @@ fn table1_shape_holds() {
         let trace = app.spec().generate_trace(42).expect("valid");
         profiles.push(WorkloadProfile::measure(&trace, &config));
     }
-    let by_name = |name: &str| profiles.iter().find(|p| p.app == name).unwrap();
+    let by_name = |name: &str| profiles.iter().find(|p| &*p.app == name).unwrap();
     // Multi-process apps have more local than global idle periods.
     for name in ["mozilla", "writer", "impress", "mplayer"] {
         let p = by_name(name);

@@ -18,7 +18,7 @@ fn truncated(app: PaperApp, runs: usize) -> ApplicationTrace {
 fn every_app_generates_valid_multiprocess_traces() {
     for app in PaperApp::ALL {
         let trace = truncated(app, 3);
-        assert_eq!(trace.app, app.name());
+        assert_eq!(&*trace.app, app.name());
         for run in &trace.runs {
             // Sorted events, closed process lifecycles (the builder
             // validated them; double-check the public invariants).

@@ -391,7 +391,7 @@ proptest! {
         ] {
             let mut manager = kind.manager(&config);
             let mut log = Vec::new();
-            let out = pcap_sim::simulate_run_logged(&run, &streams, &config, &mut manager, &mut log);
+            let out = pcap_sim::simulate_run_logged(&streams, &config, &mut manager, &mut log);
             let shutdowns = log.iter().filter(|g| g.shutdown.is_some()).count() as u64;
             prop_assert_eq!(
                 out.global.hits() + out.global.misses(),
@@ -446,5 +446,88 @@ proptest! {
             r.base_energy.total().0
         );
         prop_assert!(r.savings() >= -1e-12);
+    }
+}
+
+/// Like [`arbitrary_run`], but the root forks a child halfway through
+/// and the remaining I/Os alternate between the two processes, so the
+/// per-process (local) gap streams genuinely differ from the merged
+/// (global) stream.
+fn arbitrary_forked_run() -> impl Strategy<Value = pcap_trace::TraceRun> {
+    prop::collection::vec((1u64..40_000u64, 0u32..4u32), 2..30).prop_map(|gaps| {
+        let mut b = TraceRunBuilder::new(Pid(1));
+        let mut t = SimTime::from_millis(200);
+        let fork_at = gaps.len() / 2;
+        for (i, (gap_ms, pc)) in gaps.iter().enumerate() {
+            if i == fork_at {
+                b.fork(t, Pid(1), Pid(2));
+                t += SimDuration::from_millis(1);
+            }
+            let pid = if i >= fork_at && i % 2 == 0 {
+                Pid(2)
+            } else {
+                Pid(1)
+            };
+            b.io(
+                t,
+                pid,
+                Pc(0x1000 + pc),
+                IoKind::Read,
+                Fd(3),
+                FileId(1),
+                (i as u64) * 4096,
+                4096,
+            );
+            t += SimDuration::from_millis(*gap_ms);
+        }
+        b.exit(t + SimDuration::from_secs(5), Pid(2));
+        b.exit(t + SimDuration::from_secs(10), Pid(1));
+        b.finish().expect("valid by construction")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    /// The prepare-once pipeline's gap vectors agree with a naive
+    /// reference recomputed straight from the filtered access stream:
+    /// the global gap of access `i` runs from its completion to the
+    /// next arrival (or run end), and the local gap to the issuing
+    /// process's next arrival (or its lifetime end). This pins the
+    /// dense-table backward scan in `RunStreams::build` against an
+    /// O(n²) forward search that shares none of its machinery.
+    #[test]
+    fn prepared_gap_vectors_match_naive_recomputation(
+        runs in prop::collection::vec(arbitrary_forked_run(), 1..4)
+    ) {
+        let config = SimConfig::paper();
+        let mut trace = ApplicationTrace::new("random");
+        trace.runs = runs;
+        let prepared = pcap_sim::PreparedTrace::build(&trace, &config);
+        prop_assert_eq!(prepared.len(), trace.runs.len());
+        for (run, s) in trace.runs.iter().zip(prepared.streams()) {
+            prop_assert_eq!(s.run_end, run.end);
+            for i in 0..s.accesses.len() {
+                let next_any = s.accesses.get(i + 1).map_or(run.end, |a| a.time);
+                prop_assert_eq!(
+                    s.global_gaps[i],
+                    next_any.saturating_since(s.completions[i]),
+                    "global gap {i}"
+                );
+                let pid = s.accesses[i].pid;
+                let next_same = s.accesses[i + 1..]
+                    .iter()
+                    .find(|a| a.pid == pid)
+                    .map_or_else(
+                        || s.lifetime(pid).expect("traced pid").end,
+                        |a| a.time,
+                    );
+                prop_assert_eq!(
+                    s.local_gaps[i],
+                    next_same.saturating_since(s.completions[i]),
+                    "local gap {i} (pid {})",
+                    pid.0
+                );
+            }
+        }
     }
 }

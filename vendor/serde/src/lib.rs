@@ -341,6 +341,27 @@ impl<T: Deserialize> Deserialize for Box<T> {
     }
 }
 
+impl<T: Serialize + ?Sized> Serialize for std::sync::Arc<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Deserialize for std::sync::Arc<str> {
+    fn from_value(value: &Value) -> Result<std::sync::Arc<str>, DeError> {
+        match value {
+            Value::Str(s) => Ok(std::sync::Arc::from(s.as_str())),
+            other => Err(DeError::expected("string", other)),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::sync::Arc<T> {
+    fn from_value(value: &Value) -> Result<std::sync::Arc<T>, DeError> {
+        T::from_value(value).map(std::sync::Arc::new)
+    }
+}
+
 macro_rules! tuple_impl {
     ($len:literal: $($t:ident . $idx:tt),+) => {
         impl<$($t: Serialize),+> Serialize for ($($t,)+) {
