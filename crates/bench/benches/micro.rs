@@ -10,7 +10,10 @@ use pcap_capture::{CallStack, CaptureStrategy, FrameKind};
 use pcap_core::{
     IdlePredictor, Pcap, PcapConfig, PredictionTable, SharedTable, SignatureTracker, TableKey,
 };
-use pcap_sim::{evaluate_app, evaluate_prepared, PowerManagerKind, PreparedTrace, SimConfig};
+use pcap_sim::{
+    audit_prepared, evaluate_app, evaluate_prepared, evaluate_prepared_observed, MetricsObserver,
+    PowerManagerKind, PreparedTrace, SimConfig,
+};
 use pcap_types::{
     DiskAccess, Fd, FileId, IoEvent, IoKind, Pc, Pid, Signature, SimDuration, SimTime,
 };
@@ -162,6 +165,43 @@ fn prepare_vs_evaluate(c: &mut Criterion) {
     group.finish();
 }
 
+/// Observer overhead (DESIGN.md §8): the same PCAP evaluation with the
+/// statically-disabled [`NullObserver`], the cheapest attached sink
+/// (metrics only), and the full collecting sink. The first two should
+/// be indistinguishable — record construction is compiled out when
+/// `O::ENABLED` is false; `pcap bench` enforces the <2% bound, this
+/// group quantifies it.
+fn observer_overhead(c: &mut Criterion) {
+    let trace = sample_trace();
+    let events = trace.total_ios() as u64;
+    let config = SimConfig::paper();
+    let prepared = PreparedTrace::build(&trace, &config);
+    let mut group = c.benchmark_group("micro/observer");
+    group.throughput(Throughput::Elements(events));
+    group.sample_size(10);
+    group.bench_function("null", |b| {
+        b.iter(|| {
+            black_box(evaluate_prepared(
+                &prepared,
+                &config,
+                PowerManagerKind::PCAP,
+            ))
+        })
+    });
+    group.bench_function("metrics", |b| {
+        b.iter(|| {
+            let mut sink = MetricsObserver::default();
+            let report =
+                evaluate_prepared_observed(&prepared, &config, PowerManagerKind::PCAP, &mut sink);
+            black_box((report, sink.metrics))
+        })
+    });
+    group.bench_function("collect", |b| {
+        b.iter(|| black_box(audit_prepared(&prepared, &config, PowerManagerKind::PCAP)))
+    });
+    group.finish();
+}
+
 criterion_group!(
     micro,
     signature_update,
@@ -170,6 +210,7 @@ criterion_group!(
     capture_strategies,
     cache_throughput,
     simulator_throughput,
-    prepare_vs_evaluate
+    prepare_vs_evaluate,
+    observer_overhead
 );
 criterion_main!(micro);

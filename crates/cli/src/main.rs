@@ -10,6 +10,8 @@
 //! pcap gen <app> [--seed N] [--out FILE]     generate a trace (JSON lines)
 //! pcap profile <app> [--seed N]              Table 1 row for one app
 //! pcap inspect <app> <run#> [--seed N]       per-gap PCAP decisions for one execution
+//! pcap audit <app> [--jsonl F] [--top-misses N]  decision-audit summary + mispredict tables
+//! pcap explain <app>                         narrative tables tying §6 claims to measured numbers
 //! pcap bench [--quick] [--jobs N]            time the prepare/warm-up phases, append BENCH_sim.json
 //! ```
 //!
@@ -17,8 +19,8 @@
 //! wall clock, never a byte of output.
 
 use pcap_report::{
-    figure_chart, run_sweep, sweep_table, verify_snapshot, write_snapshot, Experiment, Figure,
-    Workbench, GOLDEN_SEED, GRID_KINDS, SWEEP_KINDS,
+    audit_tables, explain_tables, figure_chart, run_sweep, sweep_table, verify_snapshot,
+    write_snapshot, Experiment, Figure, Workbench, GOLDEN_SEED, GRID_KINDS, SWEEP_KINDS,
 };
 use pcap_sim::{SimConfig, WorkloadProfile};
 use pcap_trace::io::write_jsonl;
@@ -36,6 +38,8 @@ const USAGE: &str = "usage:
   pcap gen <app> [--seed N] [--out FILE]
   pcap profile <app> [--seed N]
   pcap inspect <app> <run#> [--seed N]
+  pcap audit <app> [--seed N] [--jobs N] [--jsonl FILE] [--top-misses N] [--csv]
+  pcap explain <app> [--seed N] [--jobs N] [--csv]
   pcap bench [--quick] [--seed N] [--jobs N] [--out FILE] [--label L]
 
 flags:
@@ -47,10 +51,13 @@ flags:
   --golden DIR   golden snapshot directory (default golden/)
   --quick        bench: truncate every trace to 6 runs (CI-sized measurement)
   --label L      bench: label recorded in the trajectory entry (default prepare-once)
+  --jsonl FILE   audit: also write the full decision log as JSON lines
+  --top-misses N audit: rows per mispredict table (default 10, minimum 1)
 
 experiments: table1 table2 fig6 fig7 fig8 fig9 fig10 table3 ablations system
 apps: mozilla writer impress xemacs nedit mplayer";
 
+#[derive(Debug)]
 struct Options {
     seed: u64,
     seeds: Option<Vec<u64>>,
@@ -61,6 +68,8 @@ struct Options {
     golden: String,
     label: Option<String>,
     out: Option<String>,
+    jsonl: Option<String>,
+    top_misses: usize,
     positional: Vec<String>,
 }
 
@@ -98,6 +107,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         golden: "golden".to_owned(),
         label: None,
         out: None,
+        jsonl: None,
+        top_misses: 10,
         positional: Vec::new(),
     };
     let mut it = args.iter();
@@ -129,6 +140,18 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--out" => {
                 options.out = Some(it.next().ok_or("--out needs a value")?.clone());
             }
+            "--jsonl" => {
+                options.jsonl = Some(it.next().ok_or("--jsonl needs a value")?.clone());
+            }
+            "--top-misses" => {
+                let value = it.next().ok_or("--top-misses needs a value")?;
+                options.top_misses = value
+                    .parse()
+                    .map_err(|_| format!("bad top-misses count: {value}"))?;
+                if options.top_misses == 0 {
+                    return Err("top-misses must be at least 1".to_owned());
+                }
+            }
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
             other => options.positional.push(other.to_owned()),
         }
@@ -141,6 +164,30 @@ fn find_app(name: &str) -> Result<PaperApp, String> {
         .into_iter()
         .find(|a| a.name() == name)
         .ok_or_else(|| format!("unknown application {name}"))
+}
+
+/// The shared front half of `pcap audit` / `pcap explain`: generates
+/// one app's trace and audits it under the base PCAP manager. The
+/// audited simulation is serial by construction; `--jobs` only fans
+/// out stream preparation, so the decision stream is byte-identical
+/// for any job count.
+fn audit_outcome(name: &str, options: &Options) -> Result<pcap_sim::AuditOutcome, String> {
+    let app = find_app(name)?;
+    let trace = app
+        .spec()
+        .generate_trace(options.seed)
+        .map_err(|e| e.to_string())?;
+    let config = SimConfig::paper();
+    let prepared = pcap_sim::PreparedTrace::build_par(
+        &trace,
+        &config,
+        &pcap_sim::SweepRunner::new(options.jobs),
+    );
+    Ok(pcap_sim::audit_prepared(
+        &prepared,
+        &config,
+        pcap_sim::PowerManagerKind::PCAP,
+    ))
 }
 
 fn emit(tables: &[pcap_report::Table], csv: bool) {
@@ -371,6 +418,28 @@ idle-gap distribution (all executions):"
             }
             Ok(())
         }
+        "audit" => {
+            let name = positional.next().ok_or("audit needs an application name")?;
+            let outcome = audit_outcome(name, &options)?;
+            if let Some(path) = &options.jsonl {
+                let log = pcap_sim::records_to_jsonl(&outcome.records);
+                std::fs::write(path, log).map_err(|e| format!("{path}: {e}"))?;
+                eprintln!(
+                    "pcap: wrote {} decision records to {path}",
+                    outcome.records.len()
+                );
+            }
+            emit(&audit_tables(&outcome, options.top_misses), options.csv);
+            Ok(())
+        }
+        "explain" => {
+            let name = positional
+                .next()
+                .ok_or("explain needs an application name")?;
+            let outcome = audit_outcome(name, &options)?;
+            emit(&explain_tables(&outcome), options.csv);
+            Ok(())
+        }
         "bench" => run_bench(&options),
         "help" | "--help" => {
             println!("{USAGE}");
@@ -455,6 +524,50 @@ fn run_bench(options: &Options) -> Result<(), String> {
         ));
     }
 
+    // Observer-overhead guard (DESIGN.md §8): the generic engine must
+    // cost nothing measurable when no sink is attached. Interleaved
+    // min-of-3 reps of the PCAP column — NullObserver vs the cheapest
+    // attached sink — so drift hits both arms alike; the null arm may
+    // not come out measurably slower than the attached one.
+    let (mut null_s, mut observed_s) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..3 {
+        let t = Instant::now();
+        for idx in 0..bench.traces().len() {
+            let report = pcap_sim::evaluate_prepared(
+                bench.prepared(idx),
+                bench.config(),
+                pcap_sim::PowerManagerKind::PCAP,
+            );
+            std::hint::black_box(&report);
+        }
+        null_s = null_s.min(t.elapsed().as_secs_f64());
+        let t = Instant::now();
+        for idx in 0..bench.traces().len() {
+            let mut sink = pcap_sim::MetricsObserver::default();
+            let report = pcap_sim::evaluate_prepared_observed(
+                bench.prepared(idx),
+                bench.config(),
+                pcap_sim::PowerManagerKind::PCAP,
+                &mut sink,
+            );
+            std::hint::black_box((&report, &sink.metrics));
+        }
+        observed_s = observed_s.min(t.elapsed().as_secs_f64());
+    }
+    let observer_overhead = (null_s / observed_s - 1.0).max(0.0);
+    eprintln!(
+        "pcap bench: observer guard: null sink {null_s:.3}s vs metrics sink {observed_s:.3}s \
+         ({:.2}% null overhead, limit 2%)",
+        observer_overhead * 100.0
+    );
+    if observer_overhead >= 0.02 {
+        return Err(format!(
+            "observer guard violated: NullObserver path is {:.2}% slower than the attached \
+             metrics sink (limit 2%)",
+            observer_overhead * 100.0
+        ));
+    }
+
     // Trajectory file: a JSON array of entries; append ours, reporting
     // the speedup against the committed legacy baseline when present.
     let mut entries: Vec<serde::Value> = match std::fs::read_to_string(&out) {
@@ -503,6 +616,12 @@ fn run_bench(options: &Options) -> Result<(), String> {
         (
             "speedup_vs_legacy".into(),
             speedup.map_or(serde::Value::Null, serde::Value::Float),
+        ),
+        ("null_eval_s".into(), serde::Value::Float(null_s)),
+        ("observed_eval_s".into(), serde::Value::Float(observed_s)),
+        (
+            "observer_overhead".into(),
+            serde::Value::Float(observer_overhead),
         ),
     ]);
     entries.push(entry);
@@ -608,6 +727,35 @@ mod tests {
         assert!(!o.quick, "quick is opt-in");
         assert!(o.label.is_none(), "label defaults at the command");
         assert!(parse_args(&args(&["bench", "--label"])).is_err());
+    }
+
+    #[test]
+    fn parses_audit_flags() {
+        let o = parse_args(&args(&[
+            "audit",
+            "nedit",
+            "--jsonl",
+            "/tmp/a.jsonl",
+            "--top-misses",
+            "3",
+        ]))
+        .unwrap();
+        assert_eq!(o.jsonl.as_deref(), Some("/tmp/a.jsonl"));
+        assert_eq!(o.top_misses, 3);
+        assert_eq!(o.positional, vec!["audit", "nedit"]);
+        let o = parse_args(&args(&["audit", "nedit"])).unwrap();
+        assert!(o.jsonl.is_none());
+        assert_eq!(o.top_misses, 10, "top-misses defaults to 10");
+    }
+
+    #[test]
+    fn rejects_bad_audit_flags() {
+        assert!(parse_args(&args(&["audit", "nedit", "--jsonl"])).is_err());
+        assert!(parse_args(&args(&["audit", "nedit", "--top-misses"])).is_err());
+        let e = parse_args(&args(&["audit", "nedit", "--top-misses", "0"])).unwrap_err();
+        assert!(e.contains("at least 1"), "{e}");
+        let e = parse_args(&args(&["audit", "nedit", "--top-misses", "lots"])).unwrap_err();
+        assert!(e.contains("bad top-misses"), "{e}");
     }
 
     #[test]

@@ -84,6 +84,117 @@ fn run_fig7_csv_emits_parseable_csv() {
 }
 
 #[test]
+fn audit_jsonl_is_byte_identical_across_job_counts() {
+    let dir = std::env::temp_dir().join(format!("pcap-audit-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path_1 = dir.join("jobs1.jsonl");
+    let path_8 = dir.join("jobs8.jsonl");
+    for (jobs, path) in [("1", &path_1), ("8", &path_8)] {
+        let out = pcap(&[
+            "audit",
+            "nedit",
+            "--jobs",
+            jobs,
+            "--jsonl",
+            path.to_str().expect("utf-8 path"),
+        ]);
+        assert!(out.status.success(), "stderr: {}", stderr(&out));
+        assert!(
+            String::from_utf8_lossy(&out.stdout).contains("Audit summary: nedit under PCAP"),
+            "missing summary table"
+        );
+        assert!(
+            stderr(&out).contains("decision records"),
+            "stderr: {}",
+            stderr(&out)
+        );
+    }
+    let log_1 = std::fs::read(&path_1).expect("jobs 1 log written");
+    let log_8 = std::fs::read(&path_8).expect("jobs 8 log written");
+    assert!(!log_1.is_empty());
+    assert_eq!(log_1, log_8, "--jobs changed a byte of the audit log");
+    let first = String::from_utf8_lossy(&log_1);
+    let first = first.lines().next().expect("at least one record");
+    assert!(first.starts_with("{\"run\":0,\"access\":0,"), "{first}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn audit_flag_validation_fails_before_any_work() {
+    for (args, needle) in [
+        (
+            &["audit", "nedit", "--top-misses", "0"][..],
+            "top-misses must be at least 1",
+        ),
+        (
+            &["audit", "nedit", "--top-misses", "lots"][..],
+            "bad top-misses count",
+        ),
+        (&["audit", "nedit", "--jsonl"][..], "--jsonl needs a value"),
+        (&["audit", "emacs"][..], "unknown application emacs"),
+        (&["audit"][..], "audit needs an application name"),
+        (&["explain", "emacs"][..], "unknown application emacs"),
+    ] {
+        let out = pcap(args);
+        assert!(!out.status.success(), "{args:?} must fail");
+        assert!(
+            stderr(&out).contains(needle),
+            "{args:?} stderr: {}",
+            stderr(&out)
+        );
+        assert!(out.stdout.is_empty(), "{args:?} wrote to stdout");
+    }
+}
+
+#[test]
+fn audit_unwritable_jsonl_path_fails_with_diagnostic() {
+    let out = pcap(&["audit", "nedit", "--jsonl", "/nonexistent-dir/audit.jsonl"]);
+    assert!(!out.status.success());
+    assert!(
+        stderr(&out).contains("pcap: /nonexistent-dir/audit.jsonl:"),
+        "stderr: {}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn audit_top_misses_bounds_the_mispredict_tables() {
+    let out = pcap(&["audit", "mozilla", "--top-misses", "2", "--csv"]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let stdout = String::from_utf8(out.stdout).expect("utf-8");
+    // CSV sections follow each other without separators; the per-PC
+    // table runs from its header to the per-signature header, which
+    // runs to the end. Each holds at most two data rows.
+    let per_pc = stdout
+        .lines()
+        .skip_while(|l| !l.starts_with("pc,misses"))
+        .skip(1)
+        .take_while(|l| !l.starts_with("signature,misses"))
+        .count();
+    let per_sig = stdout
+        .lines()
+        .skip_while(|l| !l.starts_with("signature,misses"))
+        .skip(1)
+        .count();
+    assert!((1..=2).contains(&per_pc), "per-PC rows {per_pc}:\n{stdout}");
+    assert!(
+        (1..=2).contains(&per_sig),
+        "per-signature rows {per_sig}:\n{stdout}"
+    );
+}
+
+#[test]
+fn explain_emits_narrative_for_section_six_apps() {
+    let out = pcap(&["explain", "nedit"]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let stdout = String::from_utf8(out.stdout).expect("utf-8");
+    assert!(stdout.contains("Signature behaviour: nedit"), "{stdout}");
+    assert!(stdout.contains("Idle-gap distribution: nedit"), "{stdout}");
+    assert!(stdout.contains("Explained: nedit under PCAP"), "{stdout}");
+    assert!(stdout.contains("§6.2"), "{stdout}");
+}
+
+#[test]
 fn bench_quick_appends_trajectory_entries() {
     let dir = std::env::temp_dir().join(format!("pcap-bench-test-{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("temp dir");
@@ -103,12 +214,21 @@ fn bench_quick_appends_trajectory_entries() {
         "stderr: {}",
         stderr(&out)
     );
+    // The observer-overhead guard runs as part of the command and its
+    // measurement lands in the trajectory entry.
+    assert!(
+        stderr(&out).contains("observer guard"),
+        "stderr: {}",
+        stderr(&out)
+    );
     let text = std::fs::read_to_string(&out_path).expect("trajectory written");
     assert!(text.contains("\"label\": \"cli-test\""), "entry: {text}");
     assert!(
         text.contains("\"warmup_prepare_calls\": 0"),
         "entry: {text}"
     );
+    assert!(text.contains("\"observer_overhead\""), "entry: {text}");
+    assert!(text.contains("\"null_eval_s\""), "entry: {text}");
     // A second run appends instead of overwriting.
     let out = run();
     assert!(out.status.success(), "stderr: {}", stderr(&out));

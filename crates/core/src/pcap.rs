@@ -5,7 +5,7 @@ use crate::predictor::{IdlePredictor, ShutdownVote};
 use crate::signature::{SignatureScheme, SignatureTracker};
 use crate::table::{SharedTable, TableKey};
 use pcap_trace::idle::GapClass;
-use pcap_types::{DiskAccess, Fd, SimDuration};
+use pcap_types::{DiskAccess, Fd, Signature, SimDuration};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -244,6 +244,14 @@ impl IdlePredictor for Pcap {
         self.last_fd = None;
         self.pending_key = None;
     }
+
+    fn audit_signature(&self) -> Option<Signature> {
+        self.signature.current()
+    }
+
+    fn audit_table_len(&self) -> Option<usize> {
+        Some(self.table.len())
+    }
 }
 
 #[cfg(test)]
@@ -429,6 +437,43 @@ mod tests {
         let (matches, learned) = p.stats();
         assert_eq!(matches, 1);
         assert_eq!(learned, 1);
+    }
+
+    #[test]
+    fn audit_hooks_track_signature_and_table() {
+        let mut p = Pcap::new(PcapConfig::paper(), SharedTable::unbounded());
+        // Before the first I/O there is no signature but a (empty) table.
+        assert_eq!(p.audit_signature(), None);
+        assert_eq!(p.audit_table_len(), Some(0));
+        p.on_access(&access(0, 1), SHORT);
+        p.on_idle_end(SHORT);
+        p.on_access(&access(1, 2), SHORT);
+        assert_eq!(p.audit_signature(), Some(Signature(3)));
+        p.on_idle_end(LONG);
+        assert_eq!(p.audit_table_len(), Some(1));
+        // The hooks forward through the backup composition.
+        let mut wrapped = crate::WithBackup::new(p, SimDuration::from_secs(10));
+        assert_eq!(wrapped.audit_table_len(), Some(1));
+        wrapped.on_access(&access(2, 7), SHORT);
+        assert_eq!(wrapped.audit_signature(), Some(Signature(7)));
+    }
+
+    #[test]
+    fn kernel_writebacks_invisible_to_audit_signature() {
+        // Pc(0) kernel write-backs must never be folded into signatures:
+        // the audit hook sees an unchanged signature across them.
+        let mut p = Pcap::new(PcapConfig::paper(), SharedTable::unbounded());
+        p.on_access(&access(0, 5), SHORT);
+        p.on_idle_end(SHORT);
+        let before = p.audit_signature();
+        let kernel = DiskAccess {
+            pc: pcap_types::DiskAccess::KERNEL_PC,
+            ..access(1, 0)
+        };
+        p.on_access(&kernel, SHORT);
+        assert_eq!(p.audit_signature(), before, "kernel PC folded");
+        p.on_idle_end(SHORT);
+        assert_eq!(p.audit_signature(), Some(Signature(5)));
     }
 
     #[test]

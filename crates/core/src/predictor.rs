@@ -1,7 +1,7 @@
 //! The predictor interface shared by PCAP and every baseline, plus the
 //! backup-timeout composition of §4.3.
 
-use pcap_types::{DiskAccess, SimDuration};
+use pcap_types::{DiskAccess, Signature, SimDuration};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -100,6 +100,20 @@ pub trait IdlePredictor {
 
     /// The application execution ended (process exited).
     fn on_run_end(&mut self) {}
+
+    /// Audit hook: the current PC-path signature, for predictors that
+    /// track one (PCAP variants). `None` for baselines and for PCAP
+    /// before its first observed access of an execution.
+    fn audit_signature(&self) -> Option<Signature> {
+        None
+    }
+
+    /// Audit hook: the number of prediction-table entries visible to
+    /// this predictor, for table-based predictors. `None` for
+    /// stateless baselines.
+    fn audit_table_len(&self) -> Option<usize> {
+        None
+    }
 }
 
 /// Composes a primary predictor with the backup timeout of §4.3: when
@@ -181,6 +195,14 @@ impl<P: IdlePredictor> IdlePredictor for WithBackup<P> {
 
     fn on_run_end(&mut self) {
         self.primary.on_run_end();
+    }
+
+    fn audit_signature(&self) -> Option<Signature> {
+        self.primary.audit_signature()
+    }
+
+    fn audit_table_len(&self) -> Option<usize> {
+        self.primary.audit_table_len()
     }
 }
 

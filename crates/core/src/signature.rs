@@ -285,6 +285,40 @@ mod tests {
     }
 
     #[test]
+    fn additive_overflow_wraps_silently() {
+        // §3.2 specifies 4-byte arithmetic with implicit modular wrap;
+        // overflowing the 32-bit signature must wrap, never panic, and
+        // stay reproducible.
+        let mut t = SignatureTracker::new();
+        t.observe(Pc(u32::MAX));
+        assert_eq!(t.current(), Some(Signature(u32::MAX)));
+        t.observe(Pc(1));
+        assert_eq!(t.current(), Some(Signature(0)), "MAX + 1 wraps to 0");
+        t.observe(Pc(u32::MAX));
+        t.observe(Pc(u32::MAX));
+        // 0 + MAX + MAX ≡ -2 (mod 2³²).
+        assert_eq!(t.current(), Some(Signature(u32::MAX - 1)));
+        // The raw fold agrees with wrapping_add.
+        let folded = SignatureScheme::Additive.fold(Signature(0xffff_fff0), Pc(0x20));
+        assert_eq!(folded, Signature(0x10));
+    }
+
+    #[test]
+    fn wrapped_zero_signature_is_still_a_path() {
+        // A path whose signature wraps to exactly 0 must remain
+        // distinguishable from "no I/O observed yet": Signature(0) is a
+        // legal value, not a sentinel.
+        let mut t = SignatureTracker::new();
+        t.observe(Pc(u32::MAX));
+        t.observe(Pc(1));
+        assert_eq!(t.current(), Some(Signature::EMPTY));
+        assert!(!t.is_reset_pending());
+        // Continuing the path folds onto the wrapped value.
+        t.observe(Pc(5));
+        assert_eq!(t.current(), Some(Signature(5)));
+    }
+
+    #[test]
     fn path_hash_is_order_sensitive_and_resets() {
         let mut t = SignatureTracker::new();
         t.observe(Pc(1));

@@ -205,6 +205,13 @@ impl PredictionTable {
         self.misses = 0;
     }
 
+    /// Keys in eviction order (least- to most-recently used) — the
+    /// audit view of the LRU state under a capacity bound. The first
+    /// key is the next replacement victim.
+    pub fn keys_by_recency(&self) -> Vec<TableKey> {
+        self.entries.keys_by_recency().copied().collect()
+    }
+
     /// Serializable snapshot of the entries, for the application
     /// initialization file (§4.2).
     pub fn snapshot(&self) -> TableSnapshot {
@@ -319,6 +326,11 @@ impl SharedTable {
         self.0.borrow().snapshot()
     }
 
+    /// Keys in eviction order (see [`PredictionTable::keys_by_recency`]).
+    pub fn keys_by_recency(&self) -> Vec<TableKey> {
+        self.0.borrow().keys_by_recency()
+    }
+
     /// Runs `f` with a reference to the underlying table.
     pub fn with<R>(&self, f: impl FnOnce(&PredictionTable) -> R) -> R {
         f(&self.0.borrow())
@@ -388,6 +400,46 @@ mod tests {
         assert!(t.lookup(key(1)));
         assert!(!t.lookup(key(2)));
         assert!(t.lookup(key(3)));
+    }
+
+    #[test]
+    fn recency_order_tracks_lookups_and_learning() {
+        let mut t = PredictionTable::with_capacity(3);
+        t.learn(key(1));
+        t.learn(key(2));
+        t.learn(key(3));
+        assert_eq!(
+            t.keys_by_recency(),
+            [key(1), key(2), key(3)],
+            "insertion order when nothing was touched"
+        );
+        // A successful lookup refreshes recency; a miss does not.
+        t.lookup(key(1));
+        t.lookup(key(99));
+        assert_eq!(t.keys_by_recency(), [key(2), key(3), key(1)]);
+        // Re-learning an existing key refreshes it too.
+        t.learn(key(3));
+        assert_eq!(t.keys_by_recency(), [key(2), key(1), key(3)]);
+    }
+
+    #[test]
+    fn capacity_pressure_evicts_in_recency_order() {
+        let mut t = PredictionTable::with_capacity(2);
+        t.learn(key(10));
+        t.learn(key(20));
+        t.lookup(key(10)); // 20 is now the LRU victim
+        assert_eq!(t.keys_by_recency()[0], key(20));
+        t.learn(key(30)); // evicts 20
+        assert_eq!(t.evicted(), 1);
+        assert_eq!(t.keys_by_recency(), [key(10), key(30)]);
+        t.learn(key(40)); // evicts 10
+        t.learn(key(50)); // evicts 30
+        assert_eq!(t.evicted(), 3);
+        assert_eq!(t.keys_by_recency(), [key(40), key(50)]);
+        assert!(!t.lookup(key(10)), "evicted keys are really gone");
+        // The shared wrapper exposes the same view.
+        let shared = SharedTable::from_table(t);
+        assert_eq!(shared.keys_by_recency().len(), 2);
     }
 
     #[test]

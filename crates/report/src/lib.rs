@@ -17,6 +17,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod chart;
 pub mod experiments;
 pub mod paper;
@@ -25,6 +26,7 @@ pub mod sweep;
 pub mod tables;
 pub mod workbench;
 
+pub use audit::{audit_app, audit_tables, explain_tables};
 pub use chart::{figure_chart, Figure};
 pub use experiments::Experiment;
 pub use snapshot::{snapshot_files, verify_snapshot, write_snapshot, Drift, GOLDEN_SEED};

@@ -13,8 +13,10 @@
 //! `(trace, config, kind)`, floats are serialized via Rust's
 //! shortest-roundtrip formatting, and map keys are sorted.
 
+use crate::audit::{audit_app, audit_snapshot_csv, golden_jsonl};
 use crate::experiments::Experiment;
 use crate::workbench::{Workbench, GRID_KINDS};
+use pcap_sim::PowerManagerKind;
 use std::fmt;
 use std::fs;
 use std::io;
@@ -87,18 +89,31 @@ pub fn snapshot_files(bench: &Workbench) -> Vec<(String, String)> {
         }
         files.push((format!("tables/{}.csv", experiment.name()), body));
     }
+    // Decision-audit section: per-app audit CSV under the base PCAP
+    // manager, plus the full (Short-filtered) decision log for nedit —
+    // the one app small enough to keep line-by-line (DESIGN.md §8).
+    for (trace_idx, trace) in bench.traces().iter().enumerate() {
+        let outcome = audit_app(bench, trace_idx, PowerManagerKind::PCAP);
+        files.push((
+            format!("audit/{}.csv", slug(&trace.app)),
+            audit_snapshot_csv(&outcome),
+        ));
+        if &*trace.app == "nedit" {
+            files.push(("audit/nedit.jsonl".to_owned(), golden_jsonl(&outcome)));
+        }
+    }
     files
 }
 
-/// Writes (or re-blesses) the golden snapshot, replacing the `reports/`
-/// and `tables/` subdirectories wholesale so deleted cells cannot
-/// linger.
+/// Writes (or re-blesses) the golden snapshot, replacing the
+/// `reports/`, `tables/` and `audit/` subdirectories wholesale so
+/// deleted cells cannot linger.
 ///
 /// # Errors
 ///
 /// Propagates filesystem failures.
 pub fn write_snapshot(bench: &Workbench, dir: &Path) -> io::Result<()> {
-    for sub in ["reports", "tables"] {
+    for sub in ["reports", "tables", "audit"] {
         let sub = dir.join(sub);
         if sub.exists() {
             fs::remove_dir_all(&sub)?;
@@ -135,7 +150,7 @@ pub fn verify_snapshot(bench: &Workbench, dir: &Path) -> io::Result<Vec<Drift>> 
         }
     }
     // Stale golden files: on disk but no longer produced.
-    for sub in ["reports", "tables"] {
+    for sub in ["reports", "tables", "audit"] {
         let sub_dir = dir.join(sub);
         if !sub_dir.is_dir() {
             continue;

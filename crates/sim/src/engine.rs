@@ -21,6 +21,7 @@
 //! manager plus a reusable [`EngineScratch`], so one prepared stream
 //! can be shared by the whole manager grid — see [`crate::prepared`].
 
+use crate::audit::{DecisionObserver, DecisionRecord, GapEnergy, NullObserver};
 use crate::factory::{Manager, PowerManagerKind};
 use crate::metrics::{EnergyBreakdown, PredictionCounts};
 use crate::prepared::{evaluate_prepared, PreparedTrace};
@@ -192,7 +193,32 @@ impl RunState<'_> {
 /// examples; most callers want [`evaluate_app`] or
 /// [`evaluate_prepared`].
 pub fn simulate_run(streams: &RunStreams, config: &SimConfig, manager: &mut Manager) -> RunOutcome {
-    simulate_run_inner(streams, config, manager, &mut EngineScratch::new(), None)
+    simulate_run_observed(
+        streams,
+        config,
+        manager,
+        &mut EngineScratch::new(),
+        &mut NullObserver,
+    )
+}
+
+/// Adapts the per-decision audit stream back to the legacy
+/// [`GapRecord`] log consumed by `pcap inspect`.
+struct GapLogObserver<'a> {
+    log: &'a mut Vec<GapRecord>,
+}
+
+impl DecisionObserver for GapLogObserver<'_> {
+    fn on_decision(&mut self, record: DecisionRecord, _energy: &GapEnergy) {
+        self.log.push(GapRecord {
+            access_index: record.access as usize,
+            pid: record.pid,
+            start: record.at,
+            length: record.global_gap,
+            shutdown: record.shutdown_at.zip(record.shutdown_source),
+            verdict: record.verdict,
+        });
+    }
 }
 
 /// [`simulate_run`] that additionally records every merged idle gap's
@@ -203,12 +229,12 @@ pub fn simulate_run_logged(
     manager: &mut Manager,
     log: &mut Vec<GapRecord>,
 ) -> RunOutcome {
-    simulate_run_inner(
+    simulate_run_observed(
         streams,
         config,
         manager,
         &mut EngineScratch::new(),
-        Some(log),
+        &mut GapLogObserver { log },
     )
 }
 
@@ -220,15 +246,24 @@ pub fn simulate_run_reusing(
     manager: &mut Manager,
     scratch: &mut EngineScratch,
 ) -> RunOutcome {
-    simulate_run_inner(streams, config, manager, scratch, None)
+    simulate_run_observed(streams, config, manager, scratch, &mut NullObserver)
 }
 
-fn simulate_run_inner(
+/// Simulates one execution, delivering every idle-gap decision to
+/// `observer` (see [`DecisionObserver`]). With [`NullObserver`] the
+/// audit path compiles away entirely; this is the single engine loop
+/// behind [`simulate_run`], [`simulate_run_logged`] and
+/// [`simulate_run_reusing`].
+///
+/// The caller is responsible for invoking
+/// [`DecisionObserver::on_run_start`] if its sink distinguishes runs;
+/// this function reports a single run's decisions with `run` left at 0.
+pub fn simulate_run_observed<O: DecisionObserver>(
     streams: &RunStreams,
     config: &SimConfig,
     manager: &mut Manager,
     scratch: &mut EngineScratch,
-    mut log: Option<&mut Vec<GapRecord>>,
+    observer: &mut O,
 ) -> RunOutcome {
     let be = config.disk.breakeven_time();
     let window_state = manager.window_state();
@@ -292,24 +327,46 @@ fn simulate_run_inner(
         if local_gap > be {
             out.local.opportunities += 1;
         }
-        if let Some(vote) = vote {
-            match vote.delay {
+        let local_verdict = match vote {
+            Some(vote) => match vote.delay {
                 Some(delay) if delay < local_gap => {
                     if local_gap - delay > be {
                         out.local.record_hit(vote.source);
+                        GapVerdict::Hit
                     } else {
                         out.local.record_miss(vote.source);
+                        GapVerdict::Miss
                     }
                 }
-                _ if local_gap > be => out.local.not_predicted += 1,
-                _ => {}
+                _ if local_gap > be => {
+                    out.local.not_predicted += 1;
+                    GapVerdict::NotPredicted
+                }
+                _ => GapVerdict::Short,
+            },
+            None if local_gap > be => {
+                out.local.not_predicted += 1;
+                GapVerdict::NotPredicted
             }
+            None => GapVerdict::Short,
+        };
+        if let Some(vote) = vote {
             if !state.oracle {
                 state.global.record_vote(state.pids[pidx], completion, vote);
             }
-        } else if local_gap > be {
-            out.local.not_predicted += 1;
         }
+
+        // Predictor-side audit context, captured before gap resolution:
+        // the deciding process may exit (dropping its predictor) inside
+        // the gap.
+        let (signature, table_len) = if O::ENABLED {
+            match state.preds[pidx].as_ref() {
+                Some(pred) => (pred.audit_signature(), pred.audit_table_len()),
+                None => (None, None),
+            }
+        } else {
+            (None, None)
+        };
 
         // Resolve the merged gap that follows this access.
         let gap_end = completion + global_gap;
@@ -319,39 +376,22 @@ fn simulate_run_inner(
             resolve_gap_voting(&mut state, lifecycle, &mut li, completion, gap_end)
         };
 
-        // Global classification and energy.
+        // Global classification and energy. The always-on breakdown is
+        // shared by the unmanaged branch and the base-energy term.
         if global_gap > be {
             out.global.opportunities += 1;
         }
-        if let Some(log) = log.as_deref_mut() {
-            let verdict = match shutdown {
-                Some((at, _)) => {
-                    if gap_end - at > be {
-                        GapVerdict::Hit
-                    } else {
-                        GapVerdict::Miss
-                    }
-                }
-                None if global_gap > be => GapVerdict::NotPredicted,
-                None => GapVerdict::Short,
-            };
-            log.push(GapRecord {
-                access_index: i,
-                pid: access.pid,
-                start: completion,
-                length: global_gap,
-                shutdown,
-                verdict,
-            });
-        }
-        match shutdown {
+        let base_breakdown = GapBreakdown::unmanaged(&config.disk, global_gap);
+        let (verdict, managed_breakdown) = match shutdown {
             Some((at, source)) => {
                 let off = gap_end - at;
-                if off > be {
+                let verdict = if off > be {
                     out.global.record_hit(source);
+                    GapVerdict::Hit
                 } else {
                     out.global.record_miss(source);
-                }
+                    GapVerdict::Miss
+                };
                 let breakdown = match &window_state {
                     // §7 extension: the wait-window is spent in a
                     // shallow low-power state instead of spinning idle.
@@ -364,21 +404,49 @@ fn simulate_run_inner(
                     None => GapBreakdown::managed(&config.disk, global_gap, at - completion),
                 };
                 out.energy.add_gap(global_gap > be, breakdown);
+                (verdict, breakdown)
             }
             None => {
-                if global_gap > be {
+                let verdict = if global_gap > be {
                     out.global.not_predicted += 1;
-                }
-                out.energy.add_gap(
-                    global_gap > be,
-                    GapBreakdown::unmanaged(&config.disk, global_gap),
-                );
+                    GapVerdict::NotPredicted
+                } else {
+                    GapVerdict::Short
+                };
+                out.energy.add_gap(global_gap > be, base_breakdown);
+                (verdict, base_breakdown)
             }
+        };
+        out.base_energy.add_gap(global_gap > be, base_breakdown);
+
+        if O::ENABLED {
+            observer.on_decision(
+                DecisionRecord {
+                    run: 0,
+                    access: i as u32,
+                    at: completion,
+                    pid: access.pid,
+                    pc: access.pc,
+                    signature,
+                    table_len,
+                    vote_delay: vote.and_then(|v| v.delay),
+                    vote_source: vote.map(|v| v.source),
+                    local_gap,
+                    local_verdict,
+                    global_gap,
+                    shutdown_at: shutdown.map(|(at, _)| at),
+                    shutdown_source: shutdown.map(|(_, source)| source),
+                    verdict,
+                    energy_delta_j: managed_breakdown.total().0 - base_breakdown.total().0,
+                },
+                &GapEnergy {
+                    long: global_gap > be,
+                    busy,
+                    managed: managed_breakdown,
+                    base: base_breakdown,
+                },
+            );
         }
-        out.base_energy.add_gap(
-            global_gap > be,
-            GapBreakdown::unmanaged(&config.disk, global_gap),
-        );
     }
 
     // Remaining lifecycle (exits at/after the last access).

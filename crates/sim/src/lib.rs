@@ -31,6 +31,7 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod engine;
 pub mod factory;
 pub mod metrics;
@@ -39,9 +40,14 @@ pub mod profile;
 pub mod streams;
 pub mod sweep;
 
+pub use audit::{
+    audit_prepared, evaluate_prepared_observed, records_to_jsonl, AuditCollector, AuditEnergy,
+    AuditOutcome, DecisionObserver, DecisionRecord, GapEnergy, LogHistogram, MetricsObserver,
+    MetricsRegistry, NullObserver,
+};
 pub use engine::{
-    evaluate_app, simulate_run, simulate_run_logged, simulate_run_reusing, AppReport,
-    EngineScratch, GapRecord, GapVerdict, RunOutcome,
+    evaluate_app, simulate_run, simulate_run_logged, simulate_run_observed, simulate_run_reusing,
+    AppReport, EngineScratch, GapRecord, GapVerdict, RunOutcome,
 };
 pub use factory::{Manager, PowerManagerKind};
 pub use metrics::{EnergyBreakdown, PredictionCounts};

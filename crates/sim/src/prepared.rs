@@ -11,9 +11,9 @@
 //! wrapper that prepares and evaluates); `tests/determinism.rs` pins
 //! that equivalence.
 
-use crate::engine::{simulate_run_reusing, AppReport, EngineScratch};
+use crate::audit::{evaluate_prepared_observed, NullObserver};
+use crate::engine::AppReport;
 use crate::factory::PowerManagerKind;
-use crate::metrics::{EnergyBreakdown, PredictionCounts};
 use crate::streams::RunStreams;
 use crate::sweep::SweepRunner;
 use crate::SimConfig;
@@ -126,33 +126,7 @@ pub fn evaluate_prepared(
     config: &SimConfig,
     kind: PowerManagerKind,
 ) -> AppReport {
-    assert!(
-        prepared.matches(config),
-        "evaluate_prepared: config changes cache/disk parameters; rebuild the PreparedTrace"
-    );
-    let mut manager = kind.manager(config);
-    let mut report = AppReport {
-        app: Arc::clone(&prepared.app),
-        manager: kind.label(),
-        local: PredictionCounts::default(),
-        global: PredictionCounts::default(),
-        energy: EnergyBreakdown::default(),
-        base_energy: EnergyBreakdown::default(),
-        table_entries: None,
-        table_aliases: None,
-    };
-    let mut scratch = EngineScratch::new();
-    for streams in &prepared.streams {
-        let outcome = simulate_run_reusing(streams, config, &mut manager, &mut scratch);
-        report.local += outcome.local;
-        report.global += outcome.global;
-        report.energy += outcome.energy;
-        report.base_energy += outcome.base_energy;
-        manager.on_run_end();
-    }
-    report.table_entries = manager.table_entries();
-    report.table_aliases = manager.table_aliases();
-    report
+    evaluate_prepared_observed(prepared, config, kind, &mut NullObserver)
 }
 
 #[cfg(test)]

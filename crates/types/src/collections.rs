@@ -138,6 +138,12 @@ impl<K: Eq + Hash + Clone, V> LruMap<K, V> {
         self.entries.iter_mut().map(|(k, (_, v))| (k, v))
     }
 
+    /// Iterates over keys from least- to most-recently used, without
+    /// affecting recency. The next key to be evicted comes first.
+    pub fn keys_by_recency(&self) -> impl Iterator<Item = &K> {
+        self.recency.values()
+    }
+
     /// Removes all entries.
     pub fn clear(&mut self) {
         self.entries.clear();
@@ -228,5 +234,23 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_capacity_panics() {
         let _ = LruMap::<u32, u32>::new(0);
+    }
+
+    #[test]
+    fn keys_by_recency_orders_lru_first() {
+        let mut m = LruMap::new(3);
+        m.insert(1, "a");
+        m.insert(2, "b");
+        m.insert(3, "c");
+        assert_eq!(m.keys_by_recency().copied().collect::<Vec<_>>(), [1, 2, 3]);
+        // Touching 1 moves it to the MRU end; 2 becomes the victim.
+        m.get_mut(&1);
+        assert_eq!(m.keys_by_recency().copied().collect::<Vec<_>>(), [2, 3, 1]);
+        let evicted = m.insert(4, "d");
+        assert_eq!(evicted, Some((2, "b")));
+        assert_eq!(m.keys_by_recency().copied().collect::<Vec<_>>(), [3, 1, 4]);
+        // peek and keys_by_recency themselves must not touch.
+        m.peek(&3);
+        assert_eq!(m.keys_by_recency().next(), Some(&3));
     }
 }

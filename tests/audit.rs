@@ -1,0 +1,116 @@
+//! Decision-audit reconciliation and determinism.
+//!
+//! The audit stream must be an exact ledger of the aggregate grid:
+//! auditing a cell yields the very same [`AppReport`] the plain path
+//! produces, the replayed energy totals reconcile bitwise, the
+//! per-verdict counters match the Fig 6/7 counts, and the serialized
+//! decision log is byte-identical for any `--jobs` value.
+
+use pcap_dpm::prelude::*;
+use pcap_report::GRID_KINDS;
+use pcap_sim::{
+    audit_prepared, evaluate_prepared, records_to_jsonl, GapVerdict, PreparedTrace, SweepRunner,
+};
+use pcap_trace::ApplicationTrace;
+
+fn truncated_suite(seed: u64) -> Vec<ApplicationTrace> {
+    PaperApp::ALL
+        .iter()
+        .map(|app| {
+            let mut trace = app.spec().generate_trace(seed).expect("valid spec");
+            trace.runs.truncate(3);
+            trace
+        })
+        .collect()
+}
+
+#[test]
+fn audit_reconciles_with_aggregate_reports_across_the_grid() {
+    let config = SimConfig::paper();
+    for trace in truncated_suite(42) {
+        let prepared = PreparedTrace::build(&trace, &config);
+        let accesses: usize = prepared.streams().iter().map(|s| s.accesses.len()).sum();
+        for kind in GRID_KINDS {
+            let cell = format!("{} × {}", trace.app, kind.label());
+            let outcome = audit_prepared(&prepared, &config, kind);
+            let report = evaluate_prepared(&prepared, &config, kind);
+
+            // The audited evaluation is the evaluation: same report.
+            assert_eq!(outcome.report, report, "{cell}");
+
+            // One record per cache-filtered access, no more, no less.
+            assert_eq!(outcome.records.len(), accesses, "{cell}");
+            assert_eq!(outcome.metrics.decisions as usize, accesses, "{cell}");
+
+            // Counter reconciliation: the registry and a recount from
+            // raw records both equal the aggregate Fig 6/7 counters.
+            let count =
+                |v: GapVerdict| outcome.records.iter().filter(|r| r.verdict == v).count() as u64;
+            let m = &outcome.metrics;
+            assert_eq!(m.hits, report.global.hits(), "{cell}");
+            assert_eq!(m.misses, report.global.misses(), "{cell}");
+            assert_eq!(m.not_predicted, report.global.not_predicted, "{cell}");
+            assert_eq!(m.opportunities, report.global.opportunities, "{cell}");
+            assert_eq!(count(GapVerdict::Hit), report.global.hits(), "{cell}");
+            assert_eq!(count(GapVerdict::Miss), report.global.misses(), "{cell}");
+            assert_eq!(
+                count(GapVerdict::NotPredicted),
+                report.global.not_predicted,
+                "{cell}"
+            );
+            assert_eq!(
+                m.shutdowns_primary,
+                report.global.hit_primary + report.global.miss_primary,
+                "{cell}"
+            );
+            assert_eq!(
+                m.shutdowns_backup,
+                report.global.hit_backup + report.global.miss_backup,
+                "{cell}"
+            );
+
+            // Energy reconciliation: replaying the per-decision ledger
+            // in run order reproduces the aggregate totals bitwise.
+            assert_eq!(outcome.audit_energy.energy, report.energy, "{cell}");
+            assert_eq!(
+                outcome.audit_energy.base_energy, report.base_energy,
+                "{cell}"
+            );
+            assert_eq!(
+                outcome.audit_energy.energy.total().0.to_bits(),
+                report.energy.total().0.to_bits(),
+                "{cell}"
+            );
+
+            // The summed per-decision deltas explain the whole managed
+            // vs always-on difference (busy energy cancels).
+            let summed: f64 = outcome.records.iter().map(|r| r.energy_delta_j).sum();
+            let aggregate = report.energy.total().0 - report.base_energy.total().0;
+            assert!(
+                (summed - aggregate).abs() < 1e-6,
+                "{cell}: summed deltas {summed} vs aggregate {aggregate}"
+            );
+        }
+    }
+}
+
+#[test]
+fn audit_jsonl_is_job_count_invariant() {
+    // `--jobs` only parallelises stream preparation; the audited
+    // simulation itself is serial, so the rendered decision log is
+    // byte-identical for any worker count.
+    let config = SimConfig::paper();
+    let trace = PaperApp::Nedit
+        .spec()
+        .generate_trace(42)
+        .expect("valid spec");
+    let serial = PreparedTrace::build_par(&trace, &config, &SweepRunner::new(1));
+    let parallel = PreparedTrace::build_par(&trace, &config, &SweepRunner::new(8));
+    let a = audit_prepared(&serial, &config, PowerManagerKind::PCAP);
+    let b = audit_prepared(&parallel, &config, PowerManagerKind::PCAP);
+    let log_a = records_to_jsonl(&a.records);
+    let log_b = records_to_jsonl(&b.records);
+    assert!(!log_a.is_empty());
+    assert_eq!(log_a, log_b);
+    assert_eq!(a.metrics, b.metrics);
+}

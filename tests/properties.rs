@@ -486,6 +486,54 @@ fn arbitrary_forked_run() -> impl Strategy<Value = pcap_trace::TraceRun> {
     })
 }
 
+// -------------------------------------------------------------- audit
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    /// The decision-audit stream is an exact ledger of the aggregate
+    /// report on arbitrary multi-process traces: auditing produces the
+    /// same report, replayed energy reconciles bitwise, per-verdict
+    /// recounts equal the Fig 6/7 counters, and the summed per-decision
+    /// energy deltas explain the whole managed-vs-always-on difference.
+    #[test]
+    fn audit_stream_reconciles_with_aggregate_report(
+        runs in prop::collection::vec(arbitrary_forked_run(), 1..3)
+    ) {
+        let config = SimConfig::paper();
+        let mut trace = ApplicationTrace::new("random");
+        trace.runs = runs;
+        let prepared = pcap_sim::PreparedTrace::build(&trace, &config);
+        let accesses: usize = prepared.streams().iter().map(|s| s.accesses.len()).sum();
+        for kind in [PowerManagerKind::Timeout, PowerManagerKind::PCAP, PowerManagerKind::Oracle] {
+            let outcome = pcap_sim::audit_prepared(&prepared, &config, kind);
+            let report = pcap_sim::evaluate_prepared(&prepared, &config, kind);
+            prop_assert_eq!(&outcome.report, &report, "{}", kind.label());
+            prop_assert_eq!(outcome.records.len(), accesses);
+
+            let count = |v: pcap_sim::GapVerdict| {
+                outcome.records.iter().filter(|r| r.verdict == v).count() as u64
+            };
+            prop_assert_eq!(count(pcap_sim::GapVerdict::Hit), report.global.hits());
+            prop_assert_eq!(count(pcap_sim::GapVerdict::Miss), report.global.misses());
+            prop_assert_eq!(count(pcap_sim::GapVerdict::NotPredicted), report.global.not_predicted);
+            prop_assert_eq!(outcome.metrics.opportunities, report.global.opportunities);
+
+            // Bitwise: the run-structured replay reproduces the exact
+            // float totals of the aggregate path.
+            prop_assert_eq!(&outcome.audit_energy.energy, &report.energy, "{}", kind.label());
+            prop_assert_eq!(&outcome.audit_energy.base_energy, &report.base_energy, "{}", kind.label());
+
+            let summed: f64 = outcome.records.iter().map(|r| r.energy_delta_j).sum();
+            let aggregate = report.energy.total().0 - report.base_energy.total().0;
+            prop_assert!(
+                (summed - aggregate).abs() < 1e-6,
+                "{}: summed deltas {summed} vs aggregate {aggregate}",
+                kind.label()
+            );
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
     /// The prepare-once pipeline's gap vectors agree with a naive
