@@ -202,6 +202,57 @@ fn observer_overhead(c: &mut Criterion) {
     group.finish();
 }
 
+/// Per-gap cost of the three ladder descent policies on the mobile-ATA
+/// ladder: plan + charge for a sweep of gap lengths spanning all three
+/// envelope regimes. The predictive arm includes the vote → target
+/// mapping; ski-rental reuses its precomputed switch times.
+fn ladder(c: &mut Criterion) {
+    use pcap_disk::{
+        descent_energy, GapContext, LadderPolicy, MultiStateParams, OracleLadder, PredictiveJump,
+        SkiRental,
+    };
+    let ladder = MultiStateParams::mobile_ata();
+    let breakevens = ladder.breakevens();
+    let ski = SkiRental::new(&ladder);
+    let gaps: Vec<SimDuration> = (1..=64)
+        .map(|i| SimDuration::from_millis(i * 500))
+        .collect();
+    let mut group = c.benchmark_group("micro/ladder");
+    group.throughput(Throughput::Elements(gaps.len() as u64));
+    let charge = |policy: &dyn LadderPolicy, plan: &mut Vec<_>, shutdown_at| {
+        let mut total = 0.0f64;
+        for &gap in &gaps {
+            let ctx = GapContext {
+                shutdown_at,
+                target: breakevens.len() - 1,
+                gap,
+            };
+            policy.plan(&ladder, &ctx, plan);
+            total += descent_energy(&ladder, plan, gap).0.total().0;
+        }
+        total
+    };
+    group.bench_function("predictive", |b| {
+        let mut plan = Vec::new();
+        b.iter(|| {
+            black_box(charge(
+                &PredictiveJump,
+                &mut plan,
+                Some(SimDuration::from_secs(1)),
+            ))
+        })
+    });
+    group.bench_function("ski-rental", |b| {
+        let mut plan = Vec::new();
+        b.iter(|| black_box(charge(&ski, &mut plan, None)))
+    });
+    group.bench_function("oracle", |b| {
+        let mut plan = Vec::new();
+        b.iter(|| black_box(charge(&OracleLadder, &mut plan, None)))
+    });
+    group.finish();
+}
+
 criterion_group!(
     micro,
     signature_update,
@@ -211,6 +262,7 @@ criterion_group!(
     cache_throughput,
     simulator_throughput,
     prepare_vs_evaluate,
-    observer_overhead
+    observer_overhead,
+    ladder
 );
 criterion_main!(micro);

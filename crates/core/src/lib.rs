@@ -71,7 +71,7 @@ pub mod table;
 pub use global::{GlobalDecision, GlobalPredictor};
 pub use history::HistoryTracker;
 pub use pcap::{Pcap, PcapConfig, PcapVariant};
-pub use predictor::{IdlePredictor, ShutdownVote, VoteSource, WithBackup};
+pub use predictor::{ladder_target, IdlePredictor, ShutdownVote, VoteSource, WithBackup};
 pub use signature::{SignatureScheme, SignatureTracker};
 pub use store::TableStore;
 pub use table::{PredictionTable, SharedTable, TableKey, TableSnapshot};

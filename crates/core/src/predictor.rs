@@ -116,6 +116,45 @@ pub trait IdlePredictor {
     }
 }
 
+/// Maps a shutdown decision onto a multi-state power-ladder target —
+/// the §7 extension's "how deep should this shutdown go" policy.
+///
+/// A [`Primary`](VoteSource::Primary) decision carries a prediction of
+/// a long idle period (the predictor only votes when it expects the
+/// gap to clear breakeven), so it targets the deepest state. A
+/// [`Backup`](VoteSource::Backup) timeout carries no such prediction —
+/// only the evidence that the disk has already idled `observed_idle`
+/// (the timeout itself) — so it targets the deepest state whose
+/// breakeven the observed idle has already cleared, falling back to
+/// the shallowest state.
+///
+/// `breakevens` is the ladder's per-state breakeven list, shallowest
+/// first (see `MultiStateParams::breakevens` in `pcap-disk`); it must
+/// be non-empty. On a single-state ladder every decision maps to state
+/// 0, which is what keeps the multi-state engine bit-identical to the
+/// two-state engine regardless of vote source.
+///
+/// # Panics
+///
+/// Panics if `breakevens` is empty.
+pub fn ladder_target(
+    source: VoteSource,
+    observed_idle: SimDuration,
+    breakevens: &[SimDuration],
+) -> usize {
+    assert!(
+        !breakevens.is_empty(),
+        "ladder must have at least one state"
+    );
+    match source {
+        VoteSource::Primary => breakevens.len() - 1,
+        VoteSource::Backup => breakevens
+            .iter()
+            .rposition(|&be| be <= observed_idle)
+            .unwrap_or(0),
+    }
+}
+
 /// Composes a primary predictor with the backup timeout of §4.3: when
 /// the primary has no prediction ("no idle"), the backup votes to shut
 /// down after a fixed timeout, covering the primary's training periods.
@@ -273,6 +312,44 @@ mod tests {
         p.on_run_end();
         assert_eq!(p.primary().2, 101);
         assert_eq!(p.name(), "scripted");
+    }
+
+    #[test]
+    fn ladder_target_maps_source_and_observed_idle() {
+        let bes = [
+            SimDuration::from_millis(240),
+            SimDuration::from_millis(1770),
+            SimDuration::from_millis(5445),
+        ];
+        // Primary predictions always jump to the deepest state.
+        assert_eq!(
+            ladder_target(VoteSource::Primary, SimDuration::ZERO, &bes),
+            2
+        );
+        // Backup timeouts descend only as far as the observed idle
+        // justifies.
+        assert_eq!(
+            ladder_target(VoteSource::Backup, SimDuration::from_millis(100), &bes),
+            0
+        );
+        assert_eq!(
+            ladder_target(VoteSource::Backup, SimDuration::from_secs(2), &bes),
+            1
+        );
+        assert_eq!(
+            ladder_target(VoteSource::Backup, SimDuration::from_secs(10), &bes),
+            2
+        );
+        // Single-state ladders map everything to state 0.
+        let single = [SimDuration::from_millis(5445)];
+        assert_eq!(
+            ladder_target(VoteSource::Primary, SimDuration::ZERO, &single),
+            0
+        );
+        assert_eq!(
+            ladder_target(VoteSource::Backup, SimDuration::ZERO, &single),
+            0
+        );
     }
 
     #[test]

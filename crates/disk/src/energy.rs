@@ -181,22 +181,38 @@ impl GapBreakdown {
         state: &LowPowerState,
     ) -> GapBreakdown {
         let base = Self::managed(params, gap, shutdown_at);
-        if shutdown_at >= gap || shutdown_at.is_zero() {
+        if shutdown_at >= gap {
             return base;
         }
-        let window = shutdown_at;
+        base.substitute_window(state, shutdown_at)
+    }
+
+    /// Re-accounts the pre-shutdown `window` of this breakdown as spent
+    /// in the shallow low-power `state` — the §7 wait-window policy —
+    /// replacing the `idle` component with the state's entry/exit costs
+    /// plus residency power when (and only when) that is cheaper. A
+    /// zero-length window is a no-op.
+    ///
+    /// Factored out of [`managed_with_window_state`]
+    /// (`Self::managed_with_window_state`) so the multi-state descent
+    /// engine applies the identical float operations to its own
+    /// breakdowns.
+    pub fn substitute_window(self, state: &LowPowerState, window: SimDuration) -> GapBreakdown {
+        if window.is_zero() {
+            return self;
+        }
         let transitions = state.entry_time + state.exit_time;
         let residency = window.saturating_sub(transitions);
         let window_energy = state.entry_energy + state.exit_energy + state.power * residency;
         // Only substitute when the shallow state actually pays off for
         // this window (the manager checks breakeven, but guard anyway).
-        if window_energy.0 < base.idle.0 {
+        if window_energy.0 < self.idle.0 {
             GapBreakdown {
                 idle: window_energy,
-                ..base
+                ..self
             }
         } else {
-            base
+            self
         }
     }
 

@@ -36,11 +36,15 @@
 #![warn(missing_docs)]
 
 pub mod energy;
+pub mod ladder;
 pub mod model;
 pub mod multistate;
 pub mod state;
 
 pub use energy::{GapBreakdown, Joules, Watts};
+pub use ladder::{
+    descent_energy, DescentStep, GapContext, LadderPolicy, OracleLadder, PredictiveJump, SkiRental,
+};
 pub use model::DiskParams;
-pub use multistate::{LowPowerState, MultiStateParams};
+pub use multistate::{LadderError, LowPowerState, MultiStateParams};
 pub use state::{DiskSim, DiskState, EnergyLedger};

@@ -37,11 +37,15 @@ pub enum Experiment {
     /// Extension: all six applications overlaid into whole-system
     /// sessions (the §5 multi-process scenario at full scale).
     System,
+    /// Extension: the full §7 multi-state ladder engine — predictive
+    /// vs ski-rental vs clairvoyant descent over the mobile-ATA
+    /// ladder, with competitive ratios and bottom-out distributions.
+    Multistate,
 }
 
 impl Experiment {
     /// Every experiment, in paper order.
-    pub const ALL: [Experiment; 10] = [
+    pub const ALL: [Experiment; 11] = [
         Experiment::Table1,
         Experiment::Table2,
         Experiment::Fig6,
@@ -52,6 +56,7 @@ impl Experiment {
         Experiment::Table3,
         Experiment::Ablations,
         Experiment::System,
+        Experiment::Multistate,
     ];
 
     /// CLI name ("table1", "fig6", …).
@@ -67,6 +72,7 @@ impl Experiment {
             Experiment::Table3 => "table3",
             Experiment::Ablations => "ablations",
             Experiment::System => "system",
+            Experiment::Multistate => "multistate",
         }
     }
 
@@ -88,6 +94,7 @@ impl Experiment {
             Experiment::Table3 => vec![table3(bench)],
             Experiment::Ablations => ablations(bench),
             Experiment::System => vec![system(bench)],
+            Experiment::Multistate => multistate(bench),
         }
     }
 }
@@ -768,6 +775,111 @@ fn ablation_multistate(bench: &Workbench) -> Table {
         ]);
     }
     t
+}
+
+/// §7 at full depth: the multi-state *engine* (as opposed to the
+/// wait-window substitution of `PCAP+ms`) descends the mobile-ATA
+/// ladder gap by gap under three policies — trust the prediction and
+/// jump ([`pcap_disk::PredictiveJump`]), prediction-free ski-rental
+/// descent along the cost envelope ([`pcap_disk::SkiRental`]), and the
+/// clairvoyant static optimum ([`pcap_disk::OracleLadder`]).
+/// Competitive ratios are computed on gap energy (total minus busy:
+/// the part a policy can influence).
+pub fn multistate(bench: &Workbench) -> Vec<Table> {
+    use pcap_disk::{MultiStateParams, OracleLadder, PredictiveJump, SkiRental};
+    use pcap_sim::evaluate_prepared_multistate;
+
+    let ladder = MultiStateParams::mobile_ata();
+    let ski = SkiRental::new(&ladder);
+    let kind = PowerManagerKind::PCAP;
+    let mut t = Table::new(
+        "Extension: multi-state ladder engine (§7) — descent policies on the mobile-ATA ladder (PCAP votes)",
+        &[
+            "app",
+            "base",
+            "predictive",
+            "savings",
+            "ski-rental",
+            "savings",
+            "oracle",
+            "savings",
+            "ratio pred",
+            "ratio ski",
+        ],
+    );
+    let mut dist = Table::new(
+        "Extension: ladder bottom-out distribution (predictive descent, PCAP votes)",
+        &[
+            "app",
+            "gaps",
+            "spinning idle",
+            "active-idle",
+            "low-power-idle",
+            "standby",
+        ],
+    );
+    let gap_energy = |r: &AppReport| r.energy.total().0 - r.energy.busy.0;
+    let n = bench.traces().len() as f64;
+    let mut mean_savings = [0.0f64; 3];
+    let mut worst_ratio = [0.0f64; 2];
+    for (trace_idx, trace) in bench.traces().iter().enumerate() {
+        let prepared = bench.prepared(trace_idx);
+        let config = bench.config();
+        let pred = evaluate_prepared_multistate(prepared, config, kind, &ladder, &PredictiveJump);
+        let rental = evaluate_prepared_multistate(prepared, config, kind, &ladder, &ski);
+        let oracle = evaluate_prepared_multistate(prepared, config, kind, &ladder, &OracleLadder);
+        let base = pred.report.base_energy.total();
+        let opt = gap_energy(&oracle.report);
+        let ratios = [
+            gap_energy(&pred.report) / opt,
+            gap_energy(&rental.report) / opt,
+        ];
+        let savings = [
+            pred.report.savings(),
+            rental.report.savings(),
+            oracle.report.savings(),
+        ];
+        for (acc, s) in mean_savings.iter_mut().zip(savings) {
+            *acc += s / n;
+        }
+        for (acc, r) in worst_ratio.iter_mut().zip(ratios) {
+            *acc = acc.max(r);
+        }
+        t.row(vec![
+            trace.app.to_string(),
+            crate::tables::joules(base),
+            crate::tables::joules(pred.report.energy.total()),
+            pct(savings[0]),
+            crate::tables::joules(rental.report.energy.total()),
+            pct(savings[1]),
+            crate::tables::joules(oracle.report.energy.total()),
+            pct(savings[2]),
+            format!("{:.3}", ratios[0]),
+            format!("{:.3}", ratios[1]),
+        ]);
+        let s = &pred.ladder_stats;
+        dist.row(vec![
+            trace.app.to_string(),
+            s.total_gaps().to_string(),
+            s.idle_gaps.to_string(),
+            s.bottom_counts[0].to_string(),
+            s.bottom_counts[1].to_string(),
+            s.bottom_counts[2].to_string(),
+        ]);
+    }
+    t.row(vec![
+        "AVERAGE".into(),
+        String::new(),
+        String::new(),
+        pct(mean_savings[0]),
+        String::new(),
+        pct(mean_savings[1]),
+        String::new(),
+        pct(mean_savings[2]),
+        format!("worst {:.3}", worst_ratio[0]),
+        format!("worst {:.3}", worst_ratio[1]),
+    ]);
+    vec![t, dist]
 }
 
 /// §3.2.1–3.2.2: the relative cost of the three PC capture strategies.

@@ -143,6 +143,17 @@ pub trait DecisionObserver {
 
     /// One idle-gap decision was fully accounted.
     fn on_decision(&mut self, record: DecisionRecord, energy: &GapEnergy);
+
+    /// Multi-state extension: the ladder state the just-accounted gap's
+    /// descent bottomed out in (`None` = the disk never left spinning
+    /// idle). Called immediately after
+    /// [`on_decision`](Self::on_decision) for the same access — but
+    /// only by the multi-state engine
+    /// (`crate::simulate_run_multistate`); the two-state engine never
+    /// invokes it, so legacy audit streams are unaffected.
+    fn on_ladder_bottom(&mut self, bottom: Option<usize>) {
+        let _ = bottom;
+    }
 }
 
 /// The do-nothing sink: disables the audit path at compile time.
@@ -181,7 +192,11 @@ impl LogHistogram {
         }
     }
 
-    /// Inclusive-exclusive microsecond bounds of bucket `index`.
+    /// Microsecond bounds of bucket `index`: inclusive-exclusive for
+    /// buckets 0–30, inclusive-*inclusive* for the clamp bucket 31,
+    /// whose upper bound is `u64::MAX` (a `1 << 31`-style exclusive
+    /// bound would be wrong: every value ≥ 2³⁰ µs lands there,
+    /// including `u64::MAX` itself).
     pub fn bucket_bounds(index: usize) -> (u64, u64) {
         match index {
             0 => (0, 1),
@@ -309,6 +324,9 @@ impl DecisionObserver for MetricsObserver {
 pub struct AuditCollector {
     records: Vec<DecisionRecord>,
     metrics: MetricsRegistry,
+    /// Per-decision ladder bottom-out states, aligned with `records`.
+    /// Populated only by the multi-state engine; empty otherwise.
+    ladder_bottoms: Vec<Option<usize>>,
     current_run: u32,
     /// Run-local accumulators, flushed into the totals at run
     /// boundaries: the aggregate path sums per-run outcomes
@@ -334,12 +352,21 @@ impl AuditCollector {
     }
 
     /// Finalizes the collector into its outputs (records, metrics,
-    /// replayed energy totals).
-    pub fn finish(mut self) -> (Vec<DecisionRecord>, MetricsRegistry, AuditEnergy) {
+    /// ladder bottom-outs, replayed energy totals).
+    #[allow(clippy::type_complexity)]
+    pub fn finish(
+        mut self,
+    ) -> (
+        Vec<DecisionRecord>,
+        MetricsRegistry,
+        Vec<Option<usize>>,
+        AuditEnergy,
+    ) {
         self.flush_run();
         (
             self.records,
             self.metrics,
+            self.ladder_bottoms,
             AuditEnergy {
                 energy: self.energy,
                 base_energy: self.base_energy,
@@ -369,6 +396,10 @@ impl DecisionObserver for AuditCollector {
         self.run_base.add_gap(energy.long, energy.base);
         self.records.push(record);
     }
+
+    fn on_ladder_bottom(&mut self, bottom: Option<usize>) {
+        self.ladder_bottoms.push(bottom);
+    }
 }
 
 /// The energy totals an [`AuditCollector`] replayed from the decision
@@ -392,6 +423,10 @@ pub struct AuditOutcome {
     pub records: Vec<DecisionRecord>,
     /// Aggregate audit metrics over all runs.
     pub metrics: MetricsRegistry,
+    /// Per-decision ladder bottom-out states, aligned with `records`.
+    /// Empty unless the audit ran through the multi-state engine
+    /// (`crate::audit_prepared_multistate`).
+    pub ladder_bottoms: Vec<Option<usize>>,
     /// Energy totals replayed from the decision stream (bitwise-equal
     /// to the report's).
     pub audit_energy: AuditEnergy,
@@ -453,11 +488,12 @@ pub fn audit_prepared(
 ) -> AuditOutcome {
     let mut collector = AuditCollector::new();
     let report = evaluate_prepared_observed(prepared, config, kind, &mut collector);
-    let (records, metrics, audit_energy) = collector.finish();
+    let (records, metrics, ladder_bottoms, audit_energy) = collector.finish();
     AuditOutcome {
         report,
         records,
         metrics,
+        ladder_bottoms,
         audit_energy,
     }
 }
@@ -520,6 +556,32 @@ mod tests {
             let (lo, hi) = LogHistogram::bucket_bounds(k);
             assert!(lo < hi, "bucket {k}");
             assert_eq!(LogHistogram::bucket_of(lo), k);
+        }
+    }
+
+    /// Pins the full `bucket_of`/`bucket_bounds` round-trip for all 32
+    /// indices: both edges of every bucket map back to it, the clamp
+    /// bucket's upper bound is `u64::MAX` (inclusive — `bucket_of`
+    /// sends `u64::MAX` itself to 31), and consecutive buckets tile the
+    /// u64 range with no gap.
+    #[test]
+    fn log_histogram_bounds_round_trip_for_all_buckets() {
+        for k in 0..32 {
+            let (lo, hi) = LogHistogram::bucket_bounds(k);
+            assert_eq!(LogHistogram::bucket_of(lo), k, "lower edge of {k}");
+            if k < 31 {
+                assert_eq!(LogHistogram::bucket_of(hi - 1), k, "upper edge of {k}");
+                assert_eq!(LogHistogram::bucket_of(hi), k + 1, "first value past {k}");
+                assert_eq!(
+                    LogHistogram::bucket_bounds(k + 1).0,
+                    hi,
+                    "buckets {k},{} must tile",
+                    k + 1
+                );
+            } else {
+                assert_eq!(hi, u64::MAX, "clamp bucket tops out at u64::MAX");
+                assert_eq!(LogHistogram::bucket_of(hi), 31, "inclusive top");
+            }
         }
     }
 

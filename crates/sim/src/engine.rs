@@ -130,8 +130,8 @@ pub struct RunOutcome {
 /// per-run path free of table reallocation.
 #[derive(Default)]
 pub struct EngineScratch {
-    preds: Vec<Option<Box<dyn IdlePredictor>>>,
-    pending_idle: Vec<Option<SimDuration>>,
+    pub(crate) preds: Vec<Option<Box<dyn IdlePredictor>>>,
+    pub(crate) pending_idle: Vec<Option<SimDuration>>,
 }
 
 impl EngineScratch {
@@ -140,7 +140,7 @@ impl EngineScratch {
         EngineScratch::default()
     }
 
-    fn reset(&mut self, pid_count: usize) {
+    pub(crate) fn reset(&mut self, pid_count: usize) {
         self.preds.clear();
         self.preds.resize_with(pid_count, || None);
         self.pending_idle.clear();
@@ -151,15 +151,15 @@ impl EngineScratch {
 /// Live per-run simulation state. Process-indexed tables are dense
 /// (compact pid index); the pid itself is only materialized at the
 /// `GlobalPredictor` boundary.
-struct RunState<'a> {
-    manager: &'a mut Manager,
-    oracle: bool,
-    global: GlobalPredictor,
-    preds: &'a mut [Option<Box<dyn IdlePredictor>>],
+pub(crate) struct RunState<'a> {
+    pub(crate) manager: &'a mut Manager,
+    pub(crate) oracle: bool,
+    pub(crate) global: GlobalPredictor,
+    pub(crate) preds: &'a mut [Option<Box<dyn IdlePredictor>>],
     /// Gap lengths awaiting `on_idle_end` at each process's next access
     /// (or exit).
-    pending_idle: &'a mut [Option<SimDuration>],
-    pids: &'a [Pid],
+    pub(crate) pending_idle: &'a mut [Option<SimDuration>],
+    pub(crate) pids: &'a [Pid],
 }
 
 impl RunState<'_> {
@@ -181,7 +181,7 @@ impl RunState<'_> {
         self.global.process_exited(self.pids[pidx]);
     }
 
-    fn apply(&mut self, event: LifecycleEvent) {
+    pub(crate) fn apply(&mut self, event: LifecycleEvent) {
         match event.kind {
             LifecycleKind::Start => self.start_process(event.pidx as usize, event.time),
             LifecycleKind::Exit => self.end_process(event.pidx as usize),
@@ -462,7 +462,7 @@ pub fn simulate_run_observed<O: DecisionObserver>(
 /// the first instant at which every live process's vote is ready (and
 /// the source of the latest vote), or `None` if the disk must keep
 /// spinning until the gap ends.
-fn resolve_gap_voting(
+pub(crate) fn resolve_gap_voting(
     state: &mut RunState<'_>,
     lifecycle: &[LifecycleEvent],
     li: &mut usize,

@@ -35,6 +35,7 @@ pub mod audit;
 pub mod engine;
 pub mod factory;
 pub mod metrics;
+pub mod multistate;
 pub mod prepared;
 pub mod profile;
 pub mod streams;
@@ -51,6 +52,10 @@ pub use engine::{
 };
 pub use factory::{Manager, PowerManagerKind};
 pub use metrics::{EnergyBreakdown, PredictionCounts};
+pub use multistate::{
+    audit_prepared_multistate, evaluate_prepared_multistate, evaluate_prepared_multistate_observed,
+    simulate_run_multistate, LadderStats, MultiStateOutcome, MultiStateScratch,
+};
 pub use prepared::{evaluate_prepared, PreparedTrace};
 pub use profile::WorkloadProfile;
 pub use streams::{prepare_call_count, Lifetime, RunStreams};

@@ -1,0 +1,536 @@
+//! The multi-state power-ladder simulation engine — the §7 extension
+//! taken from a single wait-window substitution to a full descent
+//! through [`MultiStateParams::states`].
+//!
+//! The loop is structurally identical to
+//! [`simulate_run_observed`](crate::simulate_run_observed): same
+//! lifecycle stepping, same per-process predictors and global voting,
+//! same gap classification against the two-state breakeven (so the
+//! hit/miss grids stay comparable across engines). Only the *energy*
+//! side changes: instead of the closed-form two-state
+//! `GapBreakdown::managed`, each gap is charged by a
+//! [`LadderPolicy`]-planned descent via
+//! [`descent_energy`](pcap_disk::descent_energy) — per-state residency
+//! plus every entry paid so far and the deepest state's exit, including
+//! wakeups that interrupt the descent partway down.
+//!
+//! By construction, a single-state ladder built with
+//! [`MultiStateParams::from_disk`] driven by
+//! [`PredictiveJump`](pcap_disk::PredictiveJump) replays the two-state
+//! engine's float operations in the same order, so the resulting
+//! [`AppReport`] is **byte-identical** to
+//! [`evaluate_prepared`](crate::evaluate_prepared)'s — the regression
+//! anchor that lets the ladder engine evolve without silently drifting
+//! from the validated two-state model.
+
+use crate::audit::{
+    AuditCollector, AuditOutcome, DecisionObserver, DecisionRecord, GapEnergy, NullObserver,
+};
+use crate::engine::{
+    resolve_gap_voting, AppReport, EngineScratch, GapVerdict, RunOutcome, RunState,
+};
+use crate::factory::{Manager, PowerManagerKind};
+use crate::metrics::{EnergyBreakdown, PredictionCounts};
+use crate::prepared::PreparedTrace;
+use crate::streams::RunStreams;
+use crate::SimConfig;
+use pcap_core::{ladder_target, GlobalPredictor, VoteSource};
+use pcap_disk::{
+    descent_energy, DescentStep, GapBreakdown, GapContext, LadderPolicy, MultiStateParams,
+};
+use pcap_types::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Where the ladder descents bottomed out, summed over gaps: the
+/// observable behaviour of a policy beyond its energy bill.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LadderStats {
+    /// Gaps the disk spent entirely spinning idle (no step fired).
+    pub idle_gaps: u64,
+    /// Gaps whose descent bottomed out in each ladder state,
+    /// index-aligned with [`MultiStateParams::states`].
+    pub bottom_counts: Vec<u64>,
+}
+
+impl LadderStats {
+    /// Zeroed stats for a ladder with `states` states.
+    pub fn new(states: usize) -> LadderStats {
+        LadderStats {
+            idle_gaps: 0,
+            bottom_counts: vec![0; states],
+        }
+    }
+
+    /// Records one gap's bottom-out state (`None` = stayed idle).
+    pub fn record(&mut self, bottom: Option<usize>) {
+        match bottom {
+            Some(state) => self.bottom_counts[state] += 1,
+            None => self.idle_gaps += 1,
+        }
+    }
+
+    /// Total gaps observed.
+    pub fn total_gaps(&self) -> u64 {
+        self.idle_gaps + self.bottom_counts.iter().sum::<u64>()
+    }
+}
+
+/// Reusable per-run state for the multi-state engine: the regular
+/// [`EngineScratch`] plus the descent-plan buffer the policy fills per
+/// gap.
+#[derive(Default)]
+pub struct MultiStateScratch {
+    engine: EngineScratch,
+    plan: Vec<DescentStep>,
+}
+
+impl MultiStateScratch {
+    /// An empty scratch; buffers grow to the run's needs.
+    pub fn new() -> MultiStateScratch {
+        MultiStateScratch::default()
+    }
+}
+
+/// Simulates one execution through the multi-state ladder engine,
+/// delivering every decision to `observer` (followed by
+/// [`DecisionObserver::on_ladder_bottom`] for the same gap).
+///
+/// `breakevens` must be `ladder.breakevens()`, precomputed once by the
+/// caller so the per-gap path stays allocation-free. Gap verdicts and
+/// prediction counts are classified against the *two-state* breakeven
+/// exactly as in [`simulate_run_observed`](crate::simulate_run_observed)
+/// — prediction quality is a property of the predictor, not the ladder
+/// — while the energy ledger follows the policy's descent (which, for
+/// [`SkiRental`](pcap_disk::SkiRental), may act on gaps the predictor
+/// declined).
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_run_multistate<P: LadderPolicy + ?Sized, O: DecisionObserver>(
+    streams: &RunStreams,
+    config: &SimConfig,
+    manager: &mut Manager,
+    ladder: &MultiStateParams,
+    breakevens: &[SimDuration],
+    policy: &P,
+    scratch: &mut MultiStateScratch,
+    stats: &mut LadderStats,
+    observer: &mut O,
+) -> RunOutcome {
+    let be = config.disk.breakeven_time();
+    let window_state = manager.window_state();
+    let mut out = RunOutcome::default();
+
+    scratch.engine.reset(streams.pid_count());
+    let mut state = RunState {
+        oracle: manager.is_oracle(),
+        manager,
+        global: GlobalPredictor::new(),
+        preds: &mut scratch.engine.preds,
+        pending_idle: &mut scratch.engine.pending_idle,
+        pids: streams.pids(),
+    };
+
+    let lifecycle = streams.lifecycle();
+    let mut li = 0usize;
+
+    let n = streams.accesses.len();
+    for i in 0..n {
+        let access = streams.accesses[i];
+        let completion = streams.completions[i];
+        let local_gap = streams.local_gaps[i];
+        let global_gap = streams.global_gaps[i];
+
+        while li < lifecycle.len() && lifecycle[li].time <= access.time {
+            state.apply(lifecycle[li]);
+            li += 1;
+        }
+
+        let busy = config.disk.busy_power * config.disk.service_time(access.pages);
+        out.energy.busy += busy;
+        out.base_energy.busy += busy;
+
+        let apidx = streams.access_pid_index(i);
+        let pidx = if state.preds[apidx].is_some() {
+            apidx
+        } else {
+            0
+        };
+        let vote = if let Some(pred) = state.preds[pidx].as_mut() {
+            if let Some(gap) = state.pending_idle[pidx].take() {
+                pred.on_idle_end(gap);
+            }
+            let vote = pred.on_access(&access, local_gap);
+            state.pending_idle[pidx] = Some(local_gap);
+            Some(vote)
+        } else {
+            None
+        };
+
+        if local_gap > be {
+            out.local.opportunities += 1;
+        }
+        let local_verdict = match vote {
+            Some(vote) => match vote.delay {
+                Some(delay) if delay < local_gap => {
+                    if local_gap - delay > be {
+                        out.local.record_hit(vote.source);
+                        GapVerdict::Hit
+                    } else {
+                        out.local.record_miss(vote.source);
+                        GapVerdict::Miss
+                    }
+                }
+                _ if local_gap > be => {
+                    out.local.not_predicted += 1;
+                    GapVerdict::NotPredicted
+                }
+                _ => GapVerdict::Short,
+            },
+            None if local_gap > be => {
+                out.local.not_predicted += 1;
+                GapVerdict::NotPredicted
+            }
+            None => GapVerdict::Short,
+        };
+        if let Some(vote) = vote {
+            if !state.oracle {
+                state.global.record_vote(state.pids[pidx], completion, vote);
+            }
+        }
+
+        let (signature, table_len) = if O::ENABLED {
+            match state.preds[pidx].as_ref() {
+                Some(pred) => (pred.audit_signature(), pred.audit_table_len()),
+                None => (None, None),
+            }
+        } else {
+            (None, None)
+        };
+
+        let gap_end = completion + global_gap;
+        let shutdown = if state.oracle {
+            (global_gap > be).then_some((completion, VoteSource::Primary))
+        } else {
+            resolve_gap_voting(&mut state, lifecycle, &mut li, completion, gap_end)
+        };
+
+        if global_gap > be {
+            out.global.opportunities += 1;
+        }
+        let base_breakdown = GapBreakdown::unmanaged(&config.disk, global_gap);
+        // The verdict tracks the *voted* shutdown, exactly as in the
+        // two-state engine; the energy tracks the policy's descent.
+        let verdict = match shutdown {
+            Some((at, source)) => {
+                let off = gap_end - at;
+                if off > be {
+                    out.global.record_hit(source);
+                    GapVerdict::Hit
+                } else {
+                    out.global.record_miss(source);
+                    GapVerdict::Miss
+                }
+            }
+            None if global_gap > be => {
+                out.global.not_predicted += 1;
+                GapVerdict::NotPredicted
+            }
+            None => GapVerdict::Short,
+        };
+
+        let ctx = GapContext {
+            shutdown_at: shutdown.map(|(at, _)| at - completion),
+            target: match shutdown {
+                Some((at, source)) => ladder_target(source, at - completion, breakevens),
+                None => 0,
+            },
+            gap: global_gap,
+        };
+        policy.plan(ladder, &ctx, &mut scratch.plan);
+        let (descent, bottom) = descent_energy(ladder, &scratch.plan, global_gap);
+        // §7 wait-window substitution, mirroring the two-state engine:
+        // the spin-idle prefix before the first step is spent in the
+        // manager's shallow window state when it has one.
+        let managed_breakdown = match (&window_state, scratch.plan.first()) {
+            (Some(shallow), Some(first)) if first.at < global_gap => {
+                descent.substitute_window(shallow, first.at)
+            }
+            _ => descent,
+        };
+        out.energy.add_gap(global_gap > be, managed_breakdown);
+        out.base_energy.add_gap(global_gap > be, base_breakdown);
+        stats.record(bottom);
+
+        if O::ENABLED {
+            observer.on_decision(
+                DecisionRecord {
+                    run: 0,
+                    access: i as u32,
+                    at: completion,
+                    pid: access.pid,
+                    pc: access.pc,
+                    signature,
+                    table_len,
+                    vote_delay: vote.and_then(|v| v.delay),
+                    vote_source: vote.map(|v| v.source),
+                    local_gap,
+                    local_verdict,
+                    global_gap,
+                    shutdown_at: shutdown.map(|(at, _)| at),
+                    shutdown_source: shutdown.map(|(_, source)| source),
+                    verdict,
+                    energy_delta_j: managed_breakdown.total().0 - base_breakdown.total().0,
+                },
+                &GapEnergy {
+                    long: global_gap > be,
+                    busy,
+                    managed: managed_breakdown,
+                    base: base_breakdown,
+                },
+            );
+            observer.on_ladder_bottom(bottom);
+        }
+    }
+
+    while li < lifecycle.len() {
+        state.apply(lifecycle[li]);
+        li += 1;
+    }
+
+    out
+}
+
+/// One application × one manager × one ladder policy, evaluated through
+/// the multi-state engine.
+#[derive(Debug, Clone)]
+pub struct MultiStateOutcome {
+    /// The aggregate report (same shape as the two-state engine's, so
+    /// the two are directly — and for single-state ladders, bitwise —
+    /// comparable).
+    pub report: AppReport,
+    /// Where the descents bottomed out, summed over all gaps and runs.
+    pub ladder_stats: LadderStats,
+}
+
+/// [`evaluate_prepared`](crate::evaluate_prepared) through the
+/// multi-state ladder engine with an attached observer.
+///
+/// # Panics
+///
+/// Panics if the ladder fails [`MultiStateParams::validate`] or if
+/// `config` disagrees with the preparation config (stale streams).
+pub fn evaluate_prepared_multistate_observed<O: DecisionObserver>(
+    prepared: &PreparedTrace,
+    config: &SimConfig,
+    kind: PowerManagerKind,
+    ladder: &MultiStateParams,
+    policy: &dyn LadderPolicy,
+    observer: &mut O,
+) -> MultiStateOutcome {
+    assert!(
+        prepared.matches(config),
+        "evaluate_prepared_multistate: config changes cache/disk parameters; rebuild the PreparedTrace"
+    );
+    ladder
+        .validate()
+        .expect("evaluate_prepared_multistate: invalid ladder");
+    let breakevens = ladder.breakevens();
+    let mut manager = kind.manager(config);
+    let mut report = AppReport {
+        app: Arc::clone(prepared.app()),
+        manager: kind.label(),
+        local: PredictionCounts::default(),
+        global: PredictionCounts::default(),
+        energy: EnergyBreakdown::default(),
+        base_energy: EnergyBreakdown::default(),
+        table_entries: None,
+        table_aliases: None,
+    };
+    let mut stats = LadderStats::new(ladder.states.len());
+    let mut scratch = MultiStateScratch::new();
+    for (run, streams) in prepared.streams().iter().enumerate() {
+        observer.on_run_start(run as u32);
+        let outcome = simulate_run_multistate(
+            streams,
+            config,
+            &mut manager,
+            ladder,
+            &breakevens,
+            policy,
+            &mut scratch,
+            &mut stats,
+            observer,
+        );
+        report.local += outcome.local;
+        report.global += outcome.global;
+        report.energy += outcome.energy;
+        report.base_energy += outcome.base_energy;
+        manager.on_run_end();
+    }
+    report.table_entries = manager.table_entries();
+    report.table_aliases = manager.table_aliases();
+    MultiStateOutcome {
+        report,
+        ladder_stats: stats,
+    }
+}
+
+/// Evaluates one manager × ladder × policy over a prepared trace — the
+/// multi-state analogue of [`evaluate_prepared`](crate::evaluate_prepared).
+pub fn evaluate_prepared_multistate(
+    prepared: &PreparedTrace,
+    config: &SimConfig,
+    kind: PowerManagerKind,
+    ladder: &MultiStateParams,
+    policy: &dyn LadderPolicy,
+) -> MultiStateOutcome {
+    evaluate_prepared_multistate_observed(prepared, config, kind, ladder, policy, &mut NullObserver)
+}
+
+/// Audits one manager × ladder × policy: the full decision stream plus
+/// per-decision ladder bottom-outs
+/// ([`AuditOutcome::ladder_bottoms`]), alongside the aggregate stats.
+pub fn audit_prepared_multistate(
+    prepared: &PreparedTrace,
+    config: &SimConfig,
+    kind: PowerManagerKind,
+    ladder: &MultiStateParams,
+    policy: &dyn LadderPolicy,
+) -> (AuditOutcome, LadderStats) {
+    let mut collector = AuditCollector::new();
+    let outcome = evaluate_prepared_multistate_observed(
+        prepared,
+        config,
+        kind,
+        ladder,
+        policy,
+        &mut collector,
+    );
+    let (records, metrics, ladder_bottoms, audit_energy) = collector.finish();
+    (
+        AuditOutcome {
+            report: outcome.report,
+            records,
+            metrics,
+            ladder_bottoms,
+            audit_energy,
+        },
+        outcome.ladder_stats,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prepared::evaluate_prepared;
+    use pcap_disk::{OracleLadder, PredictiveJump, SkiRental};
+    use pcap_trace::{ApplicationTrace, TraceRunBuilder};
+    use pcap_types::{Fd, FileId, IoKind, Pc, Pid, SimTime};
+
+    fn trace_with_gaps(runs: usize) -> ApplicationTrace {
+        let mut trace = ApplicationTrace::new("ms-test");
+        for r in 0..runs {
+            let mut b = TraceRunBuilder::new(Pid(1));
+            for (i, t) in [1.0, 1.2, 21.2, 22.0, 52.0].iter().enumerate() {
+                b.io(
+                    SimTime::from_secs_f64(t + r as f64 * 0.01),
+                    Pid(1),
+                    Pc(0x100 + (i as u32 % 3) * 0x10),
+                    IoKind::Read,
+                    Fd(3),
+                    FileId(1),
+                    (i as u64) * 4096,
+                    4096,
+                );
+            }
+            b.exit(SimTime::from_secs_f64(92.0), Pid(1));
+            trace.runs.push(b.finish().unwrap());
+        }
+        trace
+    }
+
+    #[test]
+    fn single_state_ladder_is_bitwise_identical_to_the_two_state_engine() {
+        let config = SimConfig::paper();
+        let trace = trace_with_gaps(3);
+        let prepared = PreparedTrace::build(&trace, &config);
+        let ladder = MultiStateParams::from_disk(&config.disk);
+        for kind in [
+            PowerManagerKind::Timeout,
+            PowerManagerKind::Oracle,
+            PowerManagerKind::PCAP,
+            PowerManagerKind::LT,
+            PowerManagerKind::MultiStatePcap,
+        ] {
+            let legacy = evaluate_prepared(&prepared, &config, kind);
+            let multi =
+                evaluate_prepared_multistate(&prepared, &config, kind, &ladder, &PredictiveJump);
+            let a = serde_json::to_string(&legacy).unwrap();
+            let b = serde_json::to_string(&multi.report).unwrap();
+            assert_eq!(a, b, "kind {kind:?} diverged");
+        }
+    }
+
+    #[test]
+    fn ladder_stats_account_every_gap() {
+        let config = SimConfig::paper();
+        let trace = trace_with_gaps(2);
+        let prepared = PreparedTrace::build(&trace, &config);
+        let ladder = MultiStateParams::mobile_ata();
+        let ski = SkiRental::new(&ladder);
+        let out =
+            evaluate_prepared_multistate(&prepared, &config, PowerManagerKind::PCAP, &ladder, &ski);
+        let accesses: usize = prepared.streams().iter().map(|s| s.accesses.len()).sum();
+        assert_eq!(out.ladder_stats.total_gaps(), accesses as u64);
+        // The 20 s and 30 s gaps descend past the first rung.
+        assert!(out.ladder_stats.bottom_counts.iter().sum::<u64>() > 0);
+    }
+
+    #[test]
+    fn oracle_policy_never_costs_more_than_predictive_or_ski() {
+        let config = SimConfig::paper();
+        let trace = trace_with_gaps(3);
+        let prepared = PreparedTrace::build(&trace, &config);
+        let ladder = MultiStateParams::mobile_ata();
+        let ski = SkiRental::new(&ladder);
+        let kind = PowerManagerKind::PCAP;
+        let oracle = evaluate_prepared_multistate(&prepared, &config, kind, &ladder, &OracleLadder);
+        let pred = evaluate_prepared_multistate(&prepared, &config, kind, &ladder, &PredictiveJump);
+        let rental = evaluate_prepared_multistate(&prepared, &config, kind, &ladder, &ski);
+        let gap = |o: &MultiStateOutcome| o.report.energy.total().0 - o.report.energy.busy.0;
+        assert!(gap(&oracle) <= gap(&pred) + 1e-9);
+        assert!(gap(&oracle) <= gap(&rental) + 1e-9);
+    }
+
+    #[test]
+    fn audit_multistate_reconciles_and_aligns_bottom_outs() {
+        let config = SimConfig::paper();
+        let trace = trace_with_gaps(2);
+        let prepared = PreparedTrace::build(&trace, &config);
+        let ladder = MultiStateParams::mobile_ata();
+        let (audit, stats) = audit_prepared_multistate(
+            &prepared,
+            &config,
+            PowerManagerKind::PCAP,
+            &ladder,
+            &PredictiveJump,
+        );
+        assert_eq!(audit.ladder_bottoms.len(), audit.records.len());
+        assert_eq!(
+            stats.total_gaps(),
+            audit.ladder_bottoms.len() as u64,
+            "stats cover every audited decision"
+        );
+        let plain = evaluate_prepared_multistate(
+            &prepared,
+            &config,
+            PowerManagerKind::PCAP,
+            &ladder,
+            &PredictiveJump,
+        );
+        assert_eq!(audit.report, plain.report, "observer must not perturb");
+        assert_eq!(audit.audit_energy.energy, plain.report.energy);
+        assert_eq!(audit.audit_energy.base_energy, plain.report.base_energy);
+        assert_eq!(stats, plain.ladder_stats);
+    }
+}

@@ -579,3 +579,114 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------- multi-state ladder
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    /// A single-state ladder (Table 2's standby) descended by the
+    /// predictive policy reproduces the two-state engine exactly —
+    /// counts and float energy totals — on arbitrary multi-process
+    /// traces, for every manager kind including the oracle and the
+    /// wait-window-substituting `PCAP+ms`.
+    #[test]
+    fn single_state_ladder_matches_legacy_engine(
+        runs in prop::collection::vec(arbitrary_forked_run(), 1..3)
+    ) {
+        let config = SimConfig::paper();
+        let mut trace = ApplicationTrace::new("random");
+        trace.runs = runs;
+        let prepared = pcap_sim::PreparedTrace::build(&trace, &config);
+        let ladder = pcap_disk::MultiStateParams::from_disk(&config.disk);
+        for kind in [
+            PowerManagerKind::Timeout,
+            PowerManagerKind::Oracle,
+            PowerManagerKind::PCAP,
+            PowerManagerKind::LT,
+            PowerManagerKind::MultiStatePcap,
+        ] {
+            let legacy = pcap_sim::evaluate_prepared(&prepared, &config, kind);
+            let multi = pcap_sim::evaluate_prepared_multistate(
+                &prepared,
+                &config,
+                kind,
+                &ladder,
+                &pcap_disk::PredictiveJump,
+            );
+            prop_assert_eq!(&legacy, &multi.report, "{} diverged", kind.label());
+        }
+    }
+
+    /// Ski-rental robustness: on arbitrary gap vectors the envelope
+    /// descent pays at most twice the clairvoyant static optimum —
+    /// per gap, hence also in aggregate.
+    #[test]
+    fn ski_rental_within_twice_oracle_on_arbitrary_gaps(
+        gaps_ms in prop::collection::vec(1u64..600_000u64, 1..80)
+    ) {
+        use pcap_disk::{descent_energy, GapContext, LadderPolicy, OracleLadder, SkiRental};
+        let ladder = pcap_disk::MultiStateParams::mobile_ata();
+        let ski = SkiRental::new(&ladder);
+        let mut ski_plan = Vec::new();
+        let mut oracle_plan = Vec::new();
+        let (mut alg, mut opt) = (0.0f64, 0.0f64);
+        for gap_ms in gaps_ms {
+            let gap = SimDuration::from_millis(gap_ms);
+            let ctx = GapContext { shutdown_at: None, target: 0, gap };
+            ski.plan(&ladder, &ctx, &mut ski_plan);
+            OracleLadder.plan(&ladder, &ctx, &mut oracle_plan);
+            let a = descent_energy(&ladder, &ski_plan, gap).0.total().0;
+            let o = descent_energy(&ladder, &oracle_plan, gap).0.total().0;
+            prop_assert!(o > 0.0 && a <= 2.0 * o + 1e-9, "gap {gap_ms} ms: ski {a} vs oracle {o}");
+            alg += a;
+            opt += o;
+        }
+        prop_assert!(alg <= 2.0 * opt + 1e-9, "aggregate {alg} vs {opt}");
+    }
+
+    /// Multi-state energy accounting mirrors the two-state invariants:
+    /// components sum to the total, totals are finite and non-negative,
+    /// and the ladder stats account for every merged idle gap.
+    #[test]
+    fn multistate_energy_components_sum_to_total(
+        runs in prop::collection::vec(arbitrary_forked_run(), 1..3)
+    ) {
+        use pcap_disk::{OracleLadder, PredictiveJump, SkiRental};
+        let config = SimConfig::paper();
+        let mut trace = ApplicationTrace::new("random");
+        trace.runs = runs;
+        let prepared = pcap_sim::PreparedTrace::build(&trace, &config);
+        let accesses: usize = prepared.streams().iter().map(|s| s.accesses.len()).sum();
+        let ladder = pcap_disk::MultiStateParams::mobile_ata();
+        let ski = SkiRental::new(&ladder);
+        let policies: [&dyn pcap_disk::LadderPolicy; 3] = [&PredictiveJump, &ski, &OracleLadder];
+        for policy in policies {
+            let out = pcap_sim::evaluate_prepared_multistate(
+                &prepared,
+                &config,
+                PowerManagerKind::PCAP,
+                &ladder,
+                policy,
+            );
+            for energy in [&out.report.energy, &out.report.base_energy] {
+                let sum = energy.busy.0
+                    + energy.idle_short.0
+                    + energy.idle_long.0
+                    + energy.power_cycle.0;
+                prop_assert!(
+                    (energy.total().0 - sum).abs() < 1e-9,
+                    "{}: components {sum} vs total {}",
+                    policy.label(),
+                    energy.total().0
+                );
+                prop_assert!(energy.total().0.is_finite() && energy.total().0 >= 0.0);
+            }
+            prop_assert_eq!(
+                out.ladder_stats.total_gaps(),
+                accesses as u64,
+                "{}: stats must cover every gap",
+                policy.label()
+            );
+        }
+    }
+}
