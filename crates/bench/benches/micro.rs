@@ -202,6 +202,51 @@ fn observer_overhead(c: &mut Criterion) {
     group.finish();
 }
 
+/// DESIGN.md §10's zero-overhead claim for pipeline tracing: the
+/// evaluation core with the compiled-out [`NullPipeline`] vs a live
+/// [`TraceRecorder`] (one span + one histogram observation + one
+/// counter update per evaluation), plus the raw per-span cost of the
+/// recorder itself.
+fn tracing_overhead(c: &mut Criterion) {
+    use pcap_sim::evaluate_prepared_traced;
+    let trace = sample_trace();
+    let events = trace.total_ios() as u64;
+    let config = SimConfig::paper();
+    let prepared = PreparedTrace::build(&trace, &config);
+    let mut group = c.benchmark_group("micro/tracing");
+    group.throughput(Throughput::Elements(events));
+    group.sample_size(10);
+    group.bench_function("disabled", |b| {
+        b.iter(|| {
+            black_box(evaluate_prepared_traced(
+                &prepared,
+                &config,
+                PowerManagerKind::PCAP,
+                &pcap_obs::NullPipeline,
+            ))
+        })
+    });
+    group.bench_function("recording", |b| {
+        let recorder = pcap_obs::TraceRecorder::new();
+        b.iter(|| {
+            black_box(evaluate_prepared_traced(
+                &prepared,
+                &config,
+                PowerManagerKind::PCAP,
+                &recorder,
+            ))
+        })
+    });
+    group.finish();
+
+    let recorder = pcap_obs::TraceRecorder::new();
+    c.bench_function("micro/tracing/span", |b| {
+        b.iter(|| {
+            drop(black_box(pcap_obs::span(&recorder, "probe")));
+        })
+    });
+}
+
 /// Per-gap cost of the three ladder descent policies on the mobile-ATA
 /// ladder: plan + charge for a sweep of gap lengths spanning all three
 /// envelope regimes. The predictive arm includes the vote → target
@@ -263,6 +308,7 @@ criterion_group!(
     simulator_throughput,
     prepare_vs_evaluate,
     observer_overhead,
+    tracing_overhead,
     ladder
 );
 criterion_main!(micro);

@@ -234,5 +234,87 @@ fn bench_quick_appends_trajectory_entries() {
     assert!(out.status.success(), "stderr: {}", stderr(&out));
     let text = std::fs::read_to_string(&out_path).expect("trajectory written");
     assert_eq!(text.matches("\"label\": \"cli-test\"").count(), 2);
+    // The appended trajectory passes its own regression gate.
+    let out = pcap(&["bench", "--check", "--out", out_arg]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    assert!(
+        stderr(&out).contains("passes the regression gate"),
+        "stderr: {}",
+        stderr(&out)
+    );
     std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bench_check_rejects_regressed_trajectory() {
+    let dir = std::env::temp_dir().join(format!("pcap-bench-check-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let out_path = dir.join("BENCH_sim.json");
+    let entry = |cells_per_s: f64| {
+        format!(
+            "{{\"label\": \"t\", \"mode\": \"quick\", \"jobs\": 1, \"cells_per_s\": {cells_per_s}}}"
+        )
+    };
+    // The newest quick entry holds only 50% of the best prior.
+    std::fs::write(&out_path, format!("[{}, {}]\n", entry(800.0), entry(400.0)))
+        .expect("write trajectory");
+    let out_arg = out_path.to_str().expect("utf-8 path");
+    let out = pcap(&["bench", "--check", "--out", out_arg]);
+    assert!(!out.status.success(), "regressed entry must fail the gate");
+    assert!(
+        stderr(&out).contains("regression"),
+        "stderr: {}",
+        stderr(&out)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn pipeline_profile_smoke_with_exports() {
+    let dir = std::env::temp_dir().join(format!("pcap-profile-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let trace_path = dir.join("trace.json");
+    let prom_path = dir.join("metrics.prom");
+    let out = pcap(&[
+        "profile",
+        "--quick",
+        "--jobs",
+        "2",
+        "--chrome-trace",
+        trace_path.to_str().expect("utf-8 path"),
+        "--prometheus",
+        prom_path.to_str().expect("utf-8 path"),
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let stdout = String::from_utf8(out.stdout).expect("utf-8");
+    assert!(stdout.contains("pipeline profile (seed 42"), "{stdout}");
+    assert!(stdout.contains("stage"), "{stdout}");
+    assert!(stdout.contains("warm_up:"), "{stdout}");
+    assert!(stdout.contains("slowest task:"), "{stdout}");
+    let trace = std::fs::read_to_string(&trace_path).expect("chrome trace written");
+    assert!(trace.contains("\"traceEvents\""), "{trace}");
+    assert!(trace.contains("cell:"), "per-cell spans exported");
+    let prom = std::fs::read_to_string(&prom_path).expect("prometheus written");
+    assert!(prom.contains("pcap_tasks_total"), "{prom}");
+    assert!(prom.contains("pcap_worker_busy_us"), "{prom}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn pipeline_profile_warns_on_oversubscribed_jobs() {
+    let out = pcap(&["profile", "--quick", "--jobs", "512"]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    assert!(
+        stderr(&out).contains("exceeds available parallelism"),
+        "stderr: {}",
+        stderr(&out)
+    );
+    // The default (0 = all cores) and an honest job count stay quiet.
+    let out = pcap(&["profile", "--quick", "--jobs", "1"]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    assert!(
+        !stderr(&out).contains("exceeds available parallelism"),
+        "stderr: {}",
+        stderr(&out)
+    );
 }

@@ -1,0 +1,293 @@
+//! `BENCH_sim.json` schema and the `pcap bench --check` regression
+//! gate.
+//!
+//! The trajectory file is append-only and spans PR generations: PR 2
+//! entries have only the four coarse stage timings, PR 3 added the
+//! observer-overhead fields, and this PR adds the tracing-overhead
+//! fields. Every field of [`BenchEntry`] is therefore an `Option` —
+//! absent keys deserialize as `None` instead of failing — so any
+//! future entry shape that is a superset of an older one parses the
+//! whole file.
+
+use serde::{Deserialize, Serialize};
+
+/// Maximum tolerated `cells_per_s` drop vs the best prior entry of the
+/// same (mode, jobs) group: 15%.
+pub const REGRESSION_TOLERANCE: f64 = 0.15;
+
+/// Maximum tolerated observer / tracing overhead fraction: 2%, the
+/// same budget `pcap bench` enforces at measurement time.
+pub const OVERHEAD_LIMIT: f64 = 0.02;
+
+/// One `BENCH_sim.json` entry. All fields optional for forward and
+/// backward compatibility across PR generations.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct BenchEntry {
+    /// Pipeline label (`"legacy-baseline"`, `"prepare-once"`).
+    pub label: Option<String>,
+    /// `"full"` or `"quick"`.
+    pub mode: Option<String>,
+    /// RNG seed the bench ran with.
+    pub seed: Option<u64>,
+    /// Worker count the bench ran with.
+    pub jobs: Option<u64>,
+    /// Apps in the workload.
+    pub apps: Option<u64>,
+    /// Generated runs per app.
+    pub runs: Option<u64>,
+    /// Grid cells evaluated.
+    pub cells: Option<u64>,
+    /// Trace-generation wall clock, seconds.
+    pub generate_s: Option<f64>,
+    /// Prepare-stage wall clock, seconds.
+    pub prepare_s: Option<f64>,
+    /// Warm-up (grid evaluation) wall clock, seconds.
+    pub warmup_s: Option<f64>,
+    /// Grid throughput — the gated metric.
+    pub cells_per_s: Option<f64>,
+    /// `PreparedTrace::build` calls during prepare.
+    pub prepare_calls: Option<u64>,
+    /// `PreparedTrace::build` calls during warm-up (0 post-PR 2).
+    pub warmup_prepare_calls: Option<u64>,
+    /// Throughput ratio vs the committed legacy baseline.
+    pub speedup_vs_legacy: Option<f64>,
+    /// PR 3: evaluation wall clock with the null decision observer.
+    pub null_eval_s: Option<f64>,
+    /// PR 3: evaluation wall clock with the counting decision observer.
+    pub observed_eval_s: Option<f64>,
+    /// PR 3: fractional decision-observer overhead (gated < 2%).
+    pub observer_overhead: Option<f64>,
+    /// PR 5: evaluation wall clock with the pipeline trace recorder.
+    pub traced_eval_s: Option<f64>,
+    /// PR 5: fractional pipeline-tracing overhead (gated < 2%).
+    pub tracing_overhead: Option<f64>,
+}
+
+impl BenchEntry {
+    fn group(&self) -> (String, u64) {
+        (
+            self.mode.clone().unwrap_or_else(|| "full".to_owned()),
+            self.jobs.unwrap_or(0),
+        )
+    }
+}
+
+/// Parses a `BENCH_sim.json` document of any PR generation.
+///
+/// # Errors
+///
+/// Returns a message when the text is not a JSON array of objects.
+pub fn parse_trajectory(text: &str) -> Result<Vec<BenchEntry>, String> {
+    serde_json::from_str(text).map_err(|e| format!("BENCH_sim.json: {e}"))
+}
+
+/// The `pcap bench --check` gate. For each (mode, jobs) group, the
+/// *latest* entry must not regress more than [`REGRESSION_TOLERANCE`]
+/// below the best prior `cells_per_s` in that group, and its overhead
+/// fields (when present) must stay under [`OVERHEAD_LIMIT`].
+///
+/// Returns one human-readable verdict line per group on success.
+///
+/// # Errors
+///
+/// Returns a message listing every violated group.
+pub fn check_trajectory(entries: &[BenchEntry]) -> Result<Vec<String>, String> {
+    let mut groups: Vec<(String, u64)> = Vec::new();
+    for entry in entries {
+        let group = entry.group();
+        if !groups.contains(&group) {
+            groups.push(group);
+        }
+    }
+    let mut lines = Vec::new();
+    let mut failures = Vec::new();
+    for (mode, jobs) in groups {
+        let members: Vec<&BenchEntry> = entries
+            .iter()
+            .filter(|e| e.group() == (mode.clone(), jobs))
+            .collect();
+        let latest = *members.last().expect("non-empty group");
+        let latest_rate = match latest.cells_per_s {
+            Some(rate) => rate,
+            None => {
+                failures.push(format!(
+                    "({mode}, jobs {jobs}): latest entry has no cells_per_s"
+                ));
+                continue;
+            }
+        };
+        let best_prior = members[..members.len() - 1]
+            .iter()
+            .filter_map(|e| e.cells_per_s)
+            .fold(f64::NAN, f64::max);
+        if best_prior.is_nan() {
+            lines.push(format!(
+                "({mode}, jobs {jobs}): baseline entry, {latest_rate:.2} cells/s — ok"
+            ));
+        } else {
+            let floor = best_prior * (1.0 - REGRESSION_TOLERANCE);
+            if latest_rate < floor {
+                failures.push(format!(
+                    "({mode}, jobs {jobs}): {latest_rate:.2} cells/s regressed more than \
+                     {:.0}% below best prior {best_prior:.2} (floor {floor:.2})",
+                    REGRESSION_TOLERANCE * 100.0
+                ));
+            } else {
+                lines.push(format!(
+                    "({mode}, jobs {jobs}): {latest_rate:.2} cells/s vs best prior \
+                     {best_prior:.2} (floor {floor:.2}) — ok"
+                ));
+            }
+        }
+        for (field, overhead) in [
+            ("observer_overhead", latest.observer_overhead),
+            ("tracing_overhead", latest.tracing_overhead),
+        ] {
+            if let Some(overhead) = overhead {
+                if overhead >= OVERHEAD_LIMIT {
+                    failures.push(format!(
+                        "({mode}, jobs {jobs}): {field} {:.2}% breaches the {:.0}% budget",
+                        overhead * 100.0,
+                        OVERHEAD_LIMIT * 100.0
+                    ));
+                } else {
+                    lines.push(format!(
+                        "({mode}, jobs {jobs}): {field} {:.2}% within {:.0}% budget — ok",
+                        overhead * 100.0,
+                        OVERHEAD_LIMIT * 100.0
+                    ));
+                }
+            }
+        }
+    }
+    if failures.is_empty() {
+        Ok(lines)
+    } else {
+        Err(failures.join("\n"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(mode: &str, jobs: u64, cells_per_s: f64) -> BenchEntry {
+        BenchEntry {
+            mode: Some(mode.to_owned()),
+            jobs: Some(jobs),
+            cells_per_s: Some(cells_per_s),
+            ..BenchEntry::default()
+        }
+    }
+
+    #[test]
+    fn parses_pr2_era_entry_without_observer_fields() {
+        let text = r#"[{
+            "label": "legacy-baseline", "mode": "full", "seed": 42, "jobs": 1,
+            "apps": 6, "runs": 198, "cells": 60, "generate_s": 0.134,
+            "prepare_s": 0.0, "warmup_s": 3.433, "cells_per_s": 17.48,
+            "prepare_calls": 0, "warmup_prepare_calls": 1980,
+            "speedup_vs_legacy": null
+        }]"#;
+        let entries = parse_trajectory(text).expect("old entry parses");
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].cells_per_s, Some(17.48));
+        assert_eq!(entries[0].speedup_vs_legacy, None);
+        assert_eq!(entries[0].null_eval_s, None, "absent PR 3 field is None");
+        assert_eq!(
+            entries[0].tracing_overhead, None,
+            "absent PR 5 field is None"
+        );
+    }
+
+    #[test]
+    fn value_round_trip_preserves_every_field() {
+        let mut e = entry("quick", 4, 800.0);
+        e.label = Some("prepare-once".to_owned());
+        e.observer_overhead = Some(0.001);
+        e.traced_eval_s = Some(0.01);
+        let text = serde_json::to_string(&vec![e.clone()]).unwrap();
+        let back = parse_trajectory(&text).unwrap();
+        assert_eq!(back, vec![e]);
+    }
+
+    #[test]
+    fn single_entry_groups_pass_as_baselines() {
+        let lines = check_trajectory(&[entry("full", 1, 100.0), entry("quick", 1, 500.0)]).unwrap();
+        assert_eq!(lines.len(), 2);
+        assert!(lines.iter().all(|l| l.contains("baseline")));
+    }
+
+    #[test]
+    fn regression_beyond_tolerance_fails() {
+        // 84 < 0.85 × 100: fail.
+        let err = check_trajectory(&[entry("full", 1, 100.0), entry("full", 1, 84.0)]).unwrap_err();
+        assert!(err.contains("regressed"), "{err}");
+        // 86 ≥ 0.85 × 100: pass.
+        check_trajectory(&[entry("full", 1, 100.0), entry("full", 1, 86.0)]).unwrap();
+    }
+
+    #[test]
+    fn gate_compares_to_best_prior_not_last() {
+        // Last prior entry is slow; the best prior (100) sets the floor.
+        let err = check_trajectory(&[
+            entry("full", 1, 100.0),
+            entry("full", 1, 50.0),
+            entry("full", 1, 60.0),
+        ])
+        .unwrap_err();
+        assert!(err.contains("best prior 100.00"), "{err}");
+    }
+
+    #[test]
+    fn groups_are_gated_independently() {
+        // A quick-mode regression must not hide behind a healthy full mode,
+        // and different jobs counts are separate groups.
+        let entries = [
+            entry("full", 1, 100.0),
+            entry("quick", 1, 500.0),
+            entry("full", 4, 300.0),
+            entry("full", 1, 110.0),
+            entry("quick", 1, 100.0),
+        ];
+        let err = check_trajectory(&entries).unwrap_err();
+        assert!(err.contains("(quick, jobs 1)"), "{err}");
+        assert!(
+            !err.contains("(full"),
+            "healthy groups must not fail: {err}"
+        );
+    }
+
+    #[test]
+    fn overhead_breach_fails_even_without_regression() {
+        let mut fast = entry("full", 1, 200.0);
+        fast.tracing_overhead = Some(0.05);
+        let err = check_trajectory(&[entry("full", 1, 100.0), fast]).unwrap_err();
+        assert!(err.contains("tracing_overhead"), "{err}");
+
+        let mut ok = entry("full", 1, 200.0);
+        ok.observer_overhead = Some(0.001);
+        ok.tracing_overhead = Some(0.019);
+        let lines = check_trajectory(&[entry("full", 1, 100.0), ok]).unwrap();
+        assert!(lines.iter().any(|l| l.contains("tracing_overhead")));
+    }
+
+    #[test]
+    fn committed_trajectory_shape_passes() {
+        // Mirrors the committed BENCH_sim.json group structure: the full
+        // integration test over the real file lives in tests/obs.rs.
+        let mut latest_full = entry("full", 1, 153.61);
+        latest_full.observer_overhead = Some(0.0);
+        let entries = [
+            entry("full", 1, 17.48),
+            entry("quick", 1, 82.87),
+            entry("full", 1, 153.32),
+            entry("quick", 1, 808.32),
+            entry("quick", 1, 822.99),
+            latest_full,
+        ];
+        let lines = check_trajectory(&entries).unwrap();
+        assert!(lines.iter().any(|l| l.contains("(full, jobs 1)")));
+        assert!(lines.iter().any(|l| l.contains("(quick, jobs 1)")));
+    }
+}

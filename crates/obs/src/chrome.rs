@@ -1,0 +1,228 @@
+//! Chrome trace-event JSON export (loads in Perfetto and
+//! `chrome://tracing`).
+//!
+//! The output is the JSON-object form of the trace-event format: a
+//! `traceEvents` array of duration events (`ph: "B"` / `ph: "E"`) plus
+//! `thread_name` metadata events, one `tid` per recorder track — i.e.
+//! one Perfetto track per thread, and therefore one per sweep worker.
+
+use crate::recorder::TraceRecorder;
+use serde::Value;
+use std::collections::BTreeMap;
+
+fn obj(entries: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        entries
+            .into_iter()
+            .map(|(k, v)| (k.to_owned(), v))
+            .collect(),
+    )
+}
+
+/// Renders the recorder's event log as trace-event JSON.
+///
+/// Metadata (`ph: "M"`) events naming each track come first, followed
+/// by every span edge in recorded — hence timestamp — order.
+pub fn render_chrome_trace(recorder: &TraceRecorder) -> String {
+    let mut events = Vec::new();
+    for (track, label) in recorder.tracks() {
+        events.push(obj(vec![
+            ("name", Value::Str("thread_name".to_owned())),
+            ("ph", Value::Str("M".to_owned())),
+            ("pid", Value::UInt(1)),
+            ("tid", Value::UInt(track)),
+            ("args", obj(vec![("name", Value::Str(label))])),
+        ]));
+    }
+    for event in recorder.events() {
+        events.push(obj(vec![
+            ("name", Value::Str(event.name)),
+            (
+                "ph",
+                Value::Str(if event.begin { "B" } else { "E" }.to_owned()),
+            ),
+            ("ts", Value::UInt(event.ts_us)),
+            ("pid", Value::UInt(1)),
+            ("tid", Value::UInt(event.track)),
+        ]));
+    }
+    let root = obj(vec![
+        ("displayTimeUnit", Value::Str("ms".to_owned())),
+        ("traceEvents", Value::Array(events)),
+    ]);
+    serde_json::to_string(&root).expect("chrome trace serialization")
+}
+
+/// Summary returned by a successful [`validate_chrome_trace`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChromeTraceStats {
+    /// Complete `B`/`E` span pairs in the trace.
+    pub spans: usize,
+    /// Distinct `tid` values carrying span events.
+    pub tracks: usize,
+}
+
+fn as_u64(value: &Value) -> Option<u64> {
+    match value {
+        Value::UInt(n) => Some(*n),
+        _ => None,
+    }
+}
+
+fn as_str(value: &Value) -> Option<&str> {
+    match value {
+        Value::Str(s) => Some(s),
+        _ => None,
+    }
+}
+
+/// Schema-checks a trace-event JSON document.
+///
+/// Verifies that the text parses, that `traceEvents` is present, that
+/// every span event carries `name`/`ts`/`pid`/`tid`, that timestamps
+/// are globally nondecreasing, and that `B`/`E` events form matched,
+/// properly nested pairs per track (stack discipline, nothing left
+/// open at the end).
+///
+/// # Errors
+///
+/// Returns a description of the first violation found.
+pub fn validate_chrome_trace(text: &str) -> Result<ChromeTraceStats, String> {
+    let root: Value = serde_json::from_str(text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let events = match root.get("traceEvents") {
+        Some(Value::Array(events)) => events,
+        Some(other) => return Err(format!("traceEvents is {}, not array", other.kind())),
+        None => return Err("missing traceEvents".to_owned()),
+    };
+    let mut stacks: BTreeMap<u64, Vec<String>> = BTreeMap::new();
+    let mut spans = 0usize;
+    let mut last_ts = 0u64;
+    for (i, event) in events.iter().enumerate() {
+        let ph = event
+            .get("ph")
+            .and_then(as_str)
+            .ok_or_else(|| format!("event {i}: missing ph"))?;
+        match ph {
+            "M" => continue,
+            "B" | "E" => {}
+            other => return Err(format!("event {i}: unexpected ph {other:?}")),
+        }
+        let name = event
+            .get("name")
+            .and_then(as_str)
+            .ok_or_else(|| format!("event {i}: missing name"))?;
+        let ts = event
+            .get("ts")
+            .and_then(as_u64)
+            .ok_or_else(|| format!("event {i}: missing ts"))?;
+        let tid = event
+            .get("tid")
+            .and_then(as_u64)
+            .ok_or_else(|| format!("event {i}: missing tid"))?;
+        if event.get("pid").and_then(as_u64).is_none() {
+            return Err(format!("event {i}: missing pid"));
+        }
+        if ts < last_ts {
+            return Err(format!(
+                "event {i}: ts {ts} goes backwards (previous {last_ts})"
+            ));
+        }
+        last_ts = ts;
+        let stack = stacks.entry(tid).or_default();
+        if ph == "B" {
+            stack.push(name.to_owned());
+        } else {
+            match stack.pop() {
+                Some(open) if open == name => spans += 1,
+                Some(open) => {
+                    return Err(format!(
+                        "event {i}: E {name:?} closes open span {open:?} on tid {tid}"
+                    ))
+                }
+                None => {
+                    return Err(format!(
+                        "event {i}: E {name:?} with no open span on tid {tid}"
+                    ))
+                }
+            }
+        }
+    }
+    for (tid, stack) in &stacks {
+        if let Some(open) = stack.last() {
+            return Err(format!("span {open:?} left open on tid {tid}"));
+        }
+    }
+    let tracks = stacks.len();
+    Ok(ChromeTraceStats { spans, tracks })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{span, PipelineObserver};
+
+    #[test]
+    fn rendered_trace_validates() {
+        let recorder = TraceRecorder::new();
+        recorder.thread_label("main");
+        {
+            let _sweep = span(&recorder, "sweep");
+            let _cell = span(&recorder, "cell:mozilla×PCAP");
+        }
+        let text = render_chrome_trace(&recorder);
+        let stats = validate_chrome_trace(&text).expect("valid trace");
+        assert_eq!(stats.spans, 2);
+        assert_eq!(stats.tracks, 1);
+        assert!(text.contains("\"thread_name\""));
+        assert!(text.contains("cell:mozilla×PCAP"));
+    }
+
+    #[test]
+    fn validator_rejects_broken_traces() {
+        assert!(validate_chrome_trace("not json").is_err());
+        assert!(validate_chrome_trace("{}")
+            .unwrap_err()
+            .contains("traceEvents"));
+        // Unmatched E.
+        let text = r#"{"traceEvents":[{"name":"x","ph":"E","ts":1,"pid":1,"tid":0}]}"#;
+        assert!(validate_chrome_trace(text)
+            .unwrap_err()
+            .contains("no open span"));
+        // Mismatched close.
+        let text = r#"{"traceEvents":[
+            {"name":"a","ph":"B","ts":1,"pid":1,"tid":0},
+            {"name":"b","ph":"E","ts":2,"pid":1,"tid":0}]}"#;
+        assert!(validate_chrome_trace(text)
+            .unwrap_err()
+            .contains("closes open span"));
+        // Left open.
+        let text = r#"{"traceEvents":[{"name":"a","ph":"B","ts":1,"pid":1,"tid":0}]}"#;
+        assert!(validate_chrome_trace(text)
+            .unwrap_err()
+            .contains("left open"));
+        // Backwards timestamps.
+        let text = r#"{"traceEvents":[
+            {"name":"a","ph":"B","ts":5,"pid":1,"tid":0},
+            {"name":"a","ph":"E","ts":4,"pid":1,"tid":0}]}"#;
+        assert!(validate_chrome_trace(text)
+            .unwrap_err()
+            .contains("backwards"));
+    }
+
+    #[test]
+    fn per_worker_tracks_appear_in_trace() {
+        let recorder = TraceRecorder::new();
+        std::thread::scope(|scope| {
+            for i in 0..4 {
+                let recorder = &recorder;
+                scope.spawn(move || {
+                    recorder.thread_label(&format!("worker {i}"));
+                    let _task = span(recorder, "cell:x");
+                });
+            }
+        });
+        let stats = validate_chrome_trace(&render_chrome_trace(&recorder)).unwrap();
+        assert_eq!(stats.tracks, 4);
+        assert_eq!(stats.spans, 4);
+    }
+}

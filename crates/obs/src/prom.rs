@@ -1,0 +1,312 @@
+//! Prometheus text-exposition export of the recorder's counter and
+//! histogram registry, plus a line-format validator.
+//!
+//! Counters become `pcap_<name>_total`, histograms become cumulative
+//! `le`-bucketed `pcap_<name>` series (reusing the [`LogHistogram`]
+//! log₂ buckets, so `le` bounds are `2^k − 1` microseconds) with the
+//! standard `_sum`/`_count` companions, and per-worker telemetry
+//! becomes labelled gauges.
+
+use crate::recorder::TraceRecorder;
+use crate::LogHistogram;
+use std::fmt::Write as _;
+
+fn escape_label(value: &str) -> String {
+    value
+        .replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Renders the recorder's registry in Prometheus text exposition
+/// format (version 0.0.4).
+pub fn render_prometheus(recorder: &TraceRecorder) -> String {
+    let mut out = String::new();
+    for (name, value) in recorder.counters() {
+        let _ = writeln!(out, "# TYPE pcap_{name}_total counter");
+        let _ = writeln!(out, "pcap_{name}_total {value}");
+    }
+    for (name, (histogram, sum)) in recorder.histograms() {
+        let _ = writeln!(out, "# TYPE pcap_{name} histogram");
+        let mut cumulative = 0u64;
+        for (k, count) in histogram.counts().iter().enumerate() {
+            cumulative += count;
+            if k < 31 {
+                let (_, hi) = LogHistogram::bucket_bounds(k);
+                let _ = writeln!(out, "pcap_{name}_bucket{{le=\"{}\"}} {cumulative}", hi - 1);
+            } else {
+                let _ = writeln!(out, "pcap_{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+            }
+        }
+        let _ = writeln!(out, "pcap_{name}_sum {sum}");
+        let _ = writeln!(out, "pcap_{name}_count {}", histogram.total());
+    }
+    let workers = recorder.workers();
+    if !workers.is_empty() {
+        for (metric, ty) in [
+            ("pcap_worker_tasks", "gauge"),
+            ("pcap_worker_busy_us", "gauge"),
+            ("pcap_worker_wait_us", "gauge"),
+        ] {
+            let _ = writeln!(out, "# TYPE {metric} {ty}");
+            for w in &workers {
+                let value = match metric {
+                    "pcap_worker_tasks" => w.tasks,
+                    "pcap_worker_busy_us" => w.busy_us,
+                    _ => w.wait_us(),
+                };
+                let _ = writeln!(
+                    out,
+                    "{metric}{{scope=\"{}\",worker=\"{}\"}} {value}",
+                    escape_label(&w.scope),
+                    w.worker
+                );
+            }
+        }
+    }
+    if let Some(slowest) = recorder.slowest() {
+        let _ = writeln!(out, "# TYPE pcap_slowest_task_us gauge");
+        let _ = writeln!(
+            out,
+            "pcap_slowest_task_us{{task=\"{}\"}} {}",
+            escape_label(&slowest.label),
+            slowest.micros
+        );
+    }
+    out
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Splits `name{labels}` into the metric name and the optional label
+/// body, validating label syntax (`key="value"` pairs, escaped values).
+fn split_series(series: &str) -> Result<(&str, Option<&str>), String> {
+    match series.find('{') {
+        None => Ok((series, None)),
+        Some(open) => {
+            let name = &series[..open];
+            let rest = &series[open + 1..];
+            let close = rest
+                .rfind('}')
+                .ok_or_else(|| format!("unclosed label braces in {series:?}"))?;
+            if close != rest.len() - 1 {
+                return Err(format!("trailing text after labels in {series:?}"));
+            }
+            Ok((name, Some(&rest[..close])))
+        }
+    }
+}
+
+fn validate_labels(body: &str) -> Result<(), String> {
+    // Walk `key="value"` pairs; values may contain escaped quotes.
+    let mut rest = body;
+    loop {
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| format!("label without '=' in {body:?}"))?;
+        let key = &rest[..eq];
+        if !valid_metric_name(key) {
+            return Err(format!("bad label name {key:?}"));
+        }
+        let after = &rest[eq + 1..];
+        if !after.starts_with('"') {
+            return Err(format!("label {key:?} value is not quoted"));
+        }
+        let mut end = None;
+        let bytes = after.as_bytes();
+        let mut i = 1;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'\\' => i += 2,
+                b'"' => {
+                    end = Some(i);
+                    break;
+                }
+                _ => i += 1,
+            }
+        }
+        let end = end.ok_or_else(|| format!("unterminated label value in {body:?}"))?;
+        rest = &after[end + 1..];
+        if rest.is_empty() {
+            return Ok(());
+        }
+        rest = rest
+            .strip_prefix(',')
+            .ok_or_else(|| format!("expected ',' between labels in {body:?}"))?;
+    }
+}
+
+fn label_value<'a>(body: &'a str, key: &str) -> Option<&'a str> {
+    let marker = format!("{key}=\"");
+    let start = body.find(&marker)? + marker.len();
+    let rest = &body[start..];
+    Some(&rest[..rest.find('"')?])
+}
+
+/// Validates Prometheus text exposition format line by line, plus
+/// histogram consistency: each `*_bucket` family must be cumulative
+/// (nondecreasing), end with `le="+Inf"`, and agree with its `_count`.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed line or inconsistent
+/// histogram family.
+///
+/// Returns the number of samples (non-comment lines) on success.
+pub fn validate_prometheus(text: &str) -> Result<usize, String> {
+    let mut samples = 0usize;
+    // metric base name → (bucket cumulative counts in order, saw +Inf, +Inf value)
+    let mut families: Vec<(String, Vec<u64>, Option<u64>)> = Vec::new();
+    let mut counts: Vec<(String, u64)> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let n = lineno + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let mut parts = comment.split_whitespace();
+            match parts.next() {
+                Some("TYPE") => {
+                    let name = parts
+                        .next()
+                        .ok_or_else(|| format!("line {n}: TYPE without metric name"))?;
+                    if !valid_metric_name(name) {
+                        return Err(format!("line {n}: bad metric name {name:?}"));
+                    }
+                    match parts.next() {
+                        Some("counter" | "gauge" | "histogram" | "summary" | "untyped") => {}
+                        other => return Err(format!("line {n}: bad TYPE {other:?}")),
+                    }
+                }
+                Some("HELP") | Some("EOF") => {}
+                _ => return Err(format!("line {n}: unrecognized comment {line:?}")),
+            }
+            continue;
+        }
+        let space = line
+            .rfind(' ')
+            .ok_or_else(|| format!("line {n}: no value separator in {line:?}"))?;
+        let (series, value) = (&line[..space], &line[space + 1..]);
+        let numeric = matches!(value, "+Inf" | "-Inf" | "NaN") || value.parse::<f64>().is_ok();
+        if !numeric {
+            return Err(format!("line {n}: bad sample value {value:?}"));
+        }
+        let (name, labels) = split_series(series).map_err(|e| format!("line {n}: {e}"))?;
+        if !valid_metric_name(name) {
+            return Err(format!("line {n}: bad metric name {name:?}"));
+        }
+        if let Some(body) = labels {
+            validate_labels(body).map_err(|e| format!("line {n}: {e}"))?;
+        }
+        samples += 1;
+        if let Some(base) = name.strip_suffix("_bucket") {
+            let le = labels
+                .and_then(|body| label_value(body, "le"))
+                .ok_or_else(|| format!("line {n}: bucket without le label"))?;
+            let cumulative = value
+                .parse::<u64>()
+                .map_err(|_| format!("line {n}: non-integer bucket count {value:?}"))?;
+            let idx = match families.iter().position(|(b, _, _)| b == base) {
+                Some(idx) => idx,
+                None => {
+                    families.push((base.to_owned(), Vec::new(), None));
+                    families.len() - 1
+                }
+            };
+            let family = &mut families[idx];
+            if let Some(prev) = family.1.last() {
+                if cumulative < *prev {
+                    return Err(format!(
+                        "line {n}: bucket counts for {base} not cumulative ({cumulative} < {prev})"
+                    ));
+                }
+            }
+            family.1.push(cumulative);
+            if le == "+Inf" {
+                family.2 = Some(cumulative);
+            }
+        } else if let Some(base) = name.strip_suffix("_count") {
+            if let Ok(total) = value.parse::<u64>() {
+                counts.push((base.to_owned(), total));
+            }
+        }
+    }
+    for (base, _, inf) in &families {
+        let inf = inf.ok_or_else(|| format!("histogram {base} missing le=\"+Inf\" bucket"))?;
+        if let Some((_, total)) = counts.iter().find(|(b, _)| b == base) {
+            if inf != *total {
+                return Err(format!(
+                    "histogram {base}: +Inf bucket {inf} != _count {total}"
+                ));
+            }
+        }
+    }
+    Ok(samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PipelineObserver, WorkerStats};
+
+    #[test]
+    fn rendered_exposition_validates() {
+        let recorder = TraceRecorder::new();
+        recorder.counter_add("runs", 5);
+        recorder.observe_us("prepare_us", 3);
+        recorder.observe_us("prepare_us", 900);
+        recorder.task_done("cell:mozilla×PCAP", 120);
+        recorder.worker_done(WorkerStats {
+            scope: "warm_up".to_owned(),
+            worker: 0,
+            tasks: 1,
+            busy_us: 120,
+            elapsed_us: 130,
+        });
+        let text = render_prometheus(&recorder);
+        let samples = validate_prometheus(&text).expect("valid exposition");
+        assert!(samples > 40, "two histograms plus counters: {samples}");
+        assert!(text.contains("pcap_runs_total 5"));
+        assert!(text.contains("# TYPE pcap_prepare_us histogram"));
+        assert!(text.contains("pcap_prepare_us_count 2"));
+        assert!(text.contains("pcap_prepare_us_sum 903"));
+        assert!(text.contains("pcap_worker_wait_us{scope=\"warm_up\",worker=\"0\"} 10"));
+        assert!(text.contains("pcap_slowest_task_us{task=\"cell:mozilla×PCAP\"} 120"));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_lines() {
+        assert!(validate_prometheus("metric").is_err());
+        assert!(validate_prometheus("1metric 2").is_err());
+        assert!(validate_prometheus("metric notanumber").is_err());
+        assert!(validate_prometheus("metric{le=\"unterminated} 1").is_err());
+        assert!(validate_prometheus("# BOGUS comment").is_err());
+        // Non-cumulative buckets.
+        let text = "m_bucket{le=\"1\"} 5\nm_bucket{le=\"+Inf\"} 3\n";
+        assert!(validate_prometheus(text)
+            .unwrap_err()
+            .contains("not cumulative"));
+        // +Inf disagrees with _count.
+        let text = "m_bucket{le=\"+Inf\"} 3\nm_count 4\n";
+        assert!(validate_prometheus(text).unwrap_err().contains("!= _count"));
+        // Missing +Inf bucket entirely.
+        let text = "m_bucket{le=\"1\"} 3\n";
+        assert!(validate_prometheus(text).unwrap_err().contains("+Inf"));
+    }
+
+    #[test]
+    fn label_escaping_round_trips() {
+        let recorder = TraceRecorder::new();
+        recorder.task_done("cell:\"quoted\"\\path", 7);
+        let text = render_prometheus(&recorder);
+        validate_prometheus(&text).expect("escaped labels still validate");
+        assert!(text.contains("task=\"cell:\\\"quoted\\\"\\\\path\""));
+    }
+}

@@ -1,0 +1,262 @@
+//! Flat, terminal-friendly views of a recorded trace: a per-stage
+//! duration table and a per-worker utilization table with imbalance
+//! attribution.
+
+use crate::recorder::{SlowestTask, TraceEvent};
+use crate::WorkerStats;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Aggregated durations for one pipeline stage (the span-name prefix
+/// before the first `:`, so `cell:mozilla×PCAP` folds into `cell`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageStat {
+    /// Stage name.
+    pub stage: String,
+    /// Completed spans in the stage.
+    pub count: u64,
+    /// Summed span duration.
+    pub total_us: u64,
+    /// Longest single span.
+    pub max_us: u64,
+}
+
+impl StageStat {
+    /// Mean span duration in microseconds.
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_us as f64 / self.count as f64
+        }
+    }
+}
+
+fn stage_of(name: &str) -> &str {
+    name.split(':').next().unwrap_or(name)
+}
+
+/// Folds a span-event log into per-stage statistics by matching `B`/`E`
+/// pairs per track, sorted by total time descending (name as the tie
+/// break, so output is deterministic).
+pub fn stage_summary(events: &[TraceEvent]) -> Vec<StageStat> {
+    let mut stacks: BTreeMap<u64, Vec<(&str, u64)>> = BTreeMap::new();
+    let mut stages: BTreeMap<&str, (u64, u64, u64)> = BTreeMap::new();
+    for event in events {
+        let stack = stacks.entry(event.track).or_default();
+        if event.begin {
+            stack.push((&event.name, event.ts_us));
+        } else if let Some((name, begin_ts)) = stack.pop() {
+            debug_assert_eq!(name, event.name, "span discipline violated");
+            let duration = event.ts_us.saturating_sub(begin_ts);
+            let entry = stages.entry(stage_of(name)).or_insert((0, 0, 0));
+            entry.0 += 1;
+            entry.1 += duration;
+            entry.2 = entry.2.max(duration);
+        }
+    }
+    let mut stats: Vec<StageStat> = stages
+        .into_iter()
+        .map(|(stage, (count, total_us, max_us))| StageStat {
+            stage: stage.to_owned(),
+            count,
+            total_us,
+            max_us,
+        })
+        .collect();
+    stats.sort_by(|a, b| b.total_us.cmp(&a.total_us).then(a.stage.cmp(&b.stage)));
+    stats
+}
+
+fn ms(us: u64) -> f64 {
+    us as f64 / 1e3
+}
+
+/// Renders a [`stage_summary`] as an aligned text table.
+pub fn render_stage_table(stats: &[StageStat]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<14} {:>7} {:>12} {:>12} {:>12}",
+        "stage", "count", "total ms", "mean ms", "max ms"
+    );
+    for s in stats {
+        let _ = writeln!(
+            out,
+            "{:<14} {:>7} {:>12.3} {:>12.3} {:>12.3}",
+            s.stage,
+            s.count,
+            ms(s.total_us),
+            s.mean_us() / 1e3,
+            ms(s.max_us)
+        );
+    }
+    out
+}
+
+/// Busy-time imbalance across one scope's workers: max busy over mean
+/// busy. 1.0 is a perfectly balanced shard; the higher the ratio, the
+/// more one straggler worker dominated the scope's wall clock.
+pub fn imbalance_ratio(workers: &[WorkerStats]) -> f64 {
+    if workers.is_empty() {
+        return 1.0;
+    }
+    let max = workers.iter().map(|w| w.busy_us).max().unwrap_or(0);
+    let mean = workers.iter().map(|w| w.busy_us).sum::<u64>() as f64 / workers.len() as f64;
+    if mean == 0.0 {
+        1.0
+    } else {
+        max as f64 / mean
+    }
+}
+
+/// Renders per-worker telemetry grouped by runner scope, with an
+/// imbalance line per scope and optional slowest-task attribution.
+pub fn worker_summary(workers: &[WorkerStats], slowest: Option<&SlowestTask>) -> String {
+    let mut out = String::new();
+    let mut scopes: Vec<&str> = Vec::new();
+    for w in workers {
+        if !scopes.contains(&w.scope.as_str()) {
+            scopes.push(&w.scope);
+        }
+    }
+    for scope in scopes {
+        let mut group: Vec<&WorkerStats> = workers.iter().filter(|w| w.scope == scope).collect();
+        group.sort_by_key(|w| w.worker);
+        let max_busy = group.iter().map(|w| w.busy_us).max().unwrap_or(0);
+        let mean_busy =
+            group.iter().map(|w| w.busy_us).sum::<u64>() as f64 / group.len().max(1) as f64;
+        let ratio = if mean_busy == 0.0 {
+            1.0
+        } else {
+            max_busy as f64 / mean_busy
+        };
+        let _ = writeln!(
+            out,
+            "{scope}: {} worker(s), imbalance {ratio:.2}",
+            group.len(),
+        );
+        for w in group {
+            let share = if w.elapsed_us == 0 {
+                0.0
+            } else {
+                100.0 * w.busy_us as f64 / w.elapsed_us as f64
+            };
+            let _ = writeln!(
+                out,
+                "  worker {:>2}: {:>5} tasks, busy {:>10.3} ms, wait {:>10.3} ms ({share:>5.1}% busy)",
+                w.worker,
+                w.tasks,
+                ms(w.busy_us),
+                ms(w.wait_us()),
+            );
+        }
+    }
+    if let Some(slowest) = slowest {
+        let _ = writeln!(
+            out,
+            "slowest task: {} ({:.3} ms, track {})",
+            slowest.label,
+            ms(slowest.micros),
+            slowest.track
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(name: &str, begin: bool, ts_us: u64, track: u64) -> TraceEvent {
+        TraceEvent {
+            name: name.to_owned(),
+            begin,
+            ts_us,
+            track,
+        }
+    }
+
+    #[test]
+    fn stage_summary_folds_by_prefix_and_sorts_by_total() {
+        let events = vec![
+            event("sweep", true, 0, 0),
+            event("cell:a×TP", true, 10, 0),
+            event("cell:a×TP", false, 30, 0),
+            event("cell:b×PCAP", true, 30, 0),
+            event("cell:b×PCAP", false, 90, 0),
+            event("sweep", false, 100, 0),
+        ];
+        let stats = stage_summary(&events);
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].stage, "sweep");
+        assert_eq!(stats[0].total_us, 100);
+        assert_eq!(stats[1].stage, "cell");
+        assert_eq!(stats[1].count, 2);
+        assert_eq!(stats[1].total_us, 80);
+        assert_eq!(stats[1].max_us, 60);
+        assert_eq!(stats[1].mean_us(), 40.0);
+        let table = render_stage_table(&stats);
+        assert!(table.contains("sweep"));
+        assert!(table.contains("cell"));
+    }
+
+    #[test]
+    fn stage_summary_keeps_tracks_independent() {
+        // Interleaved across tracks: same name open on two tracks at once.
+        let events = vec![
+            event("cell:a", true, 0, 0),
+            event("cell:b", true, 5, 1),
+            event("cell:a", false, 10, 0),
+            event("cell:b", false, 25, 1),
+        ];
+        let stats = stage_summary(&events);
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].count, 2);
+        assert_eq!(stats[0].total_us, 30);
+        assert_eq!(stats[0].max_us, 20);
+    }
+
+    fn worker(scope: &str, worker: usize, busy_us: u64, elapsed_us: u64) -> WorkerStats {
+        WorkerStats {
+            scope: scope.to_owned(),
+            worker,
+            tasks: 1,
+            busy_us,
+            elapsed_us,
+        }
+    }
+
+    #[test]
+    fn imbalance_ratio_flags_stragglers() {
+        assert_eq!(imbalance_ratio(&[]), 1.0);
+        let balanced = [worker("s", 0, 100, 110), worker("s", 1, 100, 110)];
+        assert!((imbalance_ratio(&balanced) - 1.0).abs() < 1e-9);
+        let skewed = [worker("s", 0, 300, 310), worker("s", 1, 100, 310)];
+        assert!((imbalance_ratio(&skewed) - 1.5).abs() < 1e-9);
+        let idle = [worker("s", 0, 0, 10)];
+        assert_eq!(imbalance_ratio(&idle), 1.0, "all-idle scope is not skewed");
+    }
+
+    #[test]
+    fn worker_summary_groups_by_scope() {
+        let workers = vec![
+            worker("warm_up", 1, 50, 100),
+            worker("warm_up", 0, 100, 100),
+            worker("sweep", 0, 10, 20),
+        ];
+        let slowest = SlowestTask {
+            label: "cell:mozilla×PCAP".to_owned(),
+            micros: 900,
+            track: 3,
+        };
+        let text = worker_summary(&workers, Some(&slowest));
+        assert!(text.contains("warm_up: 2 worker(s)"));
+        assert!(text.contains("sweep: 1 worker(s)"));
+        assert!(text.contains("slowest task: cell:mozilla×PCAP"));
+        // Workers listed in index order despite exit order.
+        let w0 = text.find("worker  0").unwrap();
+        let w1 = text.find("worker  1").unwrap();
+        assert!(w0 < w1);
+    }
+}

@@ -21,6 +21,7 @@ pub mod audit;
 pub mod chart;
 pub mod experiments;
 pub mod paper;
+pub mod profiling;
 pub mod snapshot;
 pub mod sweep;
 pub mod tables;
@@ -29,7 +30,10 @@ pub mod workbench;
 pub use audit::{audit_app, audit_tables, explain_tables};
 pub use chart::{figure_chart, Figure};
 pub use experiments::Experiment;
-pub use snapshot::{snapshot_files, verify_snapshot, write_snapshot, Drift, GOLDEN_SEED};
-pub use sweep::{run_sweep, sweep_table, SWEEP_KINDS};
+pub use profiling::{profile_pipeline, ProfileSummary};
+pub use snapshot::{
+    snapshot_files, snapshot_files_observed, verify_snapshot, write_snapshot, Drift, GOLDEN_SEED,
+};
+pub use sweep::{run_sweep, run_sweep_observed, sweep_table, SWEEP_KINDS};
 pub use tables::Table;
 pub use workbench::{Workbench, GRID_KINDS};

@@ -16,6 +16,7 @@
 use crate::audit::{audit_app, audit_snapshot_csv, golden_jsonl};
 use crate::experiments::Experiment;
 use crate::workbench::{Workbench, GRID_KINDS};
+use pcap_obs::{NullPipeline, PipelineObserver};
 use pcap_sim::PowerManagerKind;
 use std::fmt;
 use std::fs;
@@ -65,41 +66,86 @@ impl fmt::Display for Drift {
 /// pairs in canonical order: per-app per-manager report JSON under
 /// `reports/`, then per-experiment CSV under `tables/`.
 pub fn snapshot_files(bench: &Workbench) -> Vec<(String, String)> {
+    snapshot_files_observed(bench, &NullPipeline)
+}
+
+/// Renders one snapshot file inside a `render:{path}` span, counting
+/// it on the `files_rendered` counter. Compiles down to the bare
+/// closure call when the observer is disabled.
+fn render_file<P, F>(pipeline: &P, path: String, body: F) -> (String, String)
+where
+    P: PipelineObserver,
+    F: FnOnce() -> String,
+{
+    if P::ENABLED {
+        let name = format!("render:{path}");
+        pipeline.span_begin(&name);
+        let contents = body();
+        pipeline.span_end(&name);
+        pipeline.counter_add("files_rendered", 1);
+        return (path, contents);
+    }
+    (path, body())
+}
+
+/// [`snapshot_files`] with a [`PipelineObserver`] attached: every
+/// rendered file gets a `render:{path}` span (report serialization,
+/// experiment tables, audit logs), so `pcap profile` attributes report
+/// time per artifact.
+pub fn snapshot_files_observed<P: PipelineObserver>(
+    bench: &Workbench,
+    pipeline: &P,
+) -> Vec<(String, String)> {
     let mut files = Vec::new();
     for (trace_idx, trace) in bench.traces().iter().enumerate() {
         for kind in GRID_KINDS {
-            let report = bench.report(trace_idx, kind);
-            let mut body = serde_json::to_string_pretty(&report).expect("reports always serialize");
-            body.push('\n');
-            files.push((
+            files.push(render_file(
+                pipeline,
                 format!("reports/{}.{}.json", slug(&trace.app), slug(&kind.label())),
-                body,
+                || {
+                    let report = bench.report(trace_idx, kind);
+                    let mut body =
+                        serde_json::to_string_pretty(&report).expect("reports always serialize");
+                    body.push('\n');
+                    body
+                },
             ));
         }
     }
     for experiment in Experiment::ALL {
-        let tables = experiment.run(bench);
-        let mut body = String::new();
-        for (i, table) in tables.iter().enumerate() {
-            if i > 0 {
-                body.push('\n');
-            }
-            body.push_str(&format!("# {}\n", table.title));
-            body.push_str(&table.to_csv());
-        }
-        files.push((format!("tables/{}.csv", experiment.name()), body));
+        files.push(render_file(
+            pipeline,
+            format!("tables/{}.csv", experiment.name()),
+            || {
+                let tables = experiment.run(bench);
+                let mut body = String::new();
+                for (i, table) in tables.iter().enumerate() {
+                    if i > 0 {
+                        body.push('\n');
+                    }
+                    body.push_str(&format!("# {}\n", table.title));
+                    body.push_str(&table.to_csv());
+                }
+                body
+            },
+        ));
     }
     // Decision-audit section: per-app audit CSV under the base PCAP
     // manager, plus the full (Short-filtered) decision log for nedit —
     // the one app small enough to keep line-by-line (DESIGN.md §8).
     for (trace_idx, trace) in bench.traces().iter().enumerate() {
         let outcome = audit_app(bench, trace_idx, PowerManagerKind::PCAP);
-        files.push((
+        files.push(render_file(
+            pipeline,
             format!("audit/{}.csv", slug(&trace.app)),
-            audit_snapshot_csv(&outcome),
+            || audit_snapshot_csv(&outcome),
         ));
         if &*trace.app == "nedit" {
-            files.push(("audit/nedit.jsonl".to_owned(), golden_jsonl(&outcome)));
+            files.push(render_file(
+                pipeline,
+                "audit/nedit.jsonl".to_owned(),
+                || golden_jsonl(&outcome),
+            ));
         }
     }
     files

@@ -14,7 +14,8 @@
 
 use crate::tables::{pct1, Table};
 use crate::workbench::Workbench;
-use pcap_sim::{evaluate_prepared, PowerManagerKind, SeedStat, SimConfig, SweepRunner};
+use pcap_obs::{NullPipeline, PipelineObserver};
+use pcap_sim::{evaluate_prepared_traced, PowerManagerKind, SeedStat, SimConfig, SweepRunner};
 use pcap_trace::TraceError;
 use pcap_workload::{AppModel, PaperApp};
 
@@ -40,6 +41,26 @@ pub fn run_sweep(
     kinds: &[PowerManagerKind],
     jobs: usize,
 ) -> Result<Vec<(u64, Workbench)>, TraceError> {
+    run_sweep_observed(seeds, config, kinds, jobs, &NullPipeline)
+}
+
+/// [`run_sweep`] with a [`pcap_obs::PipelineObserver`] attached: trace
+/// generation runs on a `"generate"` runner scope
+/// (`generate:{app}@{seed}` spans), each per-seed grid on a `"sweep"`
+/// scope (`cell:{app}×{manager}@{seed}` spans, with the engine's
+/// nested `eval` span inside), and memo insertions feed the
+/// `memo_prime` counter.
+///
+/// # Errors
+///
+/// Propagates trace-validation failures from the workload generator.
+pub fn run_sweep_observed<P: PipelineObserver>(
+    seeds: &[u64],
+    config: &SimConfig,
+    kinds: &[PowerManagerKind],
+    jobs: usize,
+    pipeline: &P,
+) -> Result<Vec<(u64, Workbench)>, TraceError> {
     let runner = SweepRunner::new(jobs);
     let apps = PaperApp::ALL;
 
@@ -50,9 +71,13 @@ pub fn run_sweep(
         .flat_map(|&seed| apps.iter().map(move |&app| (seed, app)))
         .collect();
     let traces = runner
-        .run(&generation_tasks, |_, &(seed, app)| {
-            app.spec().generate_trace(seed)
-        })
+        .run_observed(
+            "generate",
+            &generation_tasks,
+            |_, &(seed, app)| app.spec().generate_trace(seed),
+            |_, &(seed, app)| format!("generate:{}@{seed}", app.name()),
+            pipeline,
+        )
         .into_iter()
         .collect::<Result<Vec<_>, _>>()?;
     let mut traces = traces.into_iter();
@@ -75,16 +100,28 @@ pub fn run_sweep(
     // experiments (Table 1 profiles, on-demand cells, predictor-only
     // ablations) reuse them instead of re-preparing — then the whole
     // kind grid simulates against those shared preparations.
-    for (_, bench) in &benches {
-        bench.prepare_all(jobs);
+    for (seed, bench) in &benches {
+        bench.prepare_all_observed(jobs, pipeline);
         let simulation_tasks: Vec<(usize, PowerManagerKind)> = (0..apps.len())
             .flat_map(|trace_idx| kinds.iter().map(move |&kind| (trace_idx, kind)))
             .collect();
-        let reports = runner.run(&simulation_tasks, |_, &(trace_idx, kind)| {
-            evaluate_prepared(bench.prepared(trace_idx), config, kind)
-        });
+        let reports = runner.run_observed(
+            "sweep",
+            &simulation_tasks,
+            |_, &(trace_idx, kind)| {
+                evaluate_prepared_traced(bench.prepared(trace_idx), config, kind, pipeline)
+            },
+            |_, &(trace_idx, kind)| {
+                format!(
+                    "cell:{}×{}@{seed}",
+                    bench.traces()[trace_idx].app,
+                    kind.label()
+                )
+            },
+            pipeline,
+        );
         for (&(trace_idx, kind), report) in simulation_tasks.iter().zip(reports) {
-            bench.prime(trace_idx, kind, report);
+            bench.prime_observed(trace_idx, kind, report, pipeline);
         }
     }
     Ok(benches)

@@ -166,66 +166,10 @@ impl DecisionObserver for NullObserver {
     fn on_decision(&mut self, _record: DecisionRecord, _energy: &GapEnergy) {}
 }
 
-/// A fixed-size histogram over `log2` buckets of microsecond values.
-///
-/// Bucket 0 holds exact zeros; bucket `k` (1 ≤ k ≤ 31) holds values in
-/// `[2^(k-1), 2^k)` microseconds, with everything ≥ 2³⁰ µs (~18 min)
-/// clamped into the last bucket. Fixed arrays keep the audit hot path
-/// allocation-free.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct LogHistogram {
-    counts: [u64; 32],
-}
-
-impl LogHistogram {
-    /// An empty histogram.
-    pub fn new() -> LogHistogram {
-        LogHistogram { counts: [0; 32] }
-    }
-
-    /// The bucket index a value falls into.
-    pub fn bucket_of(value: u64) -> usize {
-        if value == 0 {
-            0
-        } else {
-            (64 - value.leading_zeros() as usize).min(31)
-        }
-    }
-
-    /// Microsecond bounds of bucket `index`: inclusive-exclusive for
-    /// buckets 0–30, inclusive-*inclusive* for the clamp bucket 31,
-    /// whose upper bound is `u64::MAX` (a `1 << 31`-style exclusive
-    /// bound would be wrong: every value ≥ 2³⁰ µs lands there,
-    /// including `u64::MAX` itself).
-    pub fn bucket_bounds(index: usize) -> (u64, u64) {
-        match index {
-            0 => (0, 1),
-            31 => (1 << 30, u64::MAX),
-            k => (1 << (k - 1), 1 << k),
-        }
-    }
-
-    /// Records one value.
-    pub fn record(&mut self, value: u64) {
-        self.counts[Self::bucket_of(value)] += 1;
-    }
-
-    /// Per-bucket counts.
-    pub fn counts(&self) -> &[u64; 32] {
-        &self.counts
-    }
-
-    /// Total recorded values.
-    pub fn total(&self) -> u64 {
-        self.counts.iter().sum()
-    }
-}
-
-impl Default for LogHistogram {
-    fn default() -> Self {
-        LogHistogram::new()
-    }
-}
+// The log₂ histogram moved down into `pcap-obs` (the pipeline tracing
+// registry shares it); re-exported here so audit consumers keep their
+// import path. Its unit tests moved with it.
+pub use pcap_obs::LogHistogram;
 
 /// Aggregate audit metrics: decision counters, the summed per-decision
 /// energy delta, and log-scaled gap/latency histograms.
@@ -447,10 +391,58 @@ pub fn evaluate_prepared_observed<O: DecisionObserver>(
     kind: PowerManagerKind,
     observer: &mut O,
 ) -> AppReport {
+    evaluate_prepared_instrumented(prepared, config, kind, observer, &pcap_obs::NullPipeline)
+}
+
+/// The fully generic evaluation core: a [`DecisionObserver`] for the
+/// per-decision audit stream *and* a [`pcap_obs::PipelineObserver`] for
+/// pipeline-level spans and counters. Both default observers
+/// ([`NullObserver`], [`pcap_obs::NullPipeline`]) compile their
+/// respective layers out, so every wrapper above this function pays
+/// only for the layers it actually attaches.
+///
+/// Pipeline events: one `eval:{app}×{manager}` span around the whole
+/// run loop, one `runs` counter increment per simulated run, and an
+/// `eval_us` histogram sample for the span's duration.
+///
+/// # Panics
+///
+/// Panics if `config` disagrees with the preparation config on cache
+/// or disk parameters (the streams would be stale).
+pub fn evaluate_prepared_instrumented<O, P>(
+    prepared: &PreparedTrace,
+    config: &SimConfig,
+    kind: PowerManagerKind,
+    observer: &mut O,
+    pipeline: &P,
+) -> AppReport
+where
+    O: DecisionObserver,
+    P: pcap_obs::PipelineObserver,
+{
     assert!(
         prepared.matches(config),
         "evaluate_prepared: config changes cache/disk parameters; rebuild the PreparedTrace"
     );
+    if P::ENABLED {
+        let name = format!("eval:{}×{}", prepared.app(), kind.label());
+        let started = std::time::Instant::now();
+        pipeline.span_begin(&name);
+        let report = evaluate_prepared_core(prepared, config, kind, observer);
+        pipeline.span_end(&name);
+        pipeline.observe_us("eval_us", started.elapsed().as_micros() as u64);
+        pipeline.counter_add("runs", prepared.len() as u64);
+        return report;
+    }
+    evaluate_prepared_core(prepared, config, kind, observer)
+}
+
+fn evaluate_prepared_core<O: DecisionObserver>(
+    prepared: &PreparedTrace,
+    config: &SimConfig,
+    kind: PowerManagerKind,
+    observer: &mut O,
+) -> AppReport {
     let mut manager = kind.manager(config);
     let mut report = AppReport {
         app: Arc::clone(prepared.app()),
@@ -533,55 +525,6 @@ mod tests {
                 .then_some(VoteSource::Primary),
             verdict,
             energy_delta_j: delta,
-        }
-    }
-
-    #[test]
-    fn log_histogram_buckets() {
-        assert_eq!(LogHistogram::bucket_of(0), 0);
-        assert_eq!(LogHistogram::bucket_of(1), 1);
-        assert_eq!(LogHistogram::bucket_of(2), 2);
-        assert_eq!(LogHistogram::bucket_of(3), 2);
-        assert_eq!(LogHistogram::bucket_of(4), 3);
-        assert_eq!(LogHistogram::bucket_of(u64::MAX), 31);
-        let mut h = LogHistogram::new();
-        for v in [0, 1, 2, 3, 1_000_000, u64::MAX] {
-            h.record(v);
-        }
-        assert_eq!(h.total(), 6);
-        assert_eq!(h.counts()[0], 1);
-        assert_eq!(h.counts()[2], 2);
-        assert_eq!(h.counts()[31], 1);
-        for k in 0..32 {
-            let (lo, hi) = LogHistogram::bucket_bounds(k);
-            assert!(lo < hi, "bucket {k}");
-            assert_eq!(LogHistogram::bucket_of(lo), k);
-        }
-    }
-
-    /// Pins the full `bucket_of`/`bucket_bounds` round-trip for all 32
-    /// indices: both edges of every bucket map back to it, the clamp
-    /// bucket's upper bound is `u64::MAX` (inclusive — `bucket_of`
-    /// sends `u64::MAX` itself to 31), and consecutive buckets tile the
-    /// u64 range with no gap.
-    #[test]
-    fn log_histogram_bounds_round_trip_for_all_buckets() {
-        for k in 0..32 {
-            let (lo, hi) = LogHistogram::bucket_bounds(k);
-            assert_eq!(LogHistogram::bucket_of(lo), k, "lower edge of {k}");
-            if k < 31 {
-                assert_eq!(LogHistogram::bucket_of(hi - 1), k, "upper edge of {k}");
-                assert_eq!(LogHistogram::bucket_of(hi), k + 1, "first value past {k}");
-                assert_eq!(
-                    LogHistogram::bucket_bounds(k + 1).0,
-                    hi,
-                    "buckets {k},{} must tile",
-                    k + 1
-                );
-            } else {
-                assert_eq!(hi, u64::MAX, "clamp bucket tops out at u64::MAX");
-                assert_eq!(LogHistogram::bucket_of(hi), 31, "inclusive top");
-            }
         }
     }
 

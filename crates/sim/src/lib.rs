@@ -42,9 +42,9 @@ pub mod streams;
 pub mod sweep;
 
 pub use audit::{
-    audit_prepared, evaluate_prepared_observed, records_to_jsonl, AuditCollector, AuditEnergy,
-    AuditOutcome, DecisionObserver, DecisionRecord, GapEnergy, LogHistogram, MetricsObserver,
-    MetricsRegistry, NullObserver,
+    audit_prepared, evaluate_prepared_instrumented, evaluate_prepared_observed, records_to_jsonl,
+    AuditCollector, AuditEnergy, AuditOutcome, DecisionObserver, DecisionRecord, GapEnergy,
+    LogHistogram, MetricsObserver, MetricsRegistry, NullObserver,
 };
 pub use engine::{
     evaluate_app, simulate_run, simulate_run_logged, simulate_run_observed, simulate_run_reusing,
@@ -54,9 +54,10 @@ pub use factory::{Manager, PowerManagerKind};
 pub use metrics::{EnergyBreakdown, PredictionCounts};
 pub use multistate::{
     audit_prepared_multistate, evaluate_prepared_multistate, evaluate_prepared_multistate_observed,
-    simulate_run_multistate, LadderStats, MultiStateOutcome, MultiStateScratch,
+    evaluate_prepared_multistate_traced, simulate_run_multistate, LadderStats, MultiStateOutcome,
+    MultiStateScratch,
 };
-pub use prepared::{evaluate_prepared, PreparedTrace};
+pub use prepared::{evaluate_prepared, evaluate_prepared_traced, PreparedTrace};
 pub use profile::WorkloadProfile;
 pub use streams::{prepare_call_count, Lifetime, RunStreams};
 pub use sweep::{SeedStat, SweepRunner};

@@ -387,6 +387,38 @@ pub fn evaluate_prepared_multistate(
     evaluate_prepared_multistate_observed(prepared, config, kind, ladder, policy, &mut NullObserver)
 }
 
+/// [`evaluate_prepared_multistate`] with a
+/// [`pcap_obs::PipelineObserver`] attached: the evaluation runs inside
+/// an `eval_ms:{app}×{manager}` span (the `eval_ms` stage keeps
+/// multi-state evaluations distinguishable from two-state `eval` spans
+/// in stage summaries), with the same `eval_us`/`runs` registry
+/// updates as the two-state path.
+///
+/// # Panics
+///
+/// Panics if the ladder fails [`MultiStateParams::validate`] or if
+/// `config` disagrees with the preparation config (stale streams).
+pub fn evaluate_prepared_multistate_traced<P: pcap_obs::PipelineObserver>(
+    prepared: &PreparedTrace,
+    config: &SimConfig,
+    kind: PowerManagerKind,
+    ladder: &MultiStateParams,
+    policy: &dyn LadderPolicy,
+    pipeline: &P,
+) -> MultiStateOutcome {
+    if P::ENABLED {
+        let name = format!("eval_ms:{}×{}", prepared.app(), kind.label());
+        let started = std::time::Instant::now();
+        pipeline.span_begin(&name);
+        let outcome = evaluate_prepared_multistate(prepared, config, kind, ladder, policy);
+        pipeline.span_end(&name);
+        pipeline.observe_us("eval_us", started.elapsed().as_micros() as u64);
+        pipeline.counter_add("runs", prepared.len() as u64);
+        return outcome;
+    }
+    evaluate_prepared_multistate(prepared, config, kind, ladder, policy)
+}
+
 /// Audits one manager × ladder × policy: the full decision stream plus
 /// per-decision ladder bottom-outs
 /// ([`AuditOutcome::ladder_bottoms`]), alongside the aggregate stats.

@@ -62,6 +62,32 @@ impl PreparedTrace {
         PreparedTrace::assemble(trace, config, streams)
     }
 
+    /// [`build`](Self::build) with a [`pcap_obs::PipelineObserver`]
+    /// attached: the whole preparation runs inside a `build:{app}`
+    /// span (distinct from the runner-level `prepare:{app}` task span
+    /// that may wrap it, mirroring the `cell:`/`eval:` split), its
+    /// duration feeds the `prepare_us` histogram, and the number of
+    /// prepared runs feeds the `prepared_runs` counter. With
+    /// [`pcap_obs::NullPipeline`] this is exactly
+    /// [`build`](Self::build).
+    pub fn build_traced<P: pcap_obs::PipelineObserver>(
+        trace: &ApplicationTrace,
+        config: &SimConfig,
+        pipeline: &P,
+    ) -> PreparedTrace {
+        if P::ENABLED {
+            let name = format!("build:{}", trace.app);
+            let started = std::time::Instant::now();
+            pipeline.span_begin(&name);
+            let prepared = PreparedTrace::build(trace, config);
+            pipeline.span_end(&name);
+            pipeline.observe_us("prepare_us", started.elapsed().as_micros() as u64);
+            pipeline.counter_add("prepared_runs", prepared.len() as u64);
+            return prepared;
+        }
+        PreparedTrace::build(trace, config)
+    }
+
     fn assemble(
         trace: &ApplicationTrace,
         config: &SimConfig,
@@ -127,6 +153,28 @@ pub fn evaluate_prepared(
     kind: PowerManagerKind,
 ) -> AppReport {
     evaluate_prepared_observed(prepared, config, kind, &mut NullObserver)
+}
+
+/// [`evaluate_prepared`] with a [`pcap_obs::PipelineObserver`] attached
+/// (no decision-level audit): the profiling path of `pcap profile`.
+///
+/// # Panics
+///
+/// Panics if `config` disagrees with the preparation config on cache
+/// or disk parameters (the streams would be stale).
+pub fn evaluate_prepared_traced<P: pcap_obs::PipelineObserver>(
+    prepared: &PreparedTrace,
+    config: &SimConfig,
+    kind: PowerManagerKind,
+    pipeline: &P,
+) -> AppReport {
+    crate::audit::evaluate_prepared_instrumented(
+        prepared,
+        config,
+        kind,
+        &mut NullObserver,
+        pipeline,
+    )
 }
 
 #[cfg(test)]

@@ -8,12 +8,29 @@
 //! function of `(trace, config, kind)` — the engine holds no global
 //! state — which is what makes this safe.
 //!
+//! [`run_observed`](SweepRunner::run_observed) is the same engine with
+//! a [`PipelineObserver`] attached: each worker labels its trace track,
+//! wraps every task in a span, and reports [`WorkerStats`] (tasks
+//! claimed, busy vs queue-wait time) on exit — the raw material for
+//! `pcap profile`'s imbalance and slowest-cell attribution. The plain
+//! [`run`](SweepRunner::run) delegates to it with the compile-out
+//! [`NullPipeline`], so the un-profiled path pays nothing.
+//!
+//! A panic inside a task does not wedge the pool: the panicking worker
+//! stores the payload, every worker drains out via an abort flag, and
+//! the panic resumes on the caller *after* all workers joined — no
+//! partially-initialised result slot is ever read.
+//!
 //! [`SeedStat`] aggregates per-seed metrics (mean/min/max) for the
 //! multi-seed sweep experiment built on top of the runner.
 
+use pcap_obs::{NullPipeline, PipelineObserver, WorkerStats};
 use serde::{Deserialize, Serialize};
 use std::cell::UnsafeCell;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
 
 /// One pre-sized result slot, written lock-free by exactly one worker.
 ///
@@ -62,39 +79,126 @@ impl SweepRunner {
     /// each result into the pre-sized, lock-free slot of its task
     /// index, so the merge is a canonical-order readout with no
     /// per-task lock.
+    ///
+    /// # Panics
+    ///
+    /// If `worker` panics on any task, the panic is propagated on the
+    /// calling thread after every worker has drained and joined.
     pub fn run<T, R, F>(&self, tasks: &[T], worker: F) -> Vec<R>
     where
         T: Sync,
         R: Send,
         F: Fn(usize, &T) -> R + Sync,
     {
+        self.run_observed(
+            "sweep",
+            tasks,
+            worker,
+            |index, _| index.to_string(),
+            &NullPipeline,
+        )
+    }
+
+    /// [`run`](Self::run) with a [`PipelineObserver`] attached.
+    ///
+    /// `scope_name` names the runner scope in worker telemetry and
+    /// thread labels; `label` names each task's span (called only when
+    /// the observer is enabled, so it may allocate freely). With
+    /// [`NullPipeline`] every instrumentation site — including the
+    /// label construction and the two `Instant` reads per task —
+    /// compiles out, and the behaviour is exactly [`run`](Self::run).
+    pub fn run_observed<T, R, F, L, O>(
+        &self,
+        scope_name: &str,
+        tasks: &[T],
+        worker: F,
+        label: L,
+        observer: &O,
+    ) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+        L: Fn(usize, &T) -> String + Sync,
+        O: PipelineObserver,
+    {
         if self.jobs <= 1 || tasks.len() <= 1 {
-            return tasks
-                .iter()
-                .enumerate()
-                .map(|(index, task)| worker(index, task))
-                .collect();
+            return self.run_serial(scope_name, tasks, &worker, &label, observer);
         }
         let cursor = AtomicUsize::new(0);
+        let abort = AtomicBool::new(false);
+        let panic_slot: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
         let slots: Vec<Slot<R>> = tasks.iter().map(|_| Slot(UnsafeCell::new(None))).collect();
         std::thread::scope(|scope| {
-            for _ in 0..self.jobs.min(tasks.len()) {
-                scope.spawn(|| loop {
-                    let index = cursor.fetch_add(1, Ordering::Relaxed);
-                    let Some(task) = tasks.get(index) else {
-                        break;
-                    };
-                    let result = worker(index, task);
-                    // SAFETY: `fetch_add` yielded `index` to this worker
-                    // alone, so no other thread touches `slots[index]`;
-                    // the merge below reads only after the scope joins.
-                    #[allow(unsafe_code)]
-                    unsafe {
-                        *slots[index].0.get() = Some(result);
+            for worker_index in 0..self.jobs.min(tasks.len()) {
+                let (cursor, abort, panic_slot) = (&cursor, &abort, &panic_slot);
+                let (slots, worker, label) = (&slots, &worker, &label);
+                scope.spawn(move || {
+                    let started = Instant::now();
+                    if O::ENABLED {
+                        observer.thread_label(&format!("{scope_name} worker {worker_index}"));
+                    }
+                    let mut tasks_done = 0u64;
+                    let mut busy_us = 0u64;
+                    while !abort.load(Ordering::Relaxed) {
+                        let index = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(task) = tasks.get(index) else {
+                            break;
+                        };
+                        let result = if O::ENABLED {
+                            let name = label(index, task);
+                            let task_start = Instant::now();
+                            observer.span_begin(&name);
+                            let result = catch_unwind(AssertUnwindSafe(|| worker(index, task)));
+                            observer.span_end(&name);
+                            let micros = task_start.elapsed().as_micros() as u64;
+                            busy_us += micros;
+                            if result.is_ok() {
+                                tasks_done += 1;
+                                observer.task_done(&name, micros);
+                            }
+                            result
+                        } else {
+                            catch_unwind(AssertUnwindSafe(|| worker(index, task)))
+                        };
+                        match result {
+                            Ok(result) => {
+                                // SAFETY: `fetch_add` yielded `index` to this
+                                // worker alone, so no other thread touches
+                                // `slots[index]`; the merge below reads only
+                                // after the scope joins.
+                                #[allow(unsafe_code)]
+                                unsafe {
+                                    *slots[index].0.get() = Some(result);
+                                }
+                            }
+                            Err(payload) => {
+                                // First panic wins; park the payload, tell
+                                // every worker to drain, and keep the slot
+                                // empty — the caller resumes the panic
+                                // before the merge could read it.
+                                let mut slot = panic_slot.lock().unwrap_or_else(|e| e.into_inner());
+                                slot.get_or_insert(payload);
+                                abort.store(true, Ordering::Relaxed);
+                                break;
+                            }
+                        }
+                    }
+                    if O::ENABLED {
+                        observer.worker_done(WorkerStats {
+                            scope: scope_name.to_owned(),
+                            worker: worker_index,
+                            tasks: tasks_done,
+                            busy_us,
+                            elapsed_us: started.elapsed().as_micros() as u64,
+                        });
                     }
                 });
             }
         });
+        if let Some(payload) = panic_slot.into_inner().unwrap_or_else(|e| e.into_inner()) {
+            resume_unwind(payload);
+        }
         slots
             .into_iter()
             .map(|slot| {
@@ -103,6 +207,57 @@ impl SweepRunner {
                     .expect("every task index was claimed exactly once")
             })
             .collect()
+    }
+
+    /// The single-threaded path, instrumented identically (worker 0 on
+    /// the calling thread) so `--jobs 1` profiles still carry spans and
+    /// telemetry.
+    fn run_serial<T, R, F, L, O>(
+        &self,
+        scope_name: &str,
+        tasks: &[T],
+        worker: &F,
+        label: &L,
+        observer: &O,
+    ) -> Vec<R>
+    where
+        F: Fn(usize, &T) -> R,
+        L: Fn(usize, &T) -> String,
+        O: PipelineObserver,
+    {
+        if !O::ENABLED {
+            return tasks
+                .iter()
+                .enumerate()
+                .map(|(index, task)| worker(index, task))
+                .collect();
+        }
+        let started = Instant::now();
+        observer.thread_label(&format!("{scope_name} worker 0"));
+        let mut busy_us = 0u64;
+        let results = tasks
+            .iter()
+            .enumerate()
+            .map(|(index, task)| {
+                let name = label(index, task);
+                let task_start = Instant::now();
+                observer.span_begin(&name);
+                let result = worker(index, task);
+                observer.span_end(&name);
+                let micros = task_start.elapsed().as_micros() as u64;
+                busy_us += micros;
+                observer.task_done(&name, micros);
+                result
+            })
+            .collect();
+        observer.worker_done(WorkerStats {
+            scope: scope_name.to_owned(),
+            worker: 0,
+            tasks: tasks.len() as u64,
+            busy_us,
+            elapsed_us: started.elapsed().as_micros() as u64,
+        });
+        results
     }
 }
 
@@ -126,6 +281,12 @@ pub struct SeedStat {
 
 impl SeedStat {
     /// Aggregates samples; an empty slice yields all zeros.
+    ///
+    /// NaN samples follow IEEE `min`/`max` semantics — they are ignored
+    /// by `min` and `max` (which keep the non-NaN operand) but poison
+    /// `mean` through the sum. An all-NaN slice therefore yields
+    /// `min = +∞`, `max = −∞`, `mean = NaN` — the same sentinel bounds
+    /// as the (unreachable) no-sample fold. `tests` pin this.
     pub fn of(samples: &[f64]) -> SeedStat {
         if samples.is_empty() {
             return SeedStat {
@@ -149,7 +310,8 @@ impl SeedStat {
         }
     }
 
-    /// The max−min spread across seeds.
+    /// The max−min spread across seeds; `0.0` for empty and
+    /// single-sample inputs.
     pub fn spread(&self) -> f64 {
         self.max - self.min
     }
@@ -158,6 +320,7 @@ impl SeedStat {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pcap_obs::TraceRecorder;
     use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
@@ -199,6 +362,103 @@ mod tests {
     }
 
     #[test]
+    fn observed_run_matches_plain_run_and_reports_telemetry() {
+        let tasks: Vec<u64> = (0..40).collect();
+        let recorder = TraceRecorder::new();
+        let observed = SweepRunner::new(4).run_observed(
+            "grid",
+            &tasks,
+            |_, n| n * 2,
+            |_, n| format!("cell:{n}"),
+            &recorder,
+        );
+        assert_eq!(observed, SweepRunner::new(4).run(&tasks, |_, n| n * 2));
+        let workers = recorder.workers();
+        assert_eq!(workers.len(), 4);
+        assert!(workers.iter().all(|w| w.scope == "grid"));
+        assert_eq!(workers.iter().map(|w| w.tasks).sum::<u64>(), 40);
+        assert_eq!(recorder.counters()["tasks"], 40);
+        // One span per task, each on its worker's own track.
+        let events = recorder.events();
+        assert_eq!(events.iter().filter(|e| e.begin).count(), 40);
+        assert!(recorder.slowest().unwrap().label.starts_with("cell:"));
+    }
+
+    #[test]
+    fn serial_observed_run_still_traces_as_worker_zero() {
+        let tasks: Vec<u64> = (0..5).collect();
+        let recorder = TraceRecorder::new();
+        SweepRunner::new(1).run_observed(
+            "solo",
+            &tasks,
+            |_, n| *n,
+            |i, _| format!("t:{i}"),
+            &recorder,
+        );
+        let workers = recorder.workers();
+        assert_eq!(workers.len(), 1);
+        assert_eq!(workers[0].worker, 0);
+        assert_eq!(workers[0].tasks, 5);
+        assert_eq!(recorder.tracks().values().next().unwrap(), "solo worker 0");
+    }
+
+    /// Satellite: a panicking task must neither deadlock the pool nor
+    /// let the merge read a partially-initialised slot — the panic
+    /// propagates on the caller after every worker joined.
+    #[test]
+    #[should_panic(expected = "task 17 exploded")]
+    fn parallel_worker_panic_propagates_without_deadlock() {
+        let tasks: Vec<usize> = (0..100).collect();
+        SweepRunner::new(4).run(&tasks, |index, _| {
+            if index == 17 {
+                panic!("task 17 exploded");
+            }
+            index
+        });
+    }
+
+    #[test]
+    fn worker_panic_aborts_remaining_tasks_and_keeps_payload() {
+        let started = AtomicUsize::new(0);
+        let tasks: Vec<usize> = (0..10_000).collect();
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            SweepRunner::new(2).run(&tasks, |index, _| {
+                started.fetch_add(1, Ordering::Relaxed);
+                if index == 3 {
+                    panic!("boom at 3");
+                }
+                // Keep tasks slow enough that the abort flag matters.
+                std::thread::sleep(std::time::Duration::from_micros(50));
+                index
+            });
+        }));
+        let payload = caught.expect_err("panic must propagate");
+        let message = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .expect("payload survives verbatim");
+        assert_eq!(message, "boom at 3");
+        let ran = started.load(Ordering::Relaxed);
+        assert!(
+            ran < tasks.len(),
+            "abort flag should stop the sweep early (ran {ran} of {})",
+            tasks.len()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "serial boom")]
+    fn serial_worker_panic_propagates() {
+        let tasks: Vec<usize> = (0..4).collect();
+        SweepRunner::new(1).run(&tasks, |index, _| {
+            if index == 2 {
+                panic!("serial boom");
+            }
+            index
+        });
+    }
+
+    #[test]
     fn seed_stat_aggregates() {
         let s = SeedStat::of(&[0.2, 0.4, 0.3]);
         assert!((s.mean - 0.3).abs() < 1e-12);
@@ -206,5 +466,45 @@ mod tests {
         assert_eq!(s.max, 0.4);
         assert!((s.spread() - 0.2).abs() < 1e-12);
         assert_eq!(SeedStat::of(&[]).mean, 0.0);
+    }
+
+    /// Satellite: documented edge-case behaviour of `SeedStat::of` and
+    /// `SeedStat::spread`, pinned.
+    #[test]
+    fn seed_stat_empty_input_is_all_zeros() {
+        let s = SeedStat::of(&[]);
+        assert_eq!((s.mean, s.min, s.max), (0.0, 0.0, 0.0));
+        assert_eq!(s.spread(), 0.0);
+    }
+
+    #[test]
+    fn seed_stat_single_sample_collapses() {
+        let s = SeedStat::of(&[0.37]);
+        assert_eq!((s.mean, s.min, s.max), (0.37, 0.37, 0.37));
+        assert_eq!(s.spread(), 0.0, "one seed has no spread");
+        // Negative single sample, same collapse.
+        let n = SeedStat::of(&[-2.5]);
+        assert_eq!((n.mean, n.min, n.max), (-2.5, -2.5, -2.5));
+        assert_eq!(n.spread(), 0.0);
+    }
+
+    #[test]
+    fn seed_stat_nan_samples_skip_extremes_but_poison_mean() {
+        // IEEE min/max keep the non-NaN operand, so extremes come from
+        // the finite samples; the mean runs through the NaN sum.
+        let s = SeedStat::of(&[0.1, f64::NAN, 0.5]);
+        assert_eq!(s.min, 0.1);
+        assert_eq!(s.max, 0.5);
+        assert!(s.mean.is_nan());
+        assert!((s.spread() - 0.4).abs() < 1e-12, "spread stays finite");
+    }
+
+    #[test]
+    fn seed_stat_all_nan_keeps_sentinel_bounds() {
+        let s = SeedStat::of(&[f64::NAN, f64::NAN]);
+        assert_eq!(s.min, f64::INFINITY, "min fold never left its seed");
+        assert_eq!(s.max, f64::NEG_INFINITY, "max fold never left its seed");
+        assert!(s.mean.is_nan());
+        assert_eq!(s.spread(), f64::NEG_INFINITY, "−∞ − ∞");
     }
 }

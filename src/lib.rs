@@ -14,6 +14,7 @@ pub use pcap_cache as cache;
 pub use pcap_capture as capture;
 pub use pcap_core as core;
 pub use pcap_disk as disk;
+pub use pcap_obs as obs;
 pub use pcap_report as report;
 pub use pcap_sim as sim;
 pub use pcap_trace as trace;

@@ -1,0 +1,141 @@
+//! End-to-end tests of the runtime tracing layer: the profiled
+//! pipeline must export schema-valid Chrome and Prometheus artifacts,
+//! attaching a recorder must never change a byte of output, and the
+//! committed bench trajectory must round-trip through the typed
+//! parser and pass its own regression gate.
+
+use pcap_dpm::obs::{
+    check_trajectory, parse_trajectory, render_chrome_trace, render_prometheus,
+    validate_chrome_trace, validate_prometheus, NullPipeline, TraceRecorder,
+};
+use pcap_dpm::report::{profile_pipeline, snapshot_files, snapshot_files_observed, Workbench};
+use pcap_dpm::sim::SimConfig;
+
+const JOBS: usize = 4;
+
+/// One profiled quick run shared by the export tests: the full
+/// 6-app × [`GRID_KINDS`](pcap_dpm::report::GRID_KINDS) grid with a
+/// recorder attached.
+fn profiled_recorder() -> TraceRecorder {
+    let recorder = TraceRecorder::new();
+    profile_pipeline(42, JOBS, true, &recorder).expect("valid specs");
+    recorder
+}
+
+#[test]
+fn chrome_trace_covers_grid_with_one_track_per_worker() {
+    let recorder = profiled_recorder();
+    let trace = render_chrome_trace(&recorder);
+    let stats = validate_chrome_trace(&trace).expect("schema-valid trace");
+    // Every span track is a registered (named) track; workers that
+    // never claimed a task register a name but emit no spans.
+    assert!(
+        stats.tracks <= recorder.tracks().len(),
+        "{} span tracks, {} registered",
+        stats.tracks,
+        recorder.tracks().len()
+    );
+
+    // Every cell of the app × manager grid appears as its own span.
+    let events = recorder.events();
+    let names: Vec<&str> = events.iter().map(|e| e.name.as_str()).collect();
+    let mut cells = 0;
+    for kind in pcap_dpm::report::GRID_KINDS {
+        for app in ["mozilla", "writer", "impress", "xemacs", "nedit", "mplayer"] {
+            let name = format!("cell:{app}×{}", kind.label());
+            assert!(names.contains(&name.as_str()), "missing span {name}");
+            cells += 1;
+        }
+    }
+    assert_eq!(cells, 60, "full grid");
+    assert!(stats.spans >= cells, "{} spans", stats.spans);
+
+    // One track per worker: every scope spawns fresh threads, so each
+    // (scope, worker) telemetry row maps to a distinct span track; the
+    // main thread (phase spans) adds one more.
+    let workers = recorder.workers();
+    let warm_up: Vec<_> = workers.iter().filter(|w| w.scope == "warm_up").collect();
+    assert_eq!(warm_up.len(), JOBS, "one telemetry row per warm-up worker");
+    assert!(
+        recorder.tracks().len() > workers.len(),
+        "workers plus the coordinating main track: {} tracks for {} workers",
+        recorder.tracks().len(),
+        workers.len()
+    );
+}
+
+#[test]
+fn prometheus_export_parses_and_carries_the_registry() {
+    let recorder = profiled_recorder();
+    let text = render_prometheus(&recorder);
+    let samples = validate_prometheus(&text).expect("valid exposition");
+    assert!(samples > 100, "histograms dominate: {samples} samples");
+    for needle in [
+        "pcap_tasks_total",
+        "pcap_runs_total",
+        "pcap_prepared_runs_total",
+        "pcap_files_rendered_total",
+        "pcap_task_us_bucket",
+        "pcap_eval_us_sum",
+        "pcap_prepare_us_count",
+        "pcap_worker_busy_us{scope=\"warm_up\"",
+        "pcap_slowest_task_us",
+    ] {
+        assert!(text.contains(needle), "missing {needle} in:\n{text}");
+    }
+}
+
+#[test]
+fn attached_recorder_never_changes_a_byte_of_output() {
+    let bench = Workbench::generate_par(42, SimConfig::paper(), JOBS).expect("valid specs");
+    let bench = Workbench::from_traces_seeded(
+        42,
+        bench
+            .traces()
+            .iter()
+            .map(|t| {
+                let mut t = t.clone();
+                t.runs.truncate(3);
+                t
+            })
+            .collect(),
+        SimConfig::paper(),
+    );
+    let plain = snapshot_files(&bench);
+    let recorder = TraceRecorder::new();
+    let observed = snapshot_files_observed(&bench, &recorder);
+    assert_eq!(plain, observed, "recorder must not perturb the snapshot");
+    assert!(
+        recorder.counters().get("files_rendered").copied() == Some(plain.len() as u64),
+        "but it must have seen every file"
+    );
+    let null = snapshot_files_observed(&bench, &NullPipeline);
+    assert_eq!(plain, null);
+}
+
+#[test]
+fn committed_trajectory_roundtrips_and_passes_the_gate() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_sim.json");
+    let text = std::fs::read_to_string(path).expect("committed trajectory");
+    let entries = parse_trajectory(&text).expect("typed parse");
+    assert!(entries.len() >= 6, "trajectory grows monotonically");
+
+    // Forward compatibility: the oldest entries predate the observer
+    // and tracing fields and must parse with those fields absent.
+    assert!(entries[0].observer_overhead.is_none());
+    assert!(entries[0].tracing_overhead.is_none());
+    for entry in &entries {
+        assert!(entry.label.is_some(), "every entry is labelled");
+        assert!(entry.cells_per_s.is_some(), "every entry has throughput");
+    }
+
+    // Round-trip: serialize the typed entries and re-parse; the typed
+    // view must be stable under its own serialization.
+    let rendered = serde_json::to_string(&entries).expect("serialize");
+    let reparsed = parse_trajectory(&rendered).expect("reparse");
+    assert_eq!(entries, reparsed);
+
+    // The committed trajectory must pass its own regression gate.
+    let lines = check_trajectory(&entries).expect("gate passes");
+    assert!(!lines.is_empty(), "gate reports per-group verdicts");
+}
