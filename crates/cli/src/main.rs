@@ -68,7 +68,7 @@ flags:
   --jsonl FILE   audit: also write the full decision log as JSON lines
   --top-misses N audit: rows per mispredict table (default 10, minimum 1)
 
-experiments: table1 table2 fig6 fig7 fig8 fig9 fig10 table3 ablations system multistate
+experiments: table1 table2 fig6 fig7 fig8 fig9 fig10 table3 ablations system multistate lambda
 apps: mozilla writer impress xemacs nedit mplayer";
 
 #[derive(Debug)]

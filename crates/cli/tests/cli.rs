@@ -246,6 +246,44 @@ fn bench_quick_appends_trajectory_entries() {
 }
 
 #[test]
+fn verify_fails_on_single_byte_golden_corruption() {
+    // Copy the committed golden snapshot, flip one byte in one table,
+    // and `pcap verify --golden` must exit nonzero naming that file.
+    fn copy_tree(from: &std::path::Path, to: &std::path::Path) {
+        std::fs::create_dir_all(to).expect("mkdir");
+        for entry in std::fs::read_dir(from).expect("readdir") {
+            let entry = entry.expect("dir entry");
+            let dest = to.join(entry.file_name());
+            if entry.file_type().expect("file type").is_dir() {
+                copy_tree(&entry.path(), &dest);
+            } else {
+                std::fs::copy(entry.path(), &dest).expect("copy");
+            }
+        }
+    }
+    let golden = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../golden");
+    let dir = std::env::temp_dir().join(format!("pcap-verify-test-{}", std::process::id()));
+    copy_tree(&golden, &dir);
+    let victim = dir.join("tables/fig7.csv");
+    let original = std::fs::read_to_string(&victim).expect("golden table");
+    let corrupted = original.replacen(',', ";", 1);
+    assert_ne!(corrupted, original, "table must contain a comma to flip");
+    std::fs::write(&victim, corrupted).expect("corrupt copy");
+    let out = pcap(&["verify", "--golden", dir.to_str().expect("utf-8 path")]);
+    assert!(!out.status.success(), "corrupted golden must fail verify");
+    let err = stderr(&out);
+    assert!(
+        err.contains("tables/fig7.csv"),
+        "drift must name the corrupted file, stderr: {err}"
+    );
+    assert!(
+        err.contains("re-bless with `pcap verify --update`"),
+        "stderr: {err}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn bench_check_rejects_regressed_trajectory() {
     let dir = std::env::temp_dir().join(format!("pcap-bench-check-{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("temp dir");
@@ -264,6 +302,25 @@ fn bench_check_rejects_regressed_trajectory() {
     assert!(
         stderr(&out).contains("regression"),
         "stderr: {}",
+        stderr(&out)
+    );
+    // The gate trips at a >15% drop: 15.1% fails, 14.9% passes.
+    std::fs::write(
+        &out_path,
+        format!("[{}, {}]\n", entry(1000.0), entry(849.0)),
+    )
+    .expect("write trajectory");
+    let out = pcap(&["bench", "--check", "--out", out_arg]);
+    assert!(!out.status.success(), "a 15.1% drop must fail the gate");
+    std::fs::write(
+        &out_path,
+        format!("[{}, {}]\n", entry(1000.0), entry(851.0)),
+    )
+    .expect("write trajectory");
+    let out = pcap(&["bench", "--check", "--out", out_arg]);
+    assert!(
+        out.status.success(),
+        "a 14.9% drop must pass, stderr: {}",
         stderr(&out)
     );
     std::fs::remove_dir_all(&dir).ok();

@@ -352,6 +352,42 @@ mod tests {
         );
     }
 
+    proptest::proptest! {
+        /// A Backup vote never targets a deeper ladder state than a
+        /// Primary vote given the same evidence: the timeout's
+        /// observed idle is weaker information than the primary's
+        /// long-gap prediction, so its descent must be at most as
+        /// aggressive — on arbitrary ladders (breakeven lists) and
+        /// observations.
+        #[test]
+        fn backup_never_maps_deeper_than_primary(
+            raw in proptest::collection::vec(1u64..600_000_000, 1..6),
+            observed_us in 0u64..1_000_000_000,
+        ) {
+            let mut breakevens: Vec<SimDuration> =
+                raw.into_iter().map(SimDuration::from_micros).collect();
+            breakevens.sort_unstable();
+            breakevens.dedup();
+            let observed = SimDuration::from_micros(observed_us);
+            let primary = ladder_target(VoteSource::Primary, observed, &breakevens);
+            let backup = ladder_target(VoteSource::Backup, observed, &breakevens);
+            proptest::prop_assert!(
+                backup <= primary,
+                "backup target {backup} deeper than primary {primary} for {breakevens:?}"
+            );
+            // Both stay inside the ladder.
+            proptest::prop_assert!(primary < breakevens.len());
+            // And the backup target's breakeven is genuinely cleared
+            // (unless even the shallowest state hasn't paid off yet,
+            // where it falls back to state 0).
+            if breakevens[0] <= observed {
+                proptest::prop_assert!(breakevens[backup] <= observed);
+            } else {
+                proptest::prop_assert_eq!(backup, 0);
+            }
+        }
+    }
+
     #[test]
     fn vote_constructors() {
         assert_eq!(ShutdownVote::never().delay, None);

@@ -43,7 +43,8 @@ pub mod state;
 
 pub use energy::{GapBreakdown, Joules, Watts};
 pub use ladder::{
-    descent_energy, DescentStep, GapContext, LadderPolicy, OracleLadder, PredictiveJump, SkiRental,
+    descent_energy, lambda_bounds, DescentStep, GapContext, LadderPolicy, LambdaBounds,
+    LambdaLadder, OracleLadder, PredictiveJump, SkiRental,
 };
 pub use model::DiskParams;
 pub use multistate::{LadderError, LowPowerState, MultiStateParams};

@@ -455,9 +455,10 @@ pub fn audit_prepared_multistate(
 mod tests {
     use super::*;
     use crate::prepared::evaluate_prepared;
-    use pcap_disk::{OracleLadder, PredictiveJump, SkiRental};
+    use pcap_disk::{lambda_bounds, LambdaLadder, OracleLadder, PredictiveJump, SkiRental};
     use pcap_trace::{ApplicationTrace, TraceRunBuilder};
     use pcap_types::{Fd, FileId, IoKind, Pc, Pid, SimTime};
+    use pcap_workload::NoisyVotes;
 
     fn trace_with_gaps(runs: usize) -> ApplicationTrace {
         let mut trace = ApplicationTrace::new("ms-test");
@@ -516,6 +517,79 @@ mod tests {
         assert_eq!(out.ladder_stats.total_gaps(), accesses as u64);
         // The 20 s and 30 s gaps descend past the first rung.
         assert!(out.ladder_stats.bottom_counts.iter().sum::<u64>() > 0);
+    }
+
+    #[test]
+    fn lambda_one_is_bitwise_ski_rental_through_the_engine() {
+        let config = SimConfig::paper();
+        let trace = trace_with_gaps(3);
+        let prepared = PreparedTrace::build(&trace, &config);
+        let ladder = MultiStateParams::mobile_ata();
+        let ski = SkiRental::new(&ladder);
+        let one = LambdaLadder::new(&ladder, 1.0);
+        for kind in [
+            PowerManagerKind::PCAP,
+            PowerManagerKind::Timeout,
+            PowerManagerKind::MultiStatePcap,
+        ] {
+            let a = evaluate_prepared_multistate(&prepared, &config, kind, &ladder, &ski);
+            let b = evaluate_prepared_multistate(&prepared, &config, kind, &ladder, &one);
+            assert_eq!(
+                serde_json::to_string(&a.report).unwrap(),
+                serde_json::to_string(&b.report).unwrap(),
+                "λ=1 diverged from ski-rental under {kind:?}"
+            );
+            assert_eq!(a.ladder_stats.bottom_counts, b.ladder_stats.bottom_counts);
+            assert_eq!(a.ladder_stats.idle_gaps, b.ladder_stats.idle_gaps);
+        }
+    }
+
+    #[test]
+    fn lambda_ratio_respects_the_envelope_even_under_injected_errors() {
+        let config = SimConfig::paper();
+        let trace = trace_with_gaps(4);
+        let prepared = PreparedTrace::build(&trace, &config);
+        let ladder = MultiStateParams::mobile_ata();
+        let kind = PowerManagerKind::PCAP;
+        let oracle = evaluate_prepared_multistate(&prepared, &config, kind, &ladder, &OracleLadder);
+        let gap = |o: &MultiStateOutcome| o.report.energy.total().0 - o.report.energy.busy.0;
+        let opt = gap(&oracle);
+        for lambda in [0.0, 0.5, 1.0] {
+            let policy = LambdaLadder::new(&ladder, lambda);
+            let bound = lambda_bounds(&ladder, lambda).robustness;
+            for rate in [0.0, 0.5, 1.0] {
+                let noisy = NoisyVotes::new(&policy, rate, 0xC0FFEE);
+                let out = evaluate_prepared_multistate(&prepared, &config, kind, &ladder, &noisy);
+                let ratio = gap(&out) / opt;
+                assert!(
+                    ratio >= 1.0 - 1e-9,
+                    "λ={lambda} e={rate}: beat the clairvoyant oracle"
+                );
+                assert!(
+                    ratio <= bound * (1.0 + 1e-9),
+                    "λ={lambda} e={rate}: ratio {ratio} exceeds robustness {bound}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn noisy_votes_evaluate_deterministically_through_the_engine() {
+        let config = SimConfig::paper();
+        let trace = trace_with_gaps(3);
+        let prepared = PreparedTrace::build(&trace, &config);
+        let ladder = MultiStateParams::mobile_ata();
+        let policy = LambdaLadder::new(&ladder, 0.5);
+        let kind = PowerManagerKind::PCAP;
+        let eval = |seed: u64, rate: f64| {
+            let noisy = NoisyVotes::new(&policy, rate, seed);
+            let out = evaluate_prepared_multistate(&prepared, &config, kind, &ladder, &noisy);
+            serde_json::to_string(&out.report).unwrap()
+        };
+        assert_eq!(eval(9, 0.5), eval(9, 0.5), "same seed must replay bitwise");
+        // Rate 0 is transparent: bitwise the bare policy, any seed.
+        let bare = evaluate_prepared_multistate(&prepared, &config, kind, &ladder, &policy);
+        assert_eq!(eval(1, 0.0), serde_json::to_string(&bare.report).unwrap());
     }
 
     #[test]

@@ -26,10 +26,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adversary;
 pub mod apps;
 pub mod dists;
 pub mod spec;
 
+pub use adversary::{adversarial_gaps, straddle, worst_case_search, NoisyVotes, WorstCase};
 pub use apps::{paper_suite, PaperApp};
 pub use dists::{CountDist, TimeDist};
 pub use spec::{Activity, ActivityStep, AppModel, AppSpec, HelperSpec, IoOp, SpecError, UserState};

@@ -65,8 +65,16 @@ impl ProptestConfig {
 }
 
 impl Default for ProptestConfig {
+    /// 96 cases, overridable through the `PROPTEST_CASES` environment
+    /// variable (as in upstream proptest) so CI can run a deeper
+    /// sweep without recompiling.
     fn default() -> ProptestConfig {
-        ProptestConfig { cases: 96 }
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(96);
+        ProptestConfig { cases }
     }
 }
 
