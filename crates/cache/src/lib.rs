@@ -178,6 +178,22 @@ impl FileCache {
         &self.config
     }
 
+    /// Returns the cache to its cold state while keeping every allocated
+    /// capacity (page map, readahead tables), so one cache instance can
+    /// filter an unbounded stream of runs without per-run allocation.
+    ///
+    /// A reset cache is behaviorally indistinguishable from
+    /// [`FileCache::new`] with the same configuration.
+    pub fn reset(&mut self) {
+        self.pages.clear();
+        self.stats = CacheStats::default();
+        if let Some(ra) = self.readahead.as_mut() {
+            ra.clear();
+        }
+        self.ticks_done = 0;
+        self.last_event_time = SimTime::ZERO;
+    }
+
     /// Statistics accumulated so far.
     pub fn stats(&self) -> &CacheStats {
         &self.stats
@@ -196,11 +212,10 @@ impl FileCache {
     /// Runs pending flush-daemon wakeups up to (and including) `now`;
     /// each wakeup writes back the pages that have been dirty for at
     /// least the flush interval (age-based write-back, as in Linux).
-    fn run_flush_ticks(&mut self, now: SimTime) -> Vec<DiskAccess> {
+    fn run_flush_ticks(&mut self, now: SimTime, out: &mut Vec<DiskAccess>) {
         let wakeup = self.config.flush_wakeup.as_micros();
-        let mut out = Vec::new();
         if wakeup == 0 {
-            return out;
+            return;
         }
         let due = now.as_micros() / wakeup;
         while self.ticks_done < due {
@@ -211,33 +226,32 @@ impl FileCache {
                 out.push(access);
             }
         }
-        out
     }
 
     /// Cleans the dirty pages older than the flush interval, returning
     /// one coalesced kernel write access (or `None` if none expired).
     ///
     /// The access is attributed to the process that dirtied the oldest
-    /// expired page — a deterministic choice (hash-map iteration order
-    /// must never leak into simulation results).
+    /// expired page, oldest `(dirtied_at, key)` first — a deterministic
+    /// choice (hash-map iteration order must never leak into simulation
+    /// results). Two passes over the page map instead of a sorted
+    /// scratch vector keep this allocation-free on the streaming path.
     fn flush_expired(&mut self, time: SimTime) -> Option<DiskAccess> {
         let expire = self.config.flush_interval;
-        let mut expired: Vec<(PageKey, Pid, SimTime)> = self
-            .pages
-            .iter()
-            .filter(|(_, s)| s.dirty && time.saturating_since(s.dirtied_at) >= expire)
-            .map(|(k, s)| (*k, s.dirtied_by, s.dirtied_at))
-            .collect();
-        if expired.is_empty() {
-            return None;
+        let mut oldest: Option<(SimTime, PageKey, Pid)> = None;
+        let mut pages = 0u32;
+        for (key, state) in self.pages.iter() {
+            if state.dirty && time.saturating_since(state.dirtied_at) >= expire {
+                pages += 1;
+                let candidate = (state.dirtied_at, *key);
+                if oldest.is_none_or(|(at, k, _)| candidate < (at, k)) {
+                    oldest = Some((state.dirtied_at, *key, state.dirtied_by));
+                }
+            }
         }
-        expired.sort_by_key(|&(key, _, at)| (at, key));
-        let pid = expired[0].1;
-        let pages = expired.len() as u32;
-        let victims: std::collections::HashSet<PageKey> =
-            expired.iter().map(|&(k, _, _)| k).collect();
-        for (key, state) in self.pages.iter_mut() {
-            if victims.contains(key) {
+        let (_, _, pid) = oldest?;
+        for (_, state) in self.pages.iter_mut() {
+            if state.dirty && time.saturating_since(state.dirtied_at) >= expire {
                 state.dirty = false;
             }
         }
@@ -306,17 +320,31 @@ impl FileCache {
     ///
     /// Panics if events go backwards in time.
     pub fn access(&mut self, io: &IoEvent) -> Vec<DiskAccess> {
+        let mut out = Vec::new();
+        self.access_into(io, &mut out);
+        out
+    }
+
+    /// [`FileCache::access`] into a caller-owned buffer: appends the
+    /// resulting disk accesses to `out` instead of allocating a fresh
+    /// vector per event. The streaming pipeline feeds millions of events
+    /// through one reused buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if events go backwards in time.
+    pub fn access_into(&mut self, io: &IoEvent, out: &mut Vec<DiskAccess>) {
         assert!(
             io.time >= self.last_event_time,
             "cache events must be time-ordered"
         );
         self.last_event_time = io.time;
-        let mut out = self.run_flush_ticks(io.time);
+        self.run_flush_ticks(io.time, out);
         match io.kind {
             IoKind::Close => {}
             IoKind::Open => {
                 // Metadata read: inode/dentry page of the file.
-                self.read_pages(io, 0, 0, &mut out);
+                self.read_pages(io, 0, 0, out);
             }
             IoKind::Read => {
                 let (first, last) = self.page_range(io);
@@ -328,7 +356,7 @@ impl FileCache {
                     self.stats.prefetched_pages += ahead;
                     effective_last = last + ahead;
                 }
-                self.read_pages(io, first, effective_last, &mut out);
+                self.read_pages(io, first, effective_last, out);
             }
             IoKind::Write | IoKind::SyncWrite => {
                 let (first, last) = self.page_range(io);
@@ -344,7 +372,7 @@ impl FileCache {
                                     dirtied_at: io.time,
                                 },
                                 io.time,
-                                &mut out,
+                                out,
                             );
                         }
                     }
@@ -386,14 +414,13 @@ impl FileCache {
                                     dirtied_at: io.time,
                                 },
                                 io.time,
-                                &mut out,
+                                out,
                             );
                         }
                     }
                 }
             }
         }
-        out
     }
 
     /// Reads pages `first..=last` of `io.file`, coalescing contiguous
@@ -450,13 +477,29 @@ pub fn filter_run(
 ) -> (Vec<DiskAccess>, CacheStats) {
     let mut cache = FileCache::new(config.clone());
     let mut accesses = Vec::new();
+    let stats = filter_run_into(run, &mut cache, &mut accesses);
+    (accesses, stats)
+}
+
+/// [`filter_run`] with caller-owned state: resets `cache` to cold,
+/// appends the run's disk accesses to `accesses` (which the caller
+/// should clear between runs), and returns the run's cache statistics.
+///
+/// This is the streaming-pipeline entry point — one cache and one
+/// access buffer filter every run of every device with no per-run
+/// allocation once their capacities have warmed up.
+pub fn filter_run_into(
+    run: &pcap_trace::TraceRun,
+    cache: &mut FileCache,
+    accesses: &mut Vec<DiskAccess>,
+) -> CacheStats {
+    cache.reset();
     for event in &run.events {
         if let TraceEvent::Io(io) = event {
-            accesses.extend(cache.access(io));
+            cache.access_into(io, accesses);
         }
     }
-    let stats = *cache.stats();
-    (accesses, stats)
+    *cache.stats()
 }
 
 #[cfg(test)]

@@ -78,6 +78,15 @@ impl PcReadahead {
         (self.prefetched, self.activations)
     }
 
+    /// Forgets all learned runs and statistics, keeping the table
+    /// capacity. A cleared engine behaves exactly like a new one.
+    pub fn clear(&mut self) {
+        self.learned.clear();
+        self.active.clear();
+        self.prefetched = 0;
+        self.activations = 0;
+    }
+
     /// Observes a read of `pages` pages starting at `first_page` of
     /// `file`, triggered from `pc`. Returns how many pages *beyond* the
     /// demand range to fetch ahead (0 when the PC has no earned

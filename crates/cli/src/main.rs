@@ -25,13 +25,13 @@ use pcap_obs::{
     stage_summary, validate_chrome_trace, validate_prometheus, worker_summary, TraceRecorder,
 };
 use pcap_report::{
-    audit_tables, explain_tables, figure_chart, profile_pipeline, run_sweep, sweep_table,
-    verify_snapshot, write_snapshot, Experiment, Figure, Workbench, GOLDEN_SEED, GRID_KINDS,
-    SWEEP_KINDS,
+    audit_tables, explain_tables, figure_chart, fleet_table, profile_pipeline, run_sweep,
+    sweep_table, verify_snapshot, write_snapshot, Experiment, Figure, Workbench, GOLDEN_SEED,
+    GRID_KINDS, SWEEP_KINDS,
 };
 use pcap_sim::{SimConfig, WorkloadProfile};
 use pcap_trace::io::write_jsonl;
-use pcap_workload::{AppModel, PaperApp};
+use pcap_workload::{AppModel, DevicePopulation, PaperApp};
 use std::io::Write;
 use std::process::ExitCode;
 
@@ -39,6 +39,7 @@ const USAGE: &str = "usage:
   pcap run <experiment> [--seed N] [--jobs N] [--csv]
   pcap all [--seed N | --seeds A..B] [--jobs N] [--csv]
   pcap sweep [--seeds A..B] [--jobs N] [--csv]
+  pcap sweep --devices N [--seed N] [--jobs N] [--quick] [--csv]
   pcap verify [--update] [--golden DIR] [--seed N] [--jobs N]
   pcap chart <fig6|fig7|fig8|fig9|fig10> [--seed N] [--jobs N]
   pcap list
@@ -55,6 +56,9 @@ flags:
   --seed N       workload seed (default 42)
   --seeds A..B   seed range, half-open (42..46 = 42,43,44,45); A..=B inclusive
   --jobs N       worker threads; 0 = all cores (default); output is identical for any N
+  --devices N    sweep: stream an N-device fleet (bounded memory) instead of a seed
+                 range; devices cycle the six apps with per-cohort seed jitter.
+                 With --quick every device evaluates at most 6 executions
   --csv          emit CSV instead of aligned tables
   --update       re-bless the golden snapshot instead of verifying
   --golden DIR   golden snapshot directory (default golden/)
@@ -75,6 +79,7 @@ apps: mozilla writer impress xemacs nedit mplayer";
 struct Options {
     seed: u64,
     seeds: Option<Vec<u64>>,
+    devices: Option<u64>,
     jobs: usize,
     csv: bool,
     update: bool,
@@ -117,6 +122,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut options = Options {
         seed: GOLDEN_SEED,
         seeds: None,
+        devices: None,
         jobs: 0,
         csv: false,
         update: false,
@@ -141,6 +147,16 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--seeds" => {
                 let value = it.next().ok_or("--seeds needs a value")?;
                 options.seeds = Some(parse_seed_range(value)?);
+            }
+            "--devices" => {
+                let value = it.next().ok_or("--devices needs a value")?;
+                let devices: u64 = value
+                    .parse()
+                    .map_err(|_| format!("bad device count: {value}"))?;
+                if devices == 0 {
+                    return Err("device count must be at least 1".to_owned());
+                }
+                options.devices = Some(devices);
             }
             "--jobs" => {
                 let value = it.next().ok_or("--jobs needs a value")?;
@@ -284,6 +300,9 @@ fn run() -> Result<(), String> {
             Ok(())
         }
         "sweep" => {
+            if let Some(devices) = options.devices {
+                return run_fleet_sweep(devices, &options);
+            }
             let seeds = options
                 .seeds
                 .clone()
@@ -483,6 +502,10 @@ idle-gap distribution (all executions):"
 /// cross-run training while keeping the measurement CI-sized.
 const QUICK_RUNS: usize = 6;
 
+/// Fleet size of the bench's streaming-throughput group (fixed across
+/// `--quick` and full runs so devices/s entries stay comparable).
+const FLEET_BENCH_DEVICES: u64 = 96;
+
 /// `pcap profile` without an application: runs the full report
 /// pipeline (generate → prepare → warm up the `app × manager` grid →
 /// render the snapshot) with a [`TraceRecorder`] attached, prints the
@@ -538,6 +561,26 @@ fn run_pipeline_profile(options: &Options) -> Result<(), String> {
         std::fs::write(path, &text).map_err(|e| format!("{path}: {e}"))?;
         eprintln!("pcap: wrote {samples} metric samples to {path}");
     }
+    Ok(())
+}
+
+/// `pcap sweep --devices N`: streams an N-device fleet through the
+/// fused generate → filter → evaluate pipeline (bounded memory in the
+/// device count) and prints the per-app/total fleet table. `--quick`
+/// caps every device at [`QUICK_RUNS`] executions; output is
+/// byte-identical for every `--jobs` value.
+fn run_fleet_sweep(devices: u64, options: &Options) -> Result<(), String> {
+    let pop = DevicePopulation::new(devices, options.seed);
+    let max_runs = options.quick.then_some(QUICK_RUNS);
+    let report = pcap_sim::sweep_fleet(
+        &pop,
+        &SimConfig::paper(),
+        pcap_sim::PowerManagerKind::PCAP,
+        &pcap_sim::SweepRunner::new(options.jobs),
+        max_runs,
+    )
+    .map_err(|e| e.to_string())?;
+    emit(&[fleet_table(&report)], options.csv);
     Ok(())
 }
 
@@ -797,10 +840,49 @@ fn run_bench(options: &Options) -> Result<(), String> {
         ),
     ]);
     entries.push(entry);
+
+    // Streaming-fleet throughput: always the same fixed configuration
+    // ([`FLEET_BENCH_DEVICES`] devices, runs capped at QUICK_RUNS)
+    // regardless of `--quick`, so every bench invocation feeds one
+    // comparable `(fleet, jobs)` group gated on devices/s.
+    let pop = DevicePopulation::new(FLEET_BENCH_DEVICES, options.seed);
+    let fleet_config = SimConfig::paper();
+    let runner = pcap_sim::SweepRunner::new(options.jobs);
+    let mut fleet_s = f64::INFINITY;
+    let mut fleet_runs = 0u64;
+    for _ in 0..3 {
+        let t3 = Instant::now();
+        let fleet = pcap_sim::sweep_fleet(
+            &pop,
+            &fleet_config,
+            pcap_sim::PowerManagerKind::PCAP,
+            &runner,
+            Some(QUICK_RUNS),
+        )
+        .map_err(|e| e.to_string())?;
+        fleet_s = fleet_s.min(t3.elapsed().as_secs_f64());
+        fleet_runs = fleet.total.runs;
+        std::hint::black_box(&fleet);
+    }
+    let devices_per_s = FLEET_BENCH_DEVICES as f64 / fleet_s;
+    eprintln!(
+        "pcap bench: fleet: {FLEET_BENCH_DEVICES} devices ({fleet_runs} runs) streamed in \
+         {fleet_s:.3}s ({devices_per_s:.2} devices/s, best of 3)"
+    );
+    entries.push(serde::Value::Object(vec![
+        ("label".into(), serde::Value::Str("streaming".to_owned())),
+        ("mode".into(), serde::Value::Str("fleet".to_owned())),
+        ("seed".into(), serde::Value::UInt(options.seed)),
+        ("jobs".into(), serde::Value::UInt(options.jobs as u64)),
+        ("runs".into(), serde::Value::UInt(fleet_runs)),
+        ("devices".into(), serde::Value::UInt(FLEET_BENCH_DEVICES)),
+        ("devices_per_s".into(), serde::Value::Float(devices_per_s)),
+    ]));
+
     let rendered =
         serde_json::to_string_pretty(&serde::Value::Array(entries)).map_err(|e| e.to_string())?;
     std::fs::write(&out, rendered + "\n").map_err(|e| e.to_string())?;
-    eprintln!("pcap bench: appended trajectory entry to {out}");
+    eprintln!("pcap bench: appended trajectory entries to {out}");
     if options.check {
         return check_bench_trajectory(&out);
     }
@@ -866,6 +948,23 @@ mod tests {
         assert!(parse_args(&args(&["--out"])).is_err());
         assert!(parse_args(&args(&["--jobs", "many"])).is_err());
         assert!(parse_args(&args(&["--seeds", "46..42"])).is_err());
+    }
+
+    #[test]
+    fn parses_devices_flag() {
+        let o = parse_args(&args(&["sweep", "--devices", "1000", "--quick"])).unwrap();
+        assert_eq!(o.devices, Some(1000));
+        assert!(o.quick);
+        let o = parse_args(&args(&["sweep"])).unwrap();
+        assert_eq!(o.devices, None);
+    }
+
+    #[test]
+    fn rejects_bad_device_counts() {
+        assert!(parse_args(&args(&["sweep", "--devices"])).is_err());
+        assert!(parse_args(&args(&["sweep", "--devices", "x"])).is_err());
+        let err = parse_args(&args(&["sweep", "--devices", "0"])).unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
     }
 
     #[test]

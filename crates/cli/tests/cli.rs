@@ -327,6 +327,59 @@ fn bench_check_rejects_regressed_trajectory() {
 }
 
 #[test]
+fn fleet_sweep_devices_happy_path() {
+    let out = pcap(&["sweep", "--devices", "40", "--quick", "--jobs", "2"]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let stdout = String::from_utf8(out.stdout).expect("utf-8");
+    assert!(stdout.contains("Fleet: 40 devices, seed 42"), "{stdout}");
+    assert!(stdout.contains("runs capped at"), "{stdout}");
+    assert!(stdout.contains("TOTAL"), "{stdout}");
+    // One row per paper app plus the fleet total.
+    for app in ["mozilla", "writer", "impress", "xemacs", "nedit", "mplayer"] {
+        assert!(stdout.contains(app), "missing {app} row:\n{stdout}");
+    }
+}
+
+#[test]
+fn fleet_sweep_rejects_zero_devices() {
+    let out = pcap(&["sweep", "--devices", "0"]);
+    assert!(!out.status.success(), "--devices 0 must fail");
+    assert!(
+        stderr(&out).contains("device count must be at least 1"),
+        "stderr: {}",
+        stderr(&out)
+    );
+    assert!(out.stdout.is_empty(), "wrote to stdout before failing");
+    let out = pcap(&["sweep", "--devices", "lots"]);
+    assert!(!out.status.success(), "non-numeric --devices must fail");
+    assert!(
+        stderr(&out).contains("bad device count: lots"),
+        "stderr: {}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn fleet_sweep_is_deterministic_and_jobs_independent() {
+    let run = |jobs: &str| {
+        let out = pcap(&[
+            "sweep",
+            "--devices",
+            "25",
+            "--quick",
+            "--jobs",
+            jobs,
+            "--csv",
+        ]);
+        assert!(out.status.success(), "stderr: {}", stderr(&out));
+        out.stdout
+    };
+    let first = run("1");
+    assert_eq!(first, run("1"), "rerun with identical flags drifted");
+    assert_eq!(first, run("8"), "--jobs changed a byte of the fleet table");
+}
+
+#[test]
 fn pipeline_profile_smoke_with_exports() {
     let dir = std::env::temp_dir().join(format!("pcap-profile-test-{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("temp dir");

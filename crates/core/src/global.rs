@@ -63,6 +63,14 @@ impl GlobalPredictor {
         GlobalPredictor::default()
     }
 
+    /// Drops every registered process and standing vote, keeping the
+    /// vote-table capacity. A cleared predictor is indistinguishable
+    /// from a new one; the simulation engine reuses one instance across
+    /// runs instead of allocating a fresh table per run.
+    pub fn clear(&mut self) {
+        self.votes.clear();
+    }
+
     /// Registers a process (application start or fork). Until its first
     /// access resolves, the process abstains — equivalent to a standing
     /// "no prediction", so the disk cannot shut down on its account

@@ -61,6 +61,11 @@ pub struct BenchEntry {
     pub traced_eval_s: Option<f64>,
     /// PR 5: fractional pipeline-tracing overhead (gated < 2%).
     pub tracing_overhead: Option<f64>,
+    /// PR 7: devices evaluated by the streaming fleet bench.
+    pub devices: Option<u64>,
+    /// PR 7: streaming fleet throughput — the gated metric for fleet
+    /// groups (entries without `cells_per_s`).
+    pub devices_per_s: Option<f64>,
 }
 
 impl BenchEntry {
@@ -107,34 +112,45 @@ pub fn check_trajectory(entries: &[BenchEntry]) -> Result<Vec<String>, String> {
             .filter(|e| e.group() == (mode.clone(), jobs))
             .collect();
         let latest = *members.last().expect("non-empty group");
-        let latest_rate = match latest.cells_per_s {
-            Some(rate) => rate,
-            None => {
+        // Grid groups gate on cells/s; fleet groups (no cells_per_s)
+        // gate on devices/s. A latest entry carrying neither is a
+        // malformed trajectory, not a pass.
+        let (metric, latest_rate) = match (latest.cells_per_s, latest.devices_per_s) {
+            (Some(rate), _) => ("cells/s", rate),
+            (None, Some(rate)) => ("devices/s", rate),
+            (None, None) => {
                 failures.push(format!(
-                    "({mode}, jobs {jobs}): latest entry has no cells_per_s"
+                    "({mode}, jobs {jobs}): latest entry has neither cells_per_s nor devices_per_s"
                 ));
                 continue;
             }
         };
+        let rate_of = |e: &BenchEntry| {
+            if metric == "cells/s" {
+                e.cells_per_s
+            } else {
+                e.devices_per_s
+            }
+        };
         let best_prior = members[..members.len() - 1]
             .iter()
-            .filter_map(|e| e.cells_per_s)
+            .filter_map(|e| rate_of(e))
             .fold(f64::NAN, f64::max);
         if best_prior.is_nan() {
             lines.push(format!(
-                "({mode}, jobs {jobs}): baseline entry, {latest_rate:.2} cells/s — ok"
+                "({mode}, jobs {jobs}): baseline entry, {latest_rate:.2} {metric} — ok"
             ));
         } else {
             let floor = best_prior * (1.0 - REGRESSION_TOLERANCE);
             if latest_rate < floor {
                 failures.push(format!(
-                    "({mode}, jobs {jobs}): {latest_rate:.2} cells/s regressed more than \
+                    "({mode}, jobs {jobs}): {latest_rate:.2} {metric} regressed more than \
                      {:.0}% below best prior {best_prior:.2} (floor {floor:.2})",
                     REGRESSION_TOLERANCE * 100.0
                 ));
             } else {
                 lines.push(format!(
-                    "({mode}, jobs {jobs}): {latest_rate:.2} cells/s vs best prior \
+                    "({mode}, jobs {jobs}): {latest_rate:.2} {metric} vs best prior \
                      {best_prior:.2} (floor {floor:.2}) — ok"
                 ));
             }
@@ -289,5 +305,67 @@ mod tests {
         let lines = check_trajectory(&entries).unwrap();
         assert!(lines.iter().any(|l| l.contains("(full, jobs 1)")));
         assert!(lines.iter().any(|l| l.contains("(quick, jobs 1)")));
+    }
+
+    fn fleet_entry(jobs: u64, devices_per_s: f64) -> BenchEntry {
+        BenchEntry {
+            mode: Some("fleet".to_owned()),
+            jobs: Some(jobs),
+            devices: Some(96),
+            devices_per_s: Some(devices_per_s),
+            ..BenchEntry::default()
+        }
+    }
+
+    #[test]
+    fn fleet_groups_gate_on_devices_per_s() {
+        // Baseline entry passes, an 84% follow-up fails, an 86% one is
+        // within the 15% tolerance.
+        let lines = check_trajectory(&[fleet_entry(1, 100.0)]).unwrap();
+        assert!(lines.iter().any(|l| l.contains("devices/s")));
+        assert!(check_trajectory(&[fleet_entry(1, 100.0), fleet_entry(1, 84.0)]).is_err());
+        assert!(check_trajectory(&[fleet_entry(1, 100.0), fleet_entry(1, 86.0)]).is_ok());
+    }
+
+    #[test]
+    fn fleet_and_grid_groups_gate_independently() {
+        // A fleet regression must fail even when the grid group is fine,
+        // and the grid metric must never be read from a fleet entry.
+        let entries = [
+            entry("quick", 1, 800.0),
+            fleet_entry(1, 100.0),
+            entry("quick", 1, 810.0),
+            fleet_entry(1, 50.0),
+        ];
+        let err = check_trajectory(&entries).unwrap_err();
+        assert!(err.contains("devices/s"), "{err}");
+        assert!(!err.contains("cells/s"), "{err}");
+    }
+
+    #[test]
+    fn entry_with_neither_metric_fails() {
+        let bare = BenchEntry {
+            mode: Some("fleet".to_owned()),
+            jobs: Some(1),
+            ..BenchEntry::default()
+        };
+        let err = check_trajectory(&[bare]).unwrap_err();
+        assert!(
+            err.contains("neither cells_per_s nor devices_per_s"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn fleet_fields_round_trip() {
+        let entry = fleet_entry(2, 123.45);
+        let json = serde_json::to_string(&entry).unwrap();
+        let back: BenchEntry = serde_json::from_str(&json).unwrap();
+        assert_eq!(entry, back);
+        // Pre-PR-7 entries (no fleet fields) still parse.
+        let old: BenchEntry =
+            serde_json::from_str(r#"{"mode":"quick","cells_per_s":1.0}"#).unwrap();
+        assert_eq!(old.devices, None);
+        assert_eq!(old.devices_per_s, None);
     }
 }

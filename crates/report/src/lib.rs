@@ -34,6 +34,6 @@ pub use profiling::{profile_pipeline, ProfileSummary};
 pub use snapshot::{
     snapshot_files, snapshot_files_observed, verify_snapshot, write_snapshot, Drift, GOLDEN_SEED,
 };
-pub use sweep::{run_sweep, run_sweep_observed, sweep_table, SWEEP_KINDS};
+pub use sweep::{fleet_table, run_sweep, run_sweep_observed, sweep_table, SWEEP_KINDS};
 pub use tables::Table;
 pub use workbench::{Workbench, GRID_KINDS};

@@ -197,6 +197,50 @@ pub fn sweep_table(benches: &[(u64, Workbench)], kinds: &[PowerManagerKind]) -> 
     t
 }
 
+/// Renders a streaming fleet sweep as the fleet table: one row per
+/// paper app (aggregated over every device running it) plus the
+/// whole-fleet TOTAL row. Pure function of the [`FleetReport`], so the
+/// table inherits the report's `--jobs`-independence.
+pub fn fleet_table(report: &pcap_sim::FleetReport) -> Table {
+    let mut t = Table::new(
+        format!(
+            "Fleet: {} devices, seed {}, {} ({})",
+            report.devices,
+            report.base_seed,
+            report.manager,
+            match report.max_runs {
+                Some(cap) => format!("runs capped at {cap}"),
+                None => "full traces".to_owned(),
+            }
+        ),
+        &[
+            "app",
+            "devices",
+            "runs",
+            "accesses",
+            "savings",
+            "coverage",
+            "miss rate",
+        ],
+    );
+    let slot_row = |t: &mut Table, name: &str, slot: &pcap_sim::FleetSlot| {
+        t.row(vec![
+            name.to_owned(),
+            slot.devices.to_string(),
+            slot.runs.to_string(),
+            slot.accesses.to_string(),
+            pct1(slot.savings()),
+            pct1(slot.coverage()),
+            pct1(slot.global.miss_rate()),
+        ]);
+    };
+    for (app, slot) in report.rows() {
+        slot_row(&mut t, app, slot);
+    }
+    slot_row(&mut t, "TOTAL", &report.total);
+    t
+}
+
 /// Renders a seed list compactly: contiguous runs as `a..=b`.
 fn render_seeds(seeds: &[u64]) -> String {
     let contiguous = seeds

@@ -132,6 +132,12 @@ pub struct RunOutcome {
 pub struct EngineScratch {
     pub(crate) preds: Vec<Option<Box<dyn IdlePredictor>>>,
     pub(crate) pending_idle: Vec<Option<SimDuration>>,
+    /// Per-run global predictor, cleared (capacity kept) between runs.
+    pub(crate) global: GlobalPredictor,
+    /// Retired per-process predictor boxes available for recycling; see
+    /// [`EngineScratch::enable_predictor_pool`].
+    pub(crate) pool: Vec<Box<dyn IdlePredictor>>,
+    pub(crate) pool_enabled: bool,
 }
 
 impl EngineScratch {
@@ -140,11 +146,29 @@ impl EngineScratch {
         EngineScratch::default()
     }
 
+    /// Recycles per-process predictor boxes across process lifetimes
+    /// instead of allocating a fresh box per process: a process exit
+    /// parks its predictor (after `on_run_end` fully resets it) and the
+    /// next process start pops it back.
+    ///
+    /// Opt-in because it is only sound when the manager's per-process
+    /// state resets completely at `on_run_end` — true for PCAP, whose
+    /// signature/history/pending state all clear (the surviving
+    /// match/learn counters are report-only) — and when one `Manager`
+    /// is kept alive for every run fed through this scratch (pooled
+    /// boxes hold handles to that manager's shared table). The
+    /// streaming fleet pipeline satisfies both; the legacy paths never
+    /// enable it.
+    pub fn enable_predictor_pool(&mut self) {
+        self.pool_enabled = true;
+    }
+
     pub(crate) fn reset(&mut self, pid_count: usize) {
         self.preds.clear();
         self.preds.resize_with(pid_count, || None);
         self.pending_idle.clear();
         self.pending_idle.resize(pid_count, None);
+        self.global.clear();
     }
 }
 
@@ -154,11 +178,13 @@ impl EngineScratch {
 pub(crate) struct RunState<'a> {
     pub(crate) manager: &'a mut Manager,
     pub(crate) oracle: bool,
-    pub(crate) global: GlobalPredictor,
+    pub(crate) global: &'a mut GlobalPredictor,
     pub(crate) preds: &'a mut [Option<Box<dyn IdlePredictor>>],
     /// Gap lengths awaiting `on_idle_end` at each process's next access
     /// (or exit).
     pub(crate) pending_idle: &'a mut [Option<SimDuration>],
+    pub(crate) pool: &'a mut Vec<Box<dyn IdlePredictor>>,
+    pub(crate) pool_enabled: bool,
     pub(crate) pids: &'a [Pid],
 }
 
@@ -168,7 +194,13 @@ impl RunState<'_> {
         self.global.process_started(pid, at);
         self.global
             .record_vote(pid, at, self.manager.initial_vote());
-        self.preds[pidx] = Some(self.manager.for_process(pid));
+        // A pooled box was fully reset by `on_run_end` at retirement, so
+        // it is behaviorally a fresh `for_process` product (the pool is
+        // only enabled for managers where that holds).
+        self.preds[pidx] = match self.pool.pop() {
+            Some(recycled) => Some(recycled),
+            None => Some(self.manager.for_process(pid)),
+        };
     }
 
     fn end_process(&mut self, pidx: usize) {
@@ -177,6 +209,9 @@ impl RunState<'_> {
                 pred.on_idle_end(gap);
             }
             pred.on_run_end();
+            if self.pool_enabled {
+                self.pool.push(pred);
+            }
         }
         self.global.process_exited(self.pids[pidx]);
     }
@@ -273,9 +308,11 @@ pub fn simulate_run_observed<O: DecisionObserver>(
     let mut state = RunState {
         oracle: manager.is_oracle(),
         manager,
-        global: GlobalPredictor::new(),
+        global: &mut scratch.global,
         preds: &mut scratch.preds,
         pending_idle: &mut scratch.pending_idle,
+        pool: &mut scratch.pool,
+        pool_enabled: scratch.pool_enabled,
         pids: streams.pids(),
     };
 
@@ -453,6 +490,18 @@ pub fn simulate_run_observed<O: DecisionObserver>(
     while li < lifecycle.len() {
         state.apply(lifecycle[li]);
         li += 1;
+    }
+
+    // Park predictors whose processes never recorded an exit (traces are
+    // not required to close every pid): `on_run_end` restores them to
+    // constructed state, so the pool can hand them out as fresh boxes.
+    if state.pool_enabled {
+        for slot in state.preds.iter_mut() {
+            if let Some(mut pred) = slot.take() {
+                pred.on_run_end();
+                state.pool.push(pred);
+            }
+        }
     }
 
     out

@@ -58,6 +58,21 @@ impl PowerManagerKind {
     /// LT with tree reuse.
     pub const LT: PowerManagerKind = PowerManagerKind::LearningTree { reuse: true };
 
+    /// Whether this kind's per-process predictors may be recycled
+    /// across processes (and devices) after
+    /// [`on_run_end`](pcap_core::IdlePredictor::on_run_end).
+    ///
+    /// True for every kind whose `on_run_end` restores the predictor
+    /// to its freshly constructed state (shared tables are owned by the
+    /// [`Manager`], not the box). The one exception is
+    /// [`AdaptiveTimeout`](PowerManagerKind::AdaptiveTimeout), whose
+    /// feedback-adjusted timeout deliberately persists for the life of
+    /// the box — recycling it would leak one process's adaptation into
+    /// the next.
+    pub fn recyclable_predictors(self) -> bool {
+        !matches!(self, PowerManagerKind::AdaptiveTimeout)
+    }
+
     /// The paper's label for the configuration ("TP", "PCAPh", "LTa", …).
     pub fn label(self) -> String {
         match self {
@@ -256,6 +271,21 @@ impl Manager {
                 Shared::Tree(t) => t.clear(),
                 Shared::None => {}
             }
+        }
+    }
+
+    /// Forgets all shared predictor state (prediction table or learning
+    /// tree) regardless of the reuse policy, keeping allocated capacity.
+    ///
+    /// A reset manager is behaviorally identical to a freshly built one
+    /// — the streaming pipeline calls this at device boundaries so one
+    /// manager (and the predictor boxes holding handles to its shared
+    /// table) serves an unbounded device population.
+    pub fn reset_shared(&mut self) {
+        match &self.shared {
+            Shared::Table(t) => t.clear(),
+            Shared::Tree(t) => t.clear(),
+            Shared::None => {}
         }
     }
 

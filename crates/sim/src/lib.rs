@@ -38,6 +38,7 @@ pub mod metrics;
 pub mod multistate;
 pub mod prepared;
 pub mod profile;
+pub mod stream;
 pub mod streams;
 pub mod sweep;
 
@@ -59,6 +60,10 @@ pub use multistate::{
 };
 pub use prepared::{evaluate_prepared, evaluate_prepared_traced, PreparedTrace};
 pub use profile::WorkloadProfile;
+pub use stream::{
+    stream_device_report, sweep_fleet, sweep_fleet_observed, DeviceOutcome, FleetReport, FleetSlot,
+    StreamWorker, FLEET_CHUNK,
+};
 pub use streams::{prepare_call_count, Lifetime, RunStreams};
 pub use sweep::{SeedStat, SweepRunner};
 

@@ -34,7 +34,7 @@ use crate::metrics::{EnergyBreakdown, PredictionCounts};
 use crate::prepared::PreparedTrace;
 use crate::streams::RunStreams;
 use crate::SimConfig;
-use pcap_core::{ladder_target, GlobalPredictor, VoteSource};
+use pcap_core::{ladder_target, VoteSource};
 use pcap_disk::{
     descent_energy, DescentStep, GapBreakdown, GapContext, LadderPolicy, MultiStateParams,
 };
@@ -124,9 +124,11 @@ pub fn simulate_run_multistate<P: LadderPolicy + ?Sized, O: DecisionObserver>(
     let mut state = RunState {
         oracle: manager.is_oracle(),
         manager,
-        global: GlobalPredictor::new(),
+        global: &mut scratch.engine.global,
         preds: &mut scratch.engine.preds,
         pending_idle: &mut scratch.engine.pending_idle,
+        pool: &mut scratch.engine.pool,
+        pool_enabled: scratch.engine.pool_enabled,
         pids: streams.pids(),
     };
 

@@ -17,7 +17,7 @@
 //!   a slice instead of re-deriving lifecycles per manager.
 
 use crate::SimConfig;
-use pcap_cache::CacheStats;
+use pcap_cache::{CacheStats, FileCache};
 use pcap_trace::TraceRun;
 use pcap_types::{DiskAccess, Pid, SimDuration, SimTime, TraceEvent};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -95,22 +95,63 @@ pub struct RunStreams {
     pub run_end: SimTime,
     /// File-cache statistics for the run.
     pub cache_stats: CacheStats,
+    /// Scratch for the backward local-gap scan, kept across rebuilds so
+    /// the streaming pipeline never reallocates it.
+    next_of: Vec<Option<SimTime>>,
 }
 
 impl RunStreams {
     /// Preprocesses one run under the simulation configuration.
     pub fn build(run: &TraceRun, config: &SimConfig) -> RunStreams {
+        let mut cache = FileCache::new(config.cache.clone());
+        let mut streams = RunStreams::empty();
+        streams.rebuild(run, config, &mut cache);
+        streams
+    }
+
+    /// An empty shell ready to be filled by [`RunStreams::rebuild`].
+    /// Holds no accesses; every table is zero-length.
+    pub fn empty() -> RunStreams {
+        RunStreams {
+            accesses: Vec::new(),
+            completions: Vec::new(),
+            local_gaps: Vec::new(),
+            global_gaps: Vec::new(),
+            pids: Vec::new(),
+            lifetimes: Vec::new(),
+            access_pidx: Vec::new(),
+            lifecycle: Vec::new(),
+            run_end: SimTime::ZERO,
+            cache_stats: CacheStats::default(),
+            next_of: Vec::new(),
+        }
+    }
+
+    /// Preprocesses one run *in place*, reusing this instance's table
+    /// capacities and the caller's file cache (reset to cold first).
+    /// [`RunStreams::build`] delegates here, so the two paths cannot
+    /// diverge: a rebuilt instance is field-for-field identical to a
+    /// freshly built one.
+    ///
+    /// `cache` must have been created from `config.cache`; the streaming
+    /// pipeline keeps one per worker and rebuilds millions of runs
+    /// through it with no steady-state allocation.
+    pub fn rebuild(&mut self, run: &TraceRun, config: &SimConfig, cache: &mut FileCache) {
+        debug_assert_eq!(cache.config(), &config.cache, "cache/config mismatch");
         PREPARE_CALLS.fetch_add(1, Ordering::Relaxed);
-        let (accesses, cache_stats) = pcap_cache::filter_run(run, &config.cache);
+        self.run_end = run.end;
+        self.accesses.clear();
+        self.cache_stats = pcap_cache::filter_run_into(run, cache, &mut self.accesses);
 
         // Serialize service: the disk finishes one access before the
         // next starts.
-        let mut completions = Vec::with_capacity(accesses.len());
+        self.completions.clear();
+        self.completions.reserve(self.accesses.len());
         let mut disk_free = SimTime::ZERO;
-        for a in &accesses {
+        for a in &self.accesses {
             let start = a.time.max(disk_free);
             let done = start + config.disk.service_time(a.pages);
-            completions.push(done);
+            self.completions.push(done);
             disk_free = done;
         }
 
@@ -118,36 +159,39 @@ impl RunStreams {
         // record lifetimes + lifecycle against the compact index. Runs
         // have a handful of processes, so a linear pid scan beats
         // hashing.
-        let mut pids: Vec<Pid> = vec![run.root];
-        let mut lifetimes: Vec<Lifetime> = vec![Lifetime {
+        self.pids.clear();
+        self.pids.push(run.root);
+        self.lifetimes.clear();
+        self.lifetimes.push(Lifetime {
             start: SimTime::ZERO,
             end: run.end,
-        }];
-        let mut lifecycle: Vec<LifecycleEvent> = vec![LifecycleEvent {
+        });
+        self.lifecycle.clear();
+        self.lifecycle.push(LifecycleEvent {
             time: SimTime::ZERO,
             kind: LifecycleKind::Start,
             pidx: 0,
-        }];
+        });
         let index_of = |pids: &[Pid], pid: Pid| pids.iter().position(|p| *p == pid);
         for e in &run.events {
             match *e {
                 TraceEvent::Fork { time, child, .. } => {
-                    let pidx = pids.len() as u32;
-                    pids.push(child);
-                    lifetimes.push(Lifetime {
+                    let pidx = self.pids.len() as u32;
+                    self.pids.push(child);
+                    self.lifetimes.push(Lifetime {
                         start: time,
                         end: run.end,
                     });
-                    lifecycle.push(LifecycleEvent {
+                    self.lifecycle.push(LifecycleEvent {
                         time,
                         kind: LifecycleKind::Start,
                         pidx,
                     });
                 }
                 TraceEvent::Exit { time, pid } => {
-                    if let Some(pidx) = index_of(&pids, pid) {
-                        lifetimes[pidx].end = time;
-                        lifecycle.push(LifecycleEvent {
+                    if let Some(pidx) = index_of(&self.pids, pid) {
+                        self.lifetimes[pidx].end = time;
+                        self.lifecycle.push(LifecycleEvent {
                             time,
                             kind: LifecycleKind::Exit,
                             pidx: pidx as u32,
@@ -161,44 +205,38 @@ impl RunStreams {
         // Resolve each access's pid once. Cache write-backs are
         // attributed to the dirtying process, which is always traced,
         // so the lookup cannot fail on validated runs.
-        let access_pidx: Vec<u32> = accesses
-            .iter()
-            .map(|a| index_of(&pids, a.pid).expect("access pid is traced") as u32)
-            .collect();
+        self.access_pidx.clear();
+        self.access_pidx.reserve(self.accesses.len());
+        for a in &self.accesses {
+            let pidx = index_of(&self.pids, a.pid).expect("access pid is traced") as u32;
+            self.access_pidx.push(pidx);
+        }
 
         // Per-process gaps: scan backwards remembering each pid's next
         // access arrival — dense table, no hashing.
-        let mut local_gaps = vec![SimDuration::ZERO; accesses.len()];
-        let mut next_of: Vec<Option<SimTime>> = vec![None; pids.len()];
-        for i in (0..accesses.len()).rev() {
-            let pidx = access_pidx[i] as usize;
-            let horizon = next_of[pidx].unwrap_or(lifetimes[pidx].end);
-            local_gaps[i] = horizon.saturating_since(completions[i]);
-            next_of[pidx] = Some(accesses[i].time);
+        self.local_gaps.clear();
+        self.local_gaps
+            .resize(self.accesses.len(), SimDuration::ZERO);
+        self.next_of.clear();
+        self.next_of.resize(self.pids.len(), None);
+        for i in (0..self.accesses.len()).rev() {
+            let pidx = self.access_pidx[i] as usize;
+            let horizon = self.next_of[pidx].unwrap_or(self.lifetimes[pidx].end);
+            self.local_gaps[i] = horizon.saturating_since(self.completions[i]);
+            self.next_of[pidx] = Some(self.accesses[i].time);
         }
 
         // Merged gaps.
-        let mut global_gaps = vec![SimDuration::ZERO; accesses.len()];
-        for i in 0..accesses.len() {
-            let horizon = if i + 1 < accesses.len() {
-                accesses[i + 1].time
+        self.global_gaps.clear();
+        self.global_gaps
+            .resize(self.accesses.len(), SimDuration::ZERO);
+        for i in 0..self.accesses.len() {
+            let horizon = if i + 1 < self.accesses.len() {
+                self.accesses[i + 1].time
             } else {
                 run.end
             };
-            global_gaps[i] = horizon.saturating_since(completions[i]);
-        }
-
-        RunStreams {
-            accesses,
-            completions,
-            local_gaps,
-            global_gaps,
-            pids,
-            lifetimes,
-            access_pidx,
-            lifecycle,
-            run_end: run.end,
-            cache_stats,
+            self.global_gaps[i] = horizon.saturating_since(self.completions[i]);
         }
     }
 

@@ -2,13 +2,19 @@
 //!
 //! [`LruMap`] backs the file cache (64 pages in the paper configuration) and the
 //! optional prediction-table capacity limit in
-//! [`pcap-core`](https://docs.rs/pcap-core). Recency is tracked with a
-//! monotone sequence number per entry plus an ordered index, giving
-//! `O(log n)` operations with no `unsafe` code — ample for the small
-//! capacities involved.
+//! [`pcap-core`](https://docs.rs/pcap-core). Recency is a monotone
+//! per-entry sequence number: touching an entry is a single in-place
+//! store on the hash-table hot path, and eviction scans for the minimum
+//! sequence — `O(capacity)` but only on inserts into a full map, which
+//! the unbounded prediction tables never hit. The whole structure
+//! performs **zero heap allocations in steady state** (the streaming
+//! fleet pipeline replays millions of devices through one cache, so the
+//! per-access path must not churn the allocator): values live inline in
+//! the table, eviction reuses the table's storage, and `clear` keeps
+//! its capacity.
 
 use std::borrow::Borrow;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::HashMap;
 use std::hash::Hash;
 
 /// A hash map bounded to `capacity` entries with least-recently-used
@@ -31,7 +37,6 @@ pub struct LruMap<K, V> {
     capacity: usize,
     next_seq: u64,
     entries: HashMap<K, (u64, V)>,
-    recency: BTreeMap<u64, K>,
 }
 
 impl<K: Eq + Hash + Clone, V> LruMap<K, V> {
@@ -46,7 +51,6 @@ impl<K: Eq + Hash + Clone, V> LruMap<K, V> {
             capacity,
             next_seq: 0,
             entries: HashMap::with_capacity(capacity.min(1024)),
-            recency: BTreeMap::new(),
         }
     }
 
@@ -65,23 +69,12 @@ impl<K: Eq + Hash + Clone, V> LruMap<K, V> {
         self.capacity
     }
 
-    fn touch(&mut self, key: &K) {
-        if let Some((seq, _)) = self.entries.get_mut(key) {
-            self.recency.remove(seq);
-            *seq = self.next_seq;
-            self.recency.insert(self.next_seq, key.clone());
-            self.next_seq += 1;
-        }
-    }
-
     /// Looks up `key`, marking it most recently used.
     pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
-        if self.entries.contains_key(key) {
-            self.touch(key);
-            self.entries.get_mut(key).map(|(_, v)| v)
-        } else {
-            None
-        }
+        let (seq, value) = self.entries.get_mut(key)?;
+        *seq = self.next_seq;
+        self.next_seq += 1;
+        Some(value)
     }
 
     /// Looks up `key` without affecting recency.
@@ -98,33 +91,32 @@ impl<K: Eq + Hash + Clone, V> LruMap<K, V> {
     /// when `key` merely replaced its own previous value).
     pub fn insert(&mut self, key: K, value: V) -> Option<(K, V)> {
         if let Some((seq, old)) = self.entries.get_mut(&key) {
-            *old = value;
-            let seq = *seq;
-            self.recency.remove(&seq);
-            self.recency.insert(self.next_seq, key.clone());
-            self.entries.get_mut(&key).expect("just updated").0 = self.next_seq;
+            *seq = self.next_seq;
             self.next_seq += 1;
+            *old = value;
             return None;
         }
         let mut evicted = None;
         if self.entries.len() == self.capacity {
-            if let Some((&oldest_seq, _)) = self.recency.iter().next() {
-                let victim_key = self.recency.remove(&oldest_seq).expect("indexed");
-                let (_, victim_val) = self.entries.remove(&victim_key).expect("consistent");
-                evicted = Some((victim_key, victim_val));
-            }
+            // Scan for the stalest entry; sequence numbers are unique,
+            // so the victim is deterministic.
+            let victim_key = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (seq, _))| *seq)
+                .map(|(k, _)| k.clone())
+                .expect("full map has a minimum");
+            let (_, victim_val) = self.entries.remove(&victim_key).expect("just found");
+            evicted = Some((victim_key, victim_val));
         }
-        self.entries.insert(key.clone(), (self.next_seq, value));
-        self.recency.insert(self.next_seq, key);
+        self.entries.insert(key, (self.next_seq, value));
         self.next_seq += 1;
         evicted
     }
 
     /// Removes `key`, returning its value.
     pub fn remove(&mut self, key: &K) -> Option<V> {
-        let (seq, value) = self.entries.remove(key)?;
-        self.recency.remove(&seq);
-        Some(value)
+        self.entries.remove(key).map(|(_, v)| v)
     }
 
     /// Iterates over entries in unspecified order without affecting
@@ -140,14 +132,18 @@ impl<K: Eq + Hash + Clone, V> LruMap<K, V> {
 
     /// Iterates over keys from least- to most-recently used, without
     /// affecting recency. The next key to be evicted comes first.
+    ///
+    /// Allocates a sorted snapshot — audit/report paths only; the
+    /// simulation hot path never calls this.
     pub fn keys_by_recency(&self) -> impl Iterator<Item = &K> {
-        self.recency.values()
+        let mut keys: Vec<(u64, &K)> = self.entries.iter().map(|(k, (seq, _))| (*seq, k)).collect();
+        keys.sort_unstable_by_key(|&(seq, _)| seq);
+        keys.into_iter().map(|(_, k)| k)
     }
 
-    /// Removes all entries.
+    /// Removes all entries, keeping the table's capacity.
     pub fn clear(&mut self) {
         self.entries.clear();
-        self.recency.clear();
     }
 }
 
@@ -252,5 +248,24 @@ mod tests {
         // peek and keys_by_recency themselves must not touch.
         m.peek(&3);
         assert_eq!(m.keys_by_recency().next(), Some(&3));
+    }
+
+    #[test]
+    fn interleaved_remove_insert_reuses_capacity() {
+        let mut m = LruMap::new(4);
+        for i in 0..4 {
+            m.insert(i, i);
+        }
+        m.remove(&1);
+        m.remove(&3);
+        m.insert(10, 10);
+        m.insert(11, 11);
+        assert_eq!(m.len(), 4);
+        assert_eq!(
+            m.keys_by_recency().copied().collect::<Vec<_>>(),
+            [0, 2, 10, 11]
+        );
+        // Eviction still picks the true LRU after removals.
+        assert_eq!(m.insert(12, 12), Some((0, 0)));
     }
 }

@@ -29,9 +29,11 @@
 pub mod adversary;
 pub mod apps;
 pub mod dists;
+pub mod population;
 pub mod spec;
 
 pub use adversary::{adversarial_gaps, straddle, worst_case_search, NoisyVotes, WorstCase};
 pub use apps::{paper_suite, PaperApp};
 pub use dists::{CountDist, TimeDist};
+pub use population::{device_app, device_seed, splitmix64, Device, DevicePopulation};
 pub use spec::{Activity, ActivityStep, AppModel, AppSpec, HelperSpec, IoOp, SpecError, UserState};

@@ -1,0 +1,139 @@
+//! Streaming-pipeline parity: the fused generate → filter → evaluate
+//! path must be *byte-identical* to the prepare-once reference.
+//!
+//! The streaming evaluator recycles everything the prepared path
+//! builds fresh — file cache, stream buffers, global predictor, shared
+//! tables, even the per-process predictor boxes — so equality here is
+//! the proof that every reset is indistinguishable from construction.
+//! Cohort 0 of a fleet uses the base seed verbatim; at the golden seed
+//! the first six devices *are* the legacy six-app grid.
+
+use pcap_dpm::sim::{
+    evaluate_prepared, stream_device_report, sweep_fleet, PowerManagerKind, PreparedTrace,
+    SimConfig, SweepRunner,
+};
+use pcap_dpm::workload::{device_seed, AppModel, DevicePopulation, PaperApp};
+use proptest::prelude::*;
+
+/// Satellite acceptance: all six seed-42 devices, full traces, PCAP —
+/// streamed reports equal the prepare-once reports byte for byte
+/// (struct equality *and* serialized form).
+#[test]
+fn six_seed_devices_match_prepared_path_byte_for_byte() {
+    let config = SimConfig::paper();
+    let pop = DevicePopulation::new(6, 42);
+    for (device, app) in PaperApp::ALL.iter().enumerate() {
+        let trace = app.spec().generate_trace(42).unwrap();
+        let prepared = PreparedTrace::build(&trace, &config);
+        let legacy = evaluate_prepared(&prepared, &config, PowerManagerKind::PCAP);
+        let streamed =
+            stream_device_report(&pop, device as u64, &config, PowerManagerKind::PCAP, None)
+                .unwrap();
+        assert_eq!(legacy, streamed, "{app}");
+        assert_eq!(
+            serde_json::to_string(&legacy).unwrap(),
+            serde_json::to_string(&streamed).unwrap(),
+            "{app}: serialized forms must match byte for byte"
+        );
+    }
+}
+
+/// The parity holds across manager kinds, including ones that disable
+/// predictor recycling (AdaptiveTimeout) and ones with shared state
+/// beyond PCAP's table (the Learning Tree).
+#[test]
+fn streaming_parity_across_manager_kinds() {
+    let config = SimConfig::paper();
+    let pop = DevicePopulation::new(6, 42);
+    let trace = PaperApp::Xemacs.spec().generate_trace(42).unwrap();
+    let prepared = PreparedTrace::build(&trace, &config);
+    for kind in [
+        PowerManagerKind::Timeout,
+        PowerManagerKind::Oracle,
+        PowerManagerKind::PCAP,
+        PowerManagerKind::LT,
+        PowerManagerKind::AdaptiveTimeout,
+        PowerManagerKind::ExponentialAverage,
+    ] {
+        let legacy = evaluate_prepared(&prepared, &config, kind);
+        let streamed = stream_device_report(&pop, 3, &config, kind, None).unwrap();
+        assert_eq!(legacy, streamed, "{}", kind.label());
+    }
+}
+
+/// Fleet aggregation is independent of the worker count: the chunked
+/// fold produces bit-equal per-app and total slots for 1 and 8 jobs,
+/// across a cohort boundary.
+#[test]
+fn fleet_sweep_is_jobs_independent() {
+    let config = SimConfig::paper();
+    let pop = DevicePopulation::new(20, 42);
+    let one = sweep_fleet(
+        &pop,
+        &config,
+        PowerManagerKind::PCAP,
+        &SweepRunner::new(1),
+        Some(2),
+    )
+    .unwrap();
+    let eight = sweep_fleet(
+        &pop,
+        &config,
+        PowerManagerKind::PCAP,
+        &SweepRunner::new(8),
+        Some(2),
+    )
+    .unwrap();
+    assert_eq!(
+        serde_json::to_string(&one.per_app).unwrap(),
+        serde_json::to_string(&eight.per_app).unwrap()
+    );
+    assert_eq!(
+        serde_json::to_string(&one.total).unwrap(),
+        serde_json::to_string(&eight.total).unwrap()
+    );
+}
+
+proptest! {
+    /// The device→seed contract: cohort 0 is the identity, devices of
+    /// one cohort share a seed, and the mapping is a pure function.
+    #[test]
+    fn device_seed_contract(base in any::<u64>(), device in 0u64..100_000) {
+        let seed = device_seed(base, device);
+        prop_assert_eq!(seed, device_seed(base, device));
+        if device < 6 {
+            prop_assert_eq!(seed, base);
+        }
+        let cohort_first = (device / 6) * 6;
+        prop_assert_eq!(seed, device_seed(base, cohort_first));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+    /// Streamed evaluation equals the prepare-once reference for
+    /// arbitrary (device, kind) picks — including jittered cohorts,
+    /// where the prepared path runs on the jittered seed's trace.
+    #[test]
+    fn streamed_device_matches_prepared_for_any_cohort(
+        device in 0u64..18,
+        kind_pick in 0usize..3,
+    ) {
+        let config = SimConfig::paper();
+        let pop = DevicePopulation::new(18, 42);
+        let kind = [
+            PowerManagerKind::Timeout,
+            PowerManagerKind::PCAP,
+            PowerManagerKind::Oracle,
+        ][kind_pick];
+        let app = PaperApp::ALL[(device % 6) as usize];
+        let seed = device_seed(42, device);
+        // Truncate to 3 runs on both sides — parity, not coverage.
+        let mut trace = app.spec().generate_trace(seed).unwrap();
+        trace.runs.truncate(3);
+        let prepared = PreparedTrace::build(&trace, &config);
+        let legacy = evaluate_prepared(&prepared, &config, kind);
+        let streamed = stream_device_report(&pop, device, &config, kind, Some(3)).unwrap();
+        prop_assert_eq!(legacy, streamed);
+    }
+}
