@@ -15,6 +15,8 @@
 //! pcap explain <app>                         narrative tables tying §6 claims to measured numbers
 //! pcap bench [--quick] [--jobs N]            time the prepare/warm-up phases, append BENCH_sim.json
 //! pcap bench --check                         gate BENCH_sim.json against its own trajectory
+//! pcap serve --uds PATH|--listen ADDR        run the online sharded decision daemon
+//! pcap load --uds PATH|--connect ADDR        replay a generated workload against a daemon
 //! ```
 //!
 //! Every command is deterministic in `(seed, config)`: `--jobs` changes
@@ -51,6 +53,9 @@ const USAGE: &str = "usage:
   pcap explain <app> [--seed N] [--jobs N] [--csv]
   pcap bench [--quick] [--seed N] [--jobs N] [--out FILE] [--label L] [--check]
   pcap bench --check [--out FILE]
+  pcap serve [--uds PATH] [--listen ADDR] [--metrics ADDR] [--shards N]
+  pcap load [--uds PATH] [--connect ADDR] [--devices N] [--seed N] [--rate N]
+            [--quick] [--interleave] [--hist-out FILE]
 
 flags:
   --seed N       workload seed (default 42)
@@ -71,6 +76,14 @@ flags:
   --prometheus FILE    profile: write Prometheus text-format metrics
   --jsonl FILE   audit: also write the full decision log as JSON lines
   --top-misses N audit: rows per mispredict table (default 10, minimum 1)
+  --uds PATH     serve: listen on / load: connect to a Unix-domain socket
+  --listen ADDR  serve: listen on a TCP address (host:port)
+  --connect ADDR load: connect to a TCP address (host:port)
+  --metrics ADDR serve: expose /metrics (Prometheus text) and /audit over HTTP
+  --shards N     serve: shard worker threads (default: all cores)
+  --rate N       load: target event rate in events/s (default: unthrottled)
+  --interleave   load: interleave devices run-by-run instead of device-major
+  --hist-out FILE  load: write the run-latency histogram as JSON
 
 experiments: table1 table2 fig6 fig7 fig8 fig9 fig10 table3 ablations system multistate lambda
 apps: mozilla writer impress xemacs nedit mplayer";
@@ -92,6 +105,14 @@ struct Options {
     chrome_trace: Option<String>,
     prometheus: Option<String>,
     top_misses: usize,
+    listen: Option<String>,
+    connect: Option<String>,
+    uds: Option<String>,
+    metrics: Option<String>,
+    shards: Option<usize>,
+    rate: Option<u64>,
+    interleave: bool,
+    hist_out: Option<String>,
     positional: Vec<String>,
 }
 
@@ -135,6 +156,14 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         chrome_trace: None,
         prometheus: None,
         top_misses: 10,
+        listen: None,
+        connect: None,
+        uds: None,
+        metrics: None,
+        shards: None,
+        rate: None,
+        interleave: false,
+        hist_out: None,
         positional: Vec::new(),
     };
     let mut it = args.iter();
@@ -195,6 +224,40 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 if options.top_misses == 0 {
                     return Err("top-misses must be at least 1".to_owned());
                 }
+            }
+            "--listen" => {
+                options.listen = Some(it.next().ok_or("--listen needs a value")?.clone());
+            }
+            "--connect" => {
+                options.connect = Some(it.next().ok_or("--connect needs a value")?.clone());
+            }
+            "--uds" => {
+                options.uds = Some(it.next().ok_or("--uds needs a value")?.clone());
+            }
+            "--metrics" => {
+                options.metrics = Some(it.next().ok_or("--metrics needs a value")?.clone());
+            }
+            "--shards" => {
+                let value = it.next().ok_or("--shards needs a value")?;
+                let shards: usize = value
+                    .parse()
+                    .map_err(|_| format!("bad shard count: {value}"))?;
+                if shards == 0 {
+                    return Err("shard count must be at least 1".to_owned());
+                }
+                options.shards = Some(shards);
+            }
+            "--rate" => {
+                let value = it.next().ok_or("--rate needs a value")?;
+                let rate: u64 = value.parse().map_err(|_| format!("bad rate: {value}"))?;
+                if rate == 0 {
+                    return Err("rate must be at least 1 event/s".to_owned());
+                }
+                options.rate = Some(rate);
+            }
+            "--interleave" => options.interleave = true,
+            "--hist-out" => {
+                options.hist_out = Some(it.next().ok_or("--hist-out needs a value")?.clone());
             }
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
             other => options.positional.push(other.to_owned()),
@@ -490,6 +553,8 @@ idle-gap distribution (all executions):"
             Ok(())
         }
         "bench" => run_bench(&options),
+        "serve" => run_serve(&options),
+        "load" => run_load_client(&options),
         "help" | "--help" => {
             println!("{USAGE}");
             Ok(())
@@ -505,6 +570,10 @@ const QUICK_RUNS: usize = 6;
 /// Fleet size of the bench's streaming-throughput group (fixed across
 /// `--quick` and full runs so devices/s entries stay comparable).
 const FLEET_BENCH_DEVICES: u64 = 96;
+
+/// Device count of the bench's online-serving group (fixed across
+/// `--quick` and full runs so decisions/s entries stay comparable).
+const SERVE_BENCH_DEVICES: u64 = 24;
 
 /// `pcap profile` without an application: runs the full report
 /// pipeline (generate → prepare → warm up the `app × manager` grid →
@@ -581,6 +650,184 @@ fn run_fleet_sweep(devices: u64, options: &Options) -> Result<(), String> {
     )
     .map_err(|e| e.to_string())?;
     emit(&[fleet_table(&report)], options.csv);
+    Ok(())
+}
+
+/// Parses a `host:port` flag value with a named error.
+fn parse_addr(value: &str, what: &str) -> Result<std::net::SocketAddr, String> {
+    value
+        .parse()
+        .map_err(|_| format!("bad {what} address: {value} (expected host:port)"))
+}
+
+/// Builds a [`pcap_serve::ServeConfig`] from the shared flags.
+fn serve_config(options: &Options) -> pcap_serve::ServeConfig {
+    let mut config = pcap_serve::ServeConfig::default();
+    if let Some(shards) = options.shards {
+        config.shards = shards;
+    }
+    config
+}
+
+/// `pcap serve`: starts the online sharded decision daemon on the
+/// requested endpoints and runs until killed. With `--metrics ADDR`
+/// the live counters are scrapeable as Prometheus text at
+/// `http://ADDR/metrics` (sampled audit records at `/audit`).
+fn run_serve(options: &Options) -> Result<(), String> {
+    let mut endpoints = Vec::new();
+    if let Some(listen) = &options.listen {
+        endpoints.push(pcap_serve::Endpoint::Tcp(parse_addr(listen, "listen")?));
+    }
+    if let Some(uds) = &options.uds {
+        endpoints.push(pcap_serve::Endpoint::Uds(uds.into()));
+    }
+    if endpoints.is_empty() {
+        return Err("serve needs --listen ADDR and/or --uds PATH".to_owned());
+    }
+    let metrics_http = options
+        .metrics
+        .as_deref()
+        .map(|a| parse_addr(a, "metrics"))
+        .transpose()?;
+    let config = serve_config(options);
+    let shards = config.shards;
+    let handle = pcap_serve::start(config, &endpoints, metrics_http).map_err(|e| e.to_string())?;
+    for endpoint in &endpoints {
+        match endpoint {
+            pcap_serve::Endpoint::Tcp(_) => {
+                if let Some(addr) = handle.tcp_addr() {
+                    eprintln!("pcap serve: listening on tcp {addr} ({shards} shards)");
+                }
+            }
+            pcap_serve::Endpoint::Uds(path) => {
+                eprintln!(
+                    "pcap serve: listening on uds {} ({shards} shards)",
+                    path.display()
+                );
+            }
+        }
+    }
+    if let Some(addr) = handle.metrics_addr() {
+        eprintln!("pcap serve: metrics at http://{addr}/metrics");
+    }
+    // The daemon has no stop condition of its own: it serves until the
+    // process is killed (CI backgrounds it and signals it).
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
+/// Approximate quantile from a log-bucketed histogram: the upper bound
+/// of the first bucket whose cumulative count reaches `q`.
+fn hist_quantile(hist: &pcap_obs::LogHistogram, q: f64) -> u64 {
+    let total = hist.total();
+    if total == 0 {
+        return 0;
+    }
+    let target = ((total as f64) * q).ceil() as u64;
+    let mut seen = 0;
+    for (index, &count) in hist.counts().iter().enumerate() {
+        seen += count;
+        if seen >= target {
+            return pcap_obs::LogHistogram::bucket_bounds(index).1;
+        }
+    }
+    u64::MAX
+}
+
+/// Renders a latency histogram as a small JSON artifact (per-bucket
+/// bounds and counts plus summary quantiles).
+fn hist_to_json(hist: &pcap_obs::LogHistogram) -> String {
+    let buckets: Vec<serde::Value> = hist
+        .counts()
+        .iter()
+        .enumerate()
+        .filter(|(_, &count)| count > 0)
+        .map(|(index, &count)| {
+            let (lo, hi) = pcap_obs::LogHistogram::bucket_bounds(index);
+            serde::Value::Object(vec![
+                ("lo_us".into(), serde::Value::UInt(lo)),
+                ("hi_us".into(), serde::Value::UInt(hi)),
+                ("count".into(), serde::Value::UInt(count)),
+            ])
+        })
+        .collect();
+    let doc = serde::Value::Object(vec![
+        ("unit".into(), serde::Value::Str("us".to_owned())),
+        ("total".into(), serde::Value::UInt(hist.total())),
+        (
+            "p50_us".into(),
+            serde::Value::UInt(hist_quantile(hist, 0.50)),
+        ),
+        (
+            "p90_us".into(),
+            serde::Value::UInt(hist_quantile(hist, 0.90)),
+        ),
+        (
+            "p99_us".into(),
+            serde::Value::UInt(hist_quantile(hist, 0.99)),
+        ),
+        ("buckets".into(), serde::Value::Array(buckets)),
+    ]);
+    serde_json::to_string_pretty(&doc).expect("histogram JSON") + "\n"
+}
+
+/// `pcap load`: replays a generated device population against a
+/// running daemon and reports achieved decision throughput plus the
+/// `RunEnd` → `RunSummary` latency distribution.
+fn run_load_client(options: &Options) -> Result<(), String> {
+    let endpoint = match (&options.uds, &options.connect) {
+        (Some(_), Some(_)) => {
+            return Err("load takes either --uds PATH or --connect ADDR, not both".to_owned())
+        }
+        (Some(uds), None) => pcap_serve::Endpoint::Uds(uds.into()),
+        (None, Some(addr)) => pcap_serve::Endpoint::Tcp(parse_addr(addr, "connect")?),
+        (None, None) => return Err("load needs --uds PATH or --connect ADDR".to_owned()),
+    };
+    let devices = options.devices.unwrap_or(6);
+    let max_runs = options.quick.then_some(QUICK_RUNS);
+    let order = if options.interleave {
+        pcap_workload::ReplayOrder::Interleaved
+    } else {
+        pcap_workload::ReplayOrder::DeviceMajor
+    };
+    let plan = pcap_workload::ReplayPlan::new(
+        DevicePopulation::new(devices, options.seed),
+        max_runs,
+        order,
+    );
+    let load_options = pcap_serve::LoadOptions {
+        events_per_sec: options.rate,
+        ..pcap_serve::LoadOptions::default()
+    };
+    let report =
+        pcap_serve::run_load(&endpoint, &plan, &load_options).map_err(|e| e.to_string())?;
+    println!(
+        "pcap load: {} devices, {} runs ({} rejected), {} events in {:.3}s",
+        report.devices_done, report.runs, report.run_rejects, report.events, report.elapsed_s
+    );
+    println!(
+        "pcap load: {} decisions ({:.0} decisions/s)",
+        report.decisions, report.decisions_per_s
+    );
+    println!(
+        "pcap load: run latency p50 {} us, p90 {} us, p99 {} us ({} runs acked)",
+        hist_quantile(&report.run_latency_us, 0.50),
+        hist_quantile(&report.run_latency_us, 0.90),
+        hist_quantile(&report.run_latency_us, 0.99),
+        report.run_latency_us.total()
+    );
+    if let Some(path) = &options.hist_out {
+        std::fs::write(path, hist_to_json(&report.run_latency_us))
+            .map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("pcap load: wrote latency histogram to {path}");
+    }
+    if report.timed_out {
+        return Err(format!(
+            "load timed out: {} of {devices} devices retired before the deadline",
+            report.devices_done
+        ));
+    }
     Ok(())
 }
 
@@ -879,6 +1126,63 @@ fn run_bench(options: &Options) -> Result<(), String> {
         ("devices_per_s".into(), serde::Value::Float(devices_per_s)),
     ]));
 
+    // Online-serving throughput: an in-process daemon on a temp UDS,
+    // loaded by the replay client at an unthrottled rate — the same
+    // fixed configuration ([`SERVE_BENCH_DEVICES`] devices, runs
+    // capped at QUICK_RUNS) for every bench invocation, gated on
+    // decisions/s in its own `(serve, jobs)` group.
+    let mut serve_decisions = 0u64;
+    let mut serve_runs = 0u64;
+    let mut decisions_per_s = 0f64;
+    for rep in 0..3 {
+        let sock = std::env::temp_dir().join(format!(
+            "pcap-bench-serve-{}-{rep}.sock",
+            std::process::id()
+        ));
+        let mut config = serve_config(options);
+        if options.jobs > 0 {
+            config.shards = options.jobs;
+        }
+        config.sample_every = 0; // measure the hot path, not the sampler
+        let handle = pcap_serve::start(config, &[pcap_serve::Endpoint::Uds(sock.clone())], None)
+            .map_err(|e| e.to_string())?;
+        let plan = pcap_workload::ReplayPlan::new(
+            DevicePopulation::new(SERVE_BENCH_DEVICES, options.seed),
+            Some(QUICK_RUNS),
+            pcap_workload::ReplayOrder::Interleaved,
+        );
+        let report = pcap_serve::run_load(
+            &pcap_serve::Endpoint::Uds(sock),
+            &plan,
+            &pcap_serve::LoadOptions::default(),
+        )
+        .map_err(|e| e.to_string())?;
+        handle.shutdown();
+        if report.timed_out {
+            return Err("serve bench timed out waiting for the daemon".to_owned());
+        }
+        serve_decisions = report.decisions;
+        serve_runs = report.runs;
+        decisions_per_s = decisions_per_s.max(report.decisions_per_s);
+    }
+    eprintln!(
+        "pcap bench: serve: {SERVE_BENCH_DEVICES} devices ({serve_runs} runs) replayed, \
+         {serve_decisions} decisions ({decisions_per_s:.0} decisions/s, best of 3)"
+    );
+    entries.push(serde::Value::Object(vec![
+        ("label".into(), serde::Value::Str("serve-replay".to_owned())),
+        ("mode".into(), serde::Value::Str("serve".to_owned())),
+        ("seed".into(), serde::Value::UInt(options.seed)),
+        ("jobs".into(), serde::Value::UInt(options.jobs as u64)),
+        ("runs".into(), serde::Value::UInt(serve_runs)),
+        ("devices".into(), serde::Value::UInt(SERVE_BENCH_DEVICES)),
+        ("decisions".into(), serde::Value::UInt(serve_decisions)),
+        (
+            "decisions_per_s".into(),
+            serde::Value::Float(decisions_per_s),
+        ),
+    ]));
+
     let rendered =
         serde_json::to_string_pretty(&serde::Value::Array(entries)).map_err(|e| e.to_string())?;
     std::fs::write(&out, rendered + "\n").map_err(|e| e.to_string())?;
@@ -1052,6 +1356,82 @@ mod tests {
         assert!(!o.quick);
         assert!(parse_args(&args(&["profile", "--chrome-trace"])).is_err());
         assert!(parse_args(&args(&["profile", "--prometheus"])).is_err());
+    }
+
+    #[test]
+    fn parses_serve_and_load_flags() {
+        let o = parse_args(&args(&[
+            "serve",
+            "--uds",
+            "/tmp/p.sock",
+            "--listen",
+            "127.0.0.1:7070",
+            "--metrics",
+            "127.0.0.1:7071",
+            "--shards",
+            "4",
+        ]))
+        .unwrap();
+        assert_eq!(o.uds.as_deref(), Some("/tmp/p.sock"));
+        assert_eq!(o.listen.as_deref(), Some("127.0.0.1:7070"));
+        assert_eq!(o.metrics.as_deref(), Some("127.0.0.1:7071"));
+        assert_eq!(o.shards, Some(4));
+        let o = parse_args(&args(&[
+            "load",
+            "--connect",
+            "127.0.0.1:7070",
+            "--rate",
+            "50000",
+            "--interleave",
+            "--hist-out",
+            "/tmp/h.json",
+        ]))
+        .unwrap();
+        assert_eq!(o.connect.as_deref(), Some("127.0.0.1:7070"));
+        assert_eq!(o.rate, Some(50_000));
+        assert!(o.interleave);
+        assert_eq!(o.hist_out.as_deref(), Some("/tmp/h.json"));
+        let o = parse_args(&args(&["serve"])).unwrap();
+        assert_eq!(o.shards, None, "shards defaults at the command");
+        assert!(!o.interleave);
+    }
+
+    #[test]
+    fn rejects_bad_serve_and_load_flags() {
+        assert!(parse_args(&args(&["serve", "--shards"])).is_err());
+        assert!(parse_args(&args(&["serve", "--listen"])).is_err());
+        assert!(parse_args(&args(&["load", "--rate", "x"])).is_err());
+        let e = parse_args(&args(&["serve", "--shards", "0"])).unwrap_err();
+        assert!(e.contains("shard count must be at least 1"), "{e}");
+        let e = parse_args(&args(&["load", "--rate", "0"])).unwrap_err();
+        assert!(e.contains("rate must be at least 1"), "{e}");
+        let e = parse_args(&args(&["serve", "--shards", "two"])).unwrap_err();
+        assert!(e.contains("bad shard count"), "{e}");
+    }
+
+    #[test]
+    fn bad_addresses_are_named_errors() {
+        let e = parse_addr("notanaddr", "listen").unwrap_err();
+        assert!(e.contains("bad listen address: notanaddr"), "{e}");
+        let e = parse_addr("127.0.0.1", "connect").unwrap_err();
+        assert!(e.contains("bad connect address"), "{e}");
+        assert!(parse_addr("127.0.0.1:7070", "listen").is_ok());
+    }
+
+    #[test]
+    fn hist_quantiles_walk_the_buckets() {
+        let mut h = pcap_obs::LogHistogram::new();
+        assert_eq!(hist_quantile(&h, 0.5), 0, "empty histogram");
+        for _ in 0..90 {
+            h.record(100);
+        }
+        for _ in 0..10 {
+            h.record(1_000_000);
+        }
+        let p50 = hist_quantile(&h, 0.50);
+        let p99 = hist_quantile(&h, 0.99);
+        assert!((100..1000).contains(&p50), "p50 near the bulk: {p50}");
+        assert!(p99 >= 1_000_000, "p99 in the tail bucket: {p99}");
     }
 
     #[test]

@@ -428,3 +428,110 @@ fn pipeline_profile_warns_on_oversubscribed_jobs() {
         stderr(&out)
     );
 }
+
+#[test]
+fn serve_flag_validation_fails_before_any_work() {
+    for (args, needle) in [
+        (
+            &["serve", "--listen", "notanaddr"][..],
+            "bad listen address: notanaddr",
+        ),
+        (
+            &["serve", "--uds", "/tmp/x.sock", "--shards", "0"][..],
+            "shard count must be at least 1",
+        ),
+        (
+            &["serve"][..],
+            "serve needs --listen ADDR and/or --uds PATH",
+        ),
+        (
+            &["serve", "--metrics", "nope", "--uds", "/tmp/x.sock"][..],
+            "bad metrics address: nope",
+        ),
+        (&["load"][..], "load needs --uds PATH or --connect ADDR"),
+        (
+            &["load", "--connect", "nowhere"][..],
+            "bad connect address: nowhere",
+        ),
+        (
+            &["load", "--uds", "/tmp/a", "--connect", "127.0.0.1:1"][..],
+            "not both",
+        ),
+        (
+            &["load", "--uds", "/tmp/a", "--rate", "0"][..],
+            "rate must be at least 1",
+        ),
+    ] {
+        let out = pcap(args);
+        assert!(!out.status.success(), "{args:?} must fail");
+        assert!(
+            stderr(&out).contains(needle),
+            "{args:?} stderr: {}",
+            stderr(&out)
+        );
+        assert!(out.stdout.is_empty(), "{args:?} wrote to stdout");
+    }
+}
+
+#[test]
+fn load_refused_connection_is_a_named_error() {
+    // No daemon at this socket: the client must fail fast with a named
+    // connect error and a nonzero exit, not hang or panic.
+    let missing = std::env::temp_dir().join(format!("pcap-no-daemon-{}.sock", std::process::id()));
+    let out = pcap(&["load", "--uds", missing.to_str().expect("utf-8 path")]);
+    assert!(!out.status.success(), "missing daemon must fail");
+    assert!(
+        stderr(&out).contains("pcap: connect failed:"),
+        "stderr: {}",
+        stderr(&out)
+    );
+    assert!(out.stdout.is_empty(), "no report on a failed connect");
+}
+
+#[test]
+fn serve_then_load_round_trip_with_metrics_artifacts() {
+    // One in-process daemon driven by the real `pcap load` subcommand:
+    // the smallest end-to-end path CI exercises (UDS transport, rate
+    // cap, latency-histogram artifact).
+    let dir = std::env::temp_dir().join(format!("pcap-serve-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let sock = dir.join("daemon.sock");
+    let hist = dir.join("latency.json");
+    let mut daemon = Command::new(env!("CARGO_BIN_EXE_pcap"))
+        .args([
+            "serve",
+            "--uds",
+            sock.to_str().expect("utf-8"),
+            "--shards",
+            "2",
+        ])
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("daemon starts");
+    // Wait for the socket to appear.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while !sock.exists() && std::time::Instant::now() < deadline {
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    let out = pcap(&[
+        "load",
+        "--uds",
+        sock.to_str().expect("utf-8"),
+        "--devices",
+        "2",
+        "--quick",
+        "--interleave",
+        "--hist-out",
+        hist.to_str().expect("utf-8"),
+    ]);
+    daemon.kill().ok();
+    daemon.wait().ok();
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(stdout.contains("decisions/s"), "stdout: {stdout}");
+    assert!(stdout.contains("2 devices"), "stdout: {stdout}");
+    let artifact = std::fs::read_to_string(&hist).expect("histogram artifact");
+    assert!(artifact.contains("\"p99_us\""), "artifact: {artifact}");
+    assert!(artifact.contains("\"buckets\""), "artifact: {artifact}");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -66,6 +66,11 @@ pub struct BenchEntry {
     /// PR 7: streaming fleet throughput — the gated metric for fleet
     /// groups (entries without `cells_per_s`).
     pub devices_per_s: Option<f64>,
+    /// PR 8: decision frames the serve bench received.
+    pub decisions: Option<u64>,
+    /// PR 8: online daemon throughput — the gated metric for serve
+    /// groups (entries with neither `cells_per_s` nor `devices_per_s`).
+    pub decisions_per_s: Option<f64>,
 }
 
 impl BenchEntry {
@@ -113,24 +118,29 @@ pub fn check_trajectory(entries: &[BenchEntry]) -> Result<Vec<String>, String> {
             .collect();
         let latest = *members.last().expect("non-empty group");
         // Grid groups gate on cells/s; fleet groups (no cells_per_s)
-        // gate on devices/s. A latest entry carrying neither is a
+        // gate on devices/s; serve groups (neither) gate on
+        // decisions/s. A latest entry carrying none of the three is a
         // malformed trajectory, not a pass.
-        let (metric, latest_rate) = match (latest.cells_per_s, latest.devices_per_s) {
-            (Some(rate), _) => ("cells/s", rate),
-            (None, Some(rate)) => ("devices/s", rate),
-            (None, None) => {
+        let (metric, latest_rate) = match (
+            latest.cells_per_s,
+            latest.devices_per_s,
+            latest.decisions_per_s,
+        ) {
+            (Some(rate), _, _) => ("cells/s", rate),
+            (None, Some(rate), _) => ("devices/s", rate),
+            (None, None, Some(rate)) => ("decisions/s", rate),
+            (None, None, None) => {
                 failures.push(format!(
-                    "({mode}, jobs {jobs}): latest entry has neither cells_per_s nor devices_per_s"
+                    "({mode}, jobs {jobs}): latest entry has neither cells_per_s, \
+                     devices_per_s, nor decisions_per_s"
                 ));
                 continue;
             }
         };
-        let rate_of = |e: &BenchEntry| {
-            if metric == "cells/s" {
-                e.cells_per_s
-            } else {
-                e.devices_per_s
-            }
+        let rate_of = |e: &BenchEntry| match metric {
+            "cells/s" => e.cells_per_s,
+            "devices/s" => e.devices_per_s,
+            _ => e.decisions_per_s,
         };
         let best_prior = members[..members.len() - 1]
             .iter()
@@ -351,9 +361,58 @@ mod tests {
         };
         let err = check_trajectory(&[bare]).unwrap_err();
         assert!(
-            err.contains("neither cells_per_s nor devices_per_s"),
+            err.contains("neither cells_per_s, devices_per_s, nor decisions_per_s"),
             "{err}"
         );
+    }
+
+    fn serve_entry(jobs: u64, decisions_per_s: f64) -> BenchEntry {
+        BenchEntry {
+            mode: Some("serve".to_owned()),
+            jobs: Some(jobs),
+            decisions: Some(1_000_000),
+            decisions_per_s: Some(decisions_per_s),
+            ..BenchEntry::default()
+        }
+    }
+
+    #[test]
+    fn serve_groups_gate_on_decisions_per_s() {
+        let lines = check_trajectory(&[serve_entry(1, 2.0e6)]).unwrap();
+        assert!(lines.iter().any(|l| l.contains("decisions/s")));
+        assert!(check_trajectory(&[serve_entry(1, 2.0e6), serve_entry(1, 1.6e6)]).is_err());
+        assert!(check_trajectory(&[serve_entry(1, 2.0e6), serve_entry(1, 1.8e6)]).is_ok());
+    }
+
+    #[test]
+    fn serve_fleet_and_grid_groups_gate_independently() {
+        // A serve regression must surface on its own metric even when
+        // the fleet and grid groups are healthy.
+        let entries = [
+            entry("quick", 1, 800.0),
+            fleet_entry(1, 100.0),
+            serve_entry(1, 2.0e6),
+            entry("quick", 1, 810.0),
+            fleet_entry(1, 99.0),
+            serve_entry(1, 1.0e6),
+        ];
+        let err = check_trajectory(&entries).unwrap_err();
+        assert!(err.contains("decisions/s"), "{err}");
+        assert!(!err.contains("devices/s"), "{err}");
+        assert!(!err.contains("cells/s"), "{err}");
+    }
+
+    #[test]
+    fn serve_fields_round_trip() {
+        let entry = serve_entry(4, 1.5e6);
+        let json = serde_json::to_string(&entry).unwrap();
+        let back: BenchEntry = serde_json::from_str(&json).unwrap();
+        assert_eq!(entry, back);
+        // Pre-PR-8 entries (no serve fields) still parse.
+        let old: BenchEntry =
+            serde_json::from_str(r#"{"mode":"fleet","devices_per_s":1.0}"#).unwrap();
+        assert_eq!(old.decisions, None);
+        assert_eq!(old.decisions_per_s, None);
     }
 
     #[test]

@@ -1,0 +1,365 @@
+//! Live server metrics: lock-free counters shared by every connection
+//! and shard thread, rendered on demand as Prometheus text exposition
+//! (the `/metrics` scrape), plus a sampled ring of full decision-audit
+//! records (the `/audit` endpoint).
+//!
+//! Everything on the decision hot path is a relaxed atomic add; the
+//! only lock is around the audit sample ring, taken once every
+//! `sample_every` decisions. Rendering reads whatever values are
+//! current — scrapes are monotone per counter but not a consistent
+//! snapshot across counters, the standard Prometheus contract.
+
+use pcap_obs::LogHistogram;
+use pcap_sim::{DecisionRecord, GapVerdict};
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A [`LogHistogram`] with relaxed-atomic buckets, recordable from any
+/// thread without locking.
+#[derive(Debug, Default)]
+pub struct AtomicHistogram {
+    buckets: [AtomicU64; 32],
+    sum: AtomicU64,
+}
+
+impl AtomicHistogram {
+    /// Records one microsecond value.
+    pub fn record(&self, value: u64) {
+        self.buckets[LogHistogram::bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// A plain-histogram snapshot plus the value sum.
+    pub fn snapshot(&self) -> (LogHistogram, u64) {
+        let mut hist = LogHistogram::new();
+        let mut shadow = [0u64; 32];
+        for (k, bucket) in self.buckets.iter().enumerate() {
+            shadow[k] = bucket.load(Ordering::Relaxed);
+        }
+        // Rebuild through the public API: record one representative
+        // value per bucket, `count` times.
+        for (k, &count) in shadow.iter().enumerate() {
+            let (lo, _) = LogHistogram::bucket_bounds(k);
+            for _ in 0..count {
+                hist.record(lo);
+            }
+        }
+        (hist, self.sum.load(Ordering::Relaxed))
+    }
+
+    fn render(&self, name: &str, out: &mut String) {
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let mut cumulative = 0u64;
+        for k in 0..32 {
+            cumulative += self.buckets[k].load(Ordering::Relaxed);
+            if k < 31 {
+                let (_, hi) = LogHistogram::bucket_bounds(k);
+                let _ = writeln!(out, "{name}_bucket{{le=\"{}\"}} {cumulative}", hi - 1);
+            } else {
+                let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+            }
+        }
+        let _ = writeln!(out, "{name}_sum {}", self.sum.load(Ordering::Relaxed));
+        let _ = writeln!(out, "{name}_count {cumulative}");
+    }
+}
+
+/// Per-shard queue and throughput counters.
+#[derive(Debug, Default)]
+pub struct ShardStats {
+    /// Messages enqueued to the shard (incremented by readers before
+    /// the bounded send, so `enqueued - processed` ≥ live depth).
+    pub enqueued: AtomicU64,
+    /// Messages the shard worker finished processing.
+    pub processed: AtomicU64,
+    /// Runs the shard evaluated.
+    pub runs: AtomicU64,
+    /// Microseconds the shard spent evaluating runs (utilization).
+    pub busy_us: AtomicU64,
+}
+
+impl ShardStats {
+    /// Messages currently queued or in flight for the shard.
+    pub fn depth(&self) -> u64 {
+        self.enqueued
+            .load(Ordering::Acquire)
+            .saturating_sub(self.processed.load(Ordering::Acquire))
+    }
+}
+
+/// All counters of one running server, shared via `Arc`.
+#[derive(Debug)]
+pub struct ServeMetrics {
+    /// Connections accepted.
+    pub connections: AtomicU64,
+    /// Connections closed (cleanly or by error).
+    pub disconnects: AtomicU64,
+    /// Well-formed frames decoded.
+    pub frames: AtomicU64,
+    /// Malformed frames (truncated, oversized length prefix, unknown
+    /// tag, or a mid-frame EOF).
+    pub bad_frames: AtomicU64,
+    /// Frames that were well-formed but arrived in an invalid protocol
+    /// state (e.g. an `Event` with no open run) and were dropped.
+    pub stray_frames: AtomicU64,
+    /// Trace events accepted into open runs.
+    pub events: AtomicU64,
+    /// Runs evaluated.
+    pub runs: AtomicU64,
+    /// Runs rejected by trace validation.
+    pub run_rejects: AtomicU64,
+    /// Device sessions currently live (gauge).
+    pub devices_active: AtomicU64,
+    /// Decisions emitted.
+    pub decisions: AtomicU64,
+    /// Decisions with verdict `Hit`.
+    pub hits: AtomicU64,
+    /// Decisions with verdict `Miss`.
+    pub misses: AtomicU64,
+    /// Decisions with verdict `NotPredicted`.
+    pub not_predicted: AtomicU64,
+    /// Decisions with verdict `Short`.
+    pub short: AtomicU64,
+    /// Merged idle-gap length distribution (µs).
+    pub gap_us: AtomicHistogram,
+    /// Server-side run evaluation latency distribution (µs).
+    pub run_eval_us: AtomicHistogram,
+    /// Per-shard stats, indexed by shard.
+    pub shards: Vec<ShardStats>,
+    sample_every: u64,
+    sample_capacity: usize,
+    samples: Mutex<VecDeque<DecisionRecord>>,
+}
+
+impl ServeMetrics {
+    /// Metrics for `shards` shard workers, keeping one audit sample per
+    /// `sample_every` decisions in a ring of `sample_capacity` records
+    /// (`sample_every == 0` disables sampling).
+    pub fn new(shards: usize, sample_every: u64, sample_capacity: usize) -> ServeMetrics {
+        ServeMetrics {
+            connections: AtomicU64::new(0),
+            disconnects: AtomicU64::new(0),
+            frames: AtomicU64::new(0),
+            bad_frames: AtomicU64::new(0),
+            stray_frames: AtomicU64::new(0),
+            events: AtomicU64::new(0),
+            runs: AtomicU64::new(0),
+            run_rejects: AtomicU64::new(0),
+            devices_active: AtomicU64::new(0),
+            decisions: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            not_predicted: AtomicU64::new(0),
+            short: AtomicU64::new(0),
+            gap_us: AtomicHistogram::default(),
+            run_eval_us: AtomicHistogram::default(),
+            shards: (0..shards).map(|_| ShardStats::default()).collect(),
+            sample_every,
+            sample_capacity,
+            samples: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Folds one decision into the counters, histograms, and (every
+    /// `sample_every`-th decision) the audit sample ring.
+    pub fn observe_decision(&self, record: &DecisionRecord) {
+        let n = self.decisions.fetch_add(1, Ordering::Relaxed) + 1;
+        match record.verdict {
+            GapVerdict::Hit => &self.hits,
+            GapVerdict::Miss => &self.misses,
+            GapVerdict::NotPredicted => &self.not_predicted,
+            GapVerdict::Short => &self.short,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+        self.gap_us.record(record.global_gap.as_micros());
+        if self.sample_every > 0 && n.is_multiple_of(self.sample_every) {
+            let mut ring = self.samples.lock().expect("sample ring poisoned");
+            if ring.len() == self.sample_capacity {
+                ring.pop_front();
+            }
+            ring.push_back(*record);
+        }
+    }
+
+    /// The current audit sample ring, oldest first.
+    pub fn sampled_records(&self) -> Vec<DecisionRecord> {
+        self.samples
+            .lock()
+            .expect("sample ring poisoned")
+            .iter()
+            .copied()
+            .collect()
+    }
+
+    /// Total queue depth across all shards.
+    pub fn total_depth(&self) -> u64 {
+        self.shards.iter().map(ShardStats::depth).sum()
+    }
+
+    /// Renders all metrics in Prometheus text exposition format
+    /// (version 0.0.4); validated by
+    /// [`pcap_obs::validate_prometheus`] in tests.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        let counters: [(&str, &AtomicU64); 13] = [
+            ("connections", &self.connections),
+            ("disconnects", &self.disconnects),
+            ("frames", &self.frames),
+            ("bad_frames", &self.bad_frames),
+            ("stray_frames", &self.stray_frames),
+            ("events", &self.events),
+            ("runs", &self.runs),
+            ("run_rejects", &self.run_rejects),
+            ("decisions", &self.decisions),
+            ("decisions_hit", &self.hits),
+            ("decisions_miss", &self.misses),
+            ("decisions_not_predicted", &self.not_predicted),
+            ("decisions_short", &self.short),
+        ];
+        for (name, value) in counters.iter() {
+            let _ = writeln!(out, "# TYPE pcap_serve_{name}_total counter");
+            let _ = writeln!(
+                out,
+                "pcap_serve_{name}_total {}",
+                value.load(Ordering::Relaxed)
+            );
+        }
+        let _ = writeln!(out, "# TYPE pcap_serve_devices_active gauge");
+        let _ = writeln!(
+            out,
+            "pcap_serve_devices_active {}",
+            self.devices_active.load(Ordering::Relaxed)
+        );
+        if !self.shards.is_empty() {
+            let _ = writeln!(out, "# TYPE pcap_serve_shard_depth gauge");
+            for (i, shard) in self.shards.iter().enumerate() {
+                let _ = writeln!(
+                    out,
+                    "pcap_serve_shard_depth{{shard=\"{i}\"}} {}",
+                    shard.depth()
+                );
+            }
+            let _ = writeln!(out, "# TYPE pcap_serve_shard_processed_total counter");
+            for (i, shard) in self.shards.iter().enumerate() {
+                let _ = writeln!(
+                    out,
+                    "pcap_serve_shard_processed_total{{shard=\"{i}\"}} {}",
+                    shard.processed.load(Ordering::Relaxed)
+                );
+            }
+            let _ = writeln!(out, "# TYPE pcap_serve_shard_runs_total counter");
+            for (i, shard) in self.shards.iter().enumerate() {
+                let _ = writeln!(
+                    out,
+                    "pcap_serve_shard_runs_total{{shard=\"{i}\"}} {}",
+                    shard.runs.load(Ordering::Relaxed)
+                );
+            }
+            let _ = writeln!(out, "# TYPE pcap_serve_shard_busy_us_total counter");
+            for (i, shard) in self.shards.iter().enumerate() {
+                let _ = writeln!(
+                    out,
+                    "pcap_serve_shard_busy_us_total{{shard=\"{i}\"}} {}",
+                    shard.busy_us.load(Ordering::Relaxed)
+                );
+            }
+        }
+        self.gap_us.render("pcap_serve_gap_us", &mut out);
+        self.run_eval_us.render("pcap_serve_run_eval_us", &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcap_core::VoteSource;
+    use pcap_types::{Pc, Pid, Signature, SimDuration, SimTime};
+
+    fn record(verdict: GapVerdict, gap_us: u64) -> DecisionRecord {
+        DecisionRecord {
+            run: 0,
+            access: 0,
+            at: SimTime::from_secs(1),
+            pid: Pid(1),
+            pc: Pc(0x10),
+            signature: Some(Signature(0x10)),
+            table_len: Some(2),
+            vote_delay: Some(SimDuration::from_secs(1)),
+            vote_source: Some(VoteSource::Primary),
+            local_gap: SimDuration(gap_us),
+            local_verdict: verdict,
+            global_gap: SimDuration(gap_us),
+            shutdown_at: None,
+            shutdown_source: None,
+            verdict,
+            energy_delta_j: 0.0,
+        }
+    }
+
+    #[test]
+    fn rendered_exposition_validates() {
+        let m = ServeMetrics::new(3, 1, 16);
+        m.connections.fetch_add(2, Ordering::Relaxed);
+        m.shards[0].enqueued.fetch_add(5, Ordering::Relaxed);
+        m.shards[0].processed.fetch_add(3, Ordering::Relaxed);
+        m.observe_decision(&record(GapVerdict::Hit, 20_000_000));
+        m.observe_decision(&record(GapVerdict::Short, 5));
+        m.run_eval_us.record(130);
+        let text = m.render_prometheus();
+        let samples = pcap_obs::validate_prometheus(&text).expect("valid exposition");
+        assert!(samples > 50, "counters + shard series + histograms");
+        assert!(text.contains("pcap_serve_decisions_total 2"));
+        assert!(text.contains("pcap_serve_decisions_hit_total 1"));
+        assert!(text.contains("pcap_serve_shard_depth{shard=\"0\"} 2"));
+        assert!(text.contains("pcap_serve_gap_us_count 2"));
+        assert!(text.contains("pcap_serve_bad_frames_total 0"));
+    }
+
+    #[test]
+    fn sampling_keeps_a_bounded_ring() {
+        let m = ServeMetrics::new(1, 2, 3);
+        for i in 0..20 {
+            m.observe_decision(&record(GapVerdict::Hit, i));
+        }
+        let samples = m.sampled_records();
+        assert_eq!(samples.len(), 3, "ring is capacity-bounded");
+        // Every 2nd decision is sampled; the ring holds the last three.
+        assert_eq!(
+            samples
+                .iter()
+                .map(|r| r.global_gap.as_micros())
+                .collect::<Vec<_>>(),
+            vec![15, 17, 19]
+        );
+        // sample_every = 0 disables sampling.
+        let off = ServeMetrics::new(1, 0, 3);
+        off.observe_decision(&record(GapVerdict::Hit, 1));
+        assert!(off.sampled_records().is_empty());
+    }
+
+    #[test]
+    fn atomic_histogram_snapshot_matches_buckets() {
+        let h = AtomicHistogram::default();
+        for v in [0, 1, 5, 5, 1_000_000] {
+            h.record(v);
+        }
+        let (hist, sum) = h.snapshot();
+        assert_eq!(hist.total(), 5);
+        assert_eq!(sum, 1_000_011);
+        assert_eq!(hist.counts()[0], 1);
+        assert_eq!(hist.counts()[3], 2, "two fives in [4,8)");
+    }
+
+    #[test]
+    fn shard_depth_is_enqueued_minus_processed() {
+        let s = ShardStats::default();
+        s.enqueued.fetch_add(7, Ordering::Relaxed);
+        s.processed.fetch_add(7, Ordering::Relaxed);
+        assert_eq!(s.depth(), 0);
+        s.enqueued.fetch_add(2, Ordering::Relaxed);
+        assert_eq!(s.depth(), 2);
+    }
+}

@@ -1,0 +1,770 @@
+//! The sharded online daemon: listeners, connection readers, shard
+//! workers, and the `/metrics` HTTP endpoint.
+//!
+//! # Thread architecture
+//!
+//! ```text
+//! acceptor (per endpoint) ──spawns──▶ reader (per connection)
+//!                                        │ decode, hash-route
+//!                                        ▼
+//!                   bounded mpsc queue (per shard, blocking send)
+//!                                        │
+//!                                        ▼
+//!                             shard worker (per shard)
+//!                    sessions: (conn, device) → Manager + builder
+//!                                        │ evaluate at RunEnd
+//!                                        ▼
+//!                          connection writer (mutexed half)
+//! ```
+//!
+//! * **Routing**: shard = `splitmix64(device) % shards`. A device's
+//!   frames always land on one shard in arrival order, so per-device
+//!   state needs no locks and decisions stay ordered per device.
+//! * **Backpressure**: each shard queue is a bounded
+//!   [`std::sync::mpsc::sync_channel`]; when a shard falls behind,
+//!   readers block in `send`, stop draining their sockets, and the
+//!   kernel's TCP/UDS flow control pushes back on clients. No frame is
+//!   ever dropped for load reasons.
+//! * **Decision granularity**: [`RunStreams`](pcap_sim::RunStreams)
+//!   derives every gap from the *next* access's timestamp, so a
+//!   decision for access `i` is computable only once its successor is
+//!   known. The server therefore evaluates at `RunEnd` — online at run
+//!   granularity — which is also what makes the emitted decision
+//!   stream byte-identical to the offline audit stream.
+//! * **Session lifetime**: sessions are keyed by (connection, device);
+//!   a disconnect retires all of the connection's sessions, so a
+//!   reconnecting client starts its devices from fresh predictor
+//!   state. `DeviceEnd` retires one device early and answers with its
+//!   table statistics.
+
+use crate::frame::{self, ClientFrame, ServerFrame};
+use crate::metrics::ServeMetrics;
+use pcap_sim::{
+    DecisionObserver, DecisionRecord, GapEnergy, Manager, PowerManagerKind, ShardEvaluator,
+    SimConfig,
+};
+use pcap_trace::TraceRunBuilder;
+use pcap_types::wire::{self, WireError};
+use pcap_types::{Pid, TraceEvent};
+use pcap_workload::splitmix64;
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Where the daemon listens for event streams.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Endpoint {
+    /// A TCP socket address.
+    Tcp(SocketAddr),
+    /// A Unix-domain socket path.
+    Uds(PathBuf),
+}
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Simulation parameters shared by every shard.
+    pub sim: SimConfig,
+    /// The power manager every device runs.
+    pub kind: PowerManagerKind,
+    /// Shard worker count (must be ≥ 1).
+    pub shards: usize,
+    /// Bounded per-shard queue capacity, in messages.
+    pub queue_depth: usize,
+    /// Keep one full audit record per this many decisions (0 = off).
+    pub sample_every: u64,
+    /// Capacity of the audit sample ring.
+    pub sample_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            sim: SimConfig::paper(),
+            kind: PowerManagerKind::PCAP,
+            shards: std::thread::available_parallelism().map_or(2, |n| n.get()),
+            queue_depth: 1024,
+            sample_every: 64,
+            sample_capacity: 256,
+        }
+    }
+}
+
+/// The shard a device's frames are routed to. Public so tests can pin
+/// that routing is a pure function of (device, shard count).
+pub fn shard_of(device: u64, shards: usize) -> usize {
+    (splitmix64(device) % shards as u64) as usize
+}
+
+/// One connection's reply channel: the socket's write half behind a
+/// mutex. Shards on different threads may interleave *frames* of
+/// different devices, never bytes within a frame.
+struct Reply {
+    stream: Mutex<Box<dyn Write + Send>>,
+    dead: AtomicBool,
+}
+
+impl Reply {
+    fn send(&self, bytes: &[u8]) {
+        if bytes.is_empty() || self.dead.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut stream = self.stream.lock().expect("reply half poisoned");
+        if stream
+            .write_all(bytes)
+            .and_then(|()| stream.flush())
+            .is_err()
+        {
+            // Client is gone; decisions for its in-flight runs are
+            // dropped, state cleanup happens via the reader's EOF.
+            self.dead.store(true, Ordering::Relaxed);
+        }
+    }
+}
+
+/// What a reader sends to a shard worker.
+enum ShardMsg {
+    Op {
+        conn: u64,
+        device: u64,
+        op: DeviceOp,
+        reply: Arc<Reply>,
+    },
+    /// The connection closed; retire all its sessions on this shard.
+    ConnClosed { conn: u64 },
+}
+
+enum DeviceOp {
+    RunStart { root: Pid },
+    Event(TraceEvent),
+    RunEnd,
+    DeviceEnd,
+}
+
+/// Per-(connection, device) server state.
+struct Session {
+    manager: Manager,
+    builder: Option<TraceRunBuilder>,
+    run: u32,
+}
+
+/// Emits one `Decision` frame per engine decision into a per-run
+/// buffer, stamping the device's run index exactly as the offline
+/// `AuditCollector` does.
+struct EmitObserver<'a> {
+    device: u64,
+    run: u32,
+    decisions: u32,
+    buf: &'a mut Vec<u8>,
+    metrics: &'a ServeMetrics,
+}
+
+impl DecisionObserver for EmitObserver<'_> {
+    fn on_decision(&mut self, mut record: DecisionRecord, _energy: &GapEnergy) {
+        record.run = self.run;
+        self.metrics.observe_decision(&record);
+        frame::encode_server(
+            &ServerFrame::Decision {
+                device: self.device,
+                record,
+            },
+            self.buf,
+        );
+        self.decisions += 1;
+    }
+}
+
+/// A handle to a running server: join/stop control plus the shared
+/// metrics and the resolved listen addresses.
+pub struct ServerHandle {
+    stop: Arc<AtomicBool>,
+    metrics: Arc<ServeMetrics>,
+    tcp_addr: Option<SocketAddr>,
+    metrics_addr: Option<SocketAddr>,
+    uds_paths: Vec<PathBuf>,
+    threads: Vec<JoinHandle<()>>,
+    readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    shard_txs: Vec<SyncSender<ShardMsg>>,
+    shard_joins: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The shared metrics registry.
+    pub fn metrics(&self) -> &Arc<ServeMetrics> {
+        &self.metrics
+    }
+
+    /// The bound TCP address, if a TCP endpoint was requested (useful
+    /// with port 0).
+    pub fn tcp_addr(&self) -> Option<SocketAddr> {
+        self.tcp_addr
+    }
+
+    /// The bound `/metrics` HTTP address, if requested.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
+    }
+
+    /// Stops every thread, drains the shard queues, joins everything,
+    /// and removes Unix socket files.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        for handle in self.threads.drain(..) {
+            let _ = handle.join();
+        }
+        let readers: Vec<_> = {
+            let mut guard = self.readers.lock().expect("reader registry poisoned");
+            guard.drain(..).collect()
+        };
+        for handle in readers {
+            let _ = handle.join();
+        }
+        // All reader-held senders are gone; dropping ours ends the
+        // shard workers' recv loops after the queues drain.
+        drop(std::mem::take(&mut self.shard_txs));
+        for handle in std::mem::take(&mut self.shard_joins) {
+            let _ = handle.join();
+        }
+        for path in &self.uds_paths {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// Starts a server on `endpoints`, optionally with an HTTP `/metrics`
+/// listener on `metrics_http`.
+///
+/// # Errors
+///
+/// Any bind failure; `shards == 0` or empty `endpoints` are reported
+/// as [`std::io::ErrorKind::InvalidInput`].
+pub fn start(
+    config: ServeConfig,
+    endpoints: &[Endpoint],
+    metrics_http: Option<SocketAddr>,
+) -> std::io::Result<ServerHandle> {
+    use std::io::{Error, ErrorKind};
+    if config.shards == 0 {
+        return Err(Error::new(
+            ErrorKind::InvalidInput,
+            "shard count must be >= 1",
+        ));
+    }
+    if endpoints.is_empty() {
+        return Err(Error::new(ErrorKind::InvalidInput, "no listen endpoints"));
+    }
+    let metrics = Arc::new(ServeMetrics::new(
+        config.shards,
+        config.sample_every,
+        config.sample_capacity,
+    ));
+    let stop = Arc::new(AtomicBool::new(false));
+    let readers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+    let conn_ids = Arc::new(AtomicU64::new(0));
+
+    // Shard workers.
+    let mut shard_txs = Vec::with_capacity(config.shards);
+    let mut shard_joins = Vec::with_capacity(config.shards);
+    for shard in 0..config.shards {
+        let (tx, rx) = sync_channel::<ShardMsg>(config.queue_depth.max(1));
+        shard_txs.push(tx);
+        let metrics = Arc::clone(&metrics);
+        let config = config.clone();
+        shard_joins.push(
+            std::thread::Builder::new()
+                .name(format!("pcap-shard-{shard}"))
+                .spawn(move || shard_worker(shard, rx, &config, &metrics))
+                .expect("spawn shard worker"),
+        );
+    }
+
+    let mut threads = Vec::new();
+    let mut tcp_addr = None;
+    let mut uds_paths = Vec::new();
+    for endpoint in endpoints {
+        match endpoint {
+            Endpoint::Tcp(addr) => {
+                let listener = TcpListener::bind(addr)?;
+                listener.set_nonblocking(true)?;
+                tcp_addr = Some(listener.local_addr()?);
+                threads.push(spawn_acceptor(
+                    listener,
+                    Arc::clone(&stop),
+                    Arc::clone(&metrics),
+                    Arc::clone(&readers),
+                    Arc::clone(&conn_ids),
+                    shard_txs.clone(),
+                    |stream| {
+                        stream.set_nodelay(true).ok();
+                        let write: Box<dyn Write + Send> = Box::new(stream.try_clone()?);
+                        Ok((Box::new(stream) as Box<dyn ReadHalf>, write))
+                    },
+                ));
+            }
+            Endpoint::Uds(path) => {
+                // A stale socket file from a dead process blocks bind;
+                // taking it over is standard daemon behavior.
+                let _ = std::fs::remove_file(path);
+                let listener = UnixListener::bind(path)?;
+                listener.set_nonblocking(true)?;
+                uds_paths.push(path.clone());
+                threads.push(spawn_acceptor(
+                    listener,
+                    Arc::clone(&stop),
+                    Arc::clone(&metrics),
+                    Arc::clone(&readers),
+                    Arc::clone(&conn_ids),
+                    shard_txs.clone(),
+                    |stream| {
+                        let write: Box<dyn Write + Send> = Box::new(stream.try_clone()?);
+                        Ok((Box::new(stream) as Box<dyn ReadHalf>, write))
+                    },
+                ));
+            }
+        }
+    }
+
+    let mut metrics_addr = None;
+    if let Some(addr) = metrics_http {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        metrics_addr = Some(listener.local_addr()?);
+        let stop = Arc::clone(&stop);
+        let metrics = Arc::clone(&metrics);
+        threads.push(
+            std::thread::Builder::new()
+                .name("pcap-metrics-http".to_owned())
+                .spawn(move || metrics_http_loop(listener, &stop, &metrics))
+                .expect("spawn metrics http"),
+        );
+    }
+
+    Ok(ServerHandle {
+        stop,
+        metrics,
+        tcp_addr,
+        metrics_addr,
+        uds_paths,
+        threads,
+        readers,
+        shard_txs,
+        shard_joins,
+    })
+}
+
+/// Abstracts TCP and Unix streams for the reader loop.
+trait ReadHalf: Read + Send {
+    fn set_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()>;
+}
+
+impl ReadHalf for TcpStream {
+    fn set_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.set_read_timeout(timeout)
+    }
+}
+
+impl ReadHalf for UnixStream {
+    fn set_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.set_read_timeout(timeout)
+    }
+}
+
+trait Acceptable: Send + 'static {
+    type Stream: Send + 'static;
+    fn try_accept(&self) -> std::io::Result<Self::Stream>;
+}
+
+impl Acceptable for TcpListener {
+    type Stream = TcpStream;
+    fn try_accept(&self) -> std::io::Result<TcpStream> {
+        self.accept().map(|(s, _)| s)
+    }
+}
+
+impl Acceptable for UnixListener {
+    type Stream = UnixStream;
+    fn try_accept(&self) -> std::io::Result<UnixStream> {
+        self.accept().map(|(s, _)| s)
+    }
+}
+
+type SplitFn<S> = fn(S) -> std::io::Result<(Box<dyn ReadHalf>, Box<dyn Write + Send>)>;
+
+fn spawn_acceptor<L: Acceptable>(
+    listener: L,
+    stop: Arc<AtomicBool>,
+    metrics: Arc<ServeMetrics>,
+    readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    conn_ids: Arc<AtomicU64>,
+    shard_txs: Vec<SyncSender<ShardMsg>>,
+    split: SplitFn<L::Stream>,
+) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name("pcap-acceptor".to_owned())
+        .spawn(move || loop {
+            if stop.load(Ordering::Relaxed) {
+                return;
+            }
+            match listener.try_accept() {
+                Ok(stream) => {
+                    let Ok((read, write)) = split(stream) else {
+                        continue;
+                    };
+                    metrics.connections.fetch_add(1, Ordering::Relaxed);
+                    let conn = conn_ids.fetch_add(1, Ordering::Relaxed);
+                    let stop = Arc::clone(&stop);
+                    let metrics = Arc::clone(&metrics);
+                    let shard_txs = shard_txs.clone();
+                    let handle = std::thread::Builder::new()
+                        .name(format!("pcap-conn-{conn}"))
+                        .spawn(move || {
+                            connection_reader(conn, read, write, &stop, &metrics, &shard_txs);
+                        })
+                        .expect("spawn connection reader");
+                    readers
+                        .lock()
+                        .expect("reader registry poisoned")
+                        .push(handle);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(5)),
+            }
+        })
+        .expect("spawn acceptor")
+}
+
+/// Reads frames off one connection, decodes, and hash-routes to the
+/// shard queues. Malformed-frame policy:
+///
+/// * unknown tag / truncated payload (length known) → count
+///   `bad_frames`, skip the frame, keep reading — device state is
+///   untouched;
+/// * oversized length prefix → count `bad_frames`, close the
+///   connection (the byte stream cannot be resynchronized);
+/// * EOF with a partial frame buffered (truncated header) → count
+///   `bad_frames` on the way out.
+fn connection_reader(
+    conn: u64,
+    mut read: Box<dyn ReadHalf>,
+    write: Box<dyn Write + Send>,
+    stop: &AtomicBool,
+    metrics: &ServeMetrics,
+    shard_txs: &[SyncSender<ShardMsg>],
+) {
+    let reply = Arc::new(Reply {
+        stream: Mutex::new(write),
+        dead: AtomicBool::new(false),
+    });
+    let _ = read.set_timeout(Some(Duration::from_millis(50)));
+    let mut buf: Vec<u8> = Vec::with_capacity(64 * 1024);
+    let mut chunk = [0u8; 64 * 1024];
+    'conn: loop {
+        if stop.load(Ordering::Relaxed) {
+            break;
+        }
+        let n = match read.read(&mut chunk) {
+            Ok(0) => break, // EOF
+            Ok(n) => n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        };
+        buf.extend_from_slice(&chunk[..n]);
+        let mut consumed = 0;
+        loop {
+            match wire::read_frame(&buf[consumed..]) {
+                Ok(None) => break,
+                Ok(Some((payload, used))) => {
+                    match frame::decode_client(payload) {
+                        Ok(frame) => {
+                            metrics.frames.fetch_add(1, Ordering::Relaxed);
+                            route(conn, frame, &reply, metrics, shard_txs);
+                        }
+                        Err(_) => {
+                            // The frame boundary is known: drop just
+                            // this frame, keep the connection.
+                            metrics.bad_frames.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    consumed += used;
+                }
+                Err(WireError::Oversized { .. }) => {
+                    metrics.bad_frames.fetch_add(1, Ordering::Relaxed);
+                    buf.clear();
+                    break 'conn;
+                }
+                Err(_) => unreachable!("read_frame only fails with Oversized"),
+            }
+        }
+        buf.drain(..consumed);
+    }
+    if !buf.is_empty() {
+        // Truncated header or mid-frame EOF.
+        metrics.bad_frames.fetch_add(1, Ordering::Relaxed);
+    }
+    metrics.disconnects.fetch_add(1, Ordering::Relaxed);
+    reply.dead.store(true, Ordering::Relaxed);
+    for tx in shard_txs {
+        let _ = tx.send(ShardMsg::ConnClosed { conn });
+    }
+}
+
+fn route(
+    conn: u64,
+    frame: ClientFrame,
+    reply: &Arc<Reply>,
+    metrics: &ServeMetrics,
+    shard_txs: &[SyncSender<ShardMsg>],
+) {
+    let (device, op) = match frame {
+        // The hello is connection-scoped; nothing to route. Version
+        // mismatches are tolerated within v1 (there is only v1).
+        ClientFrame::Hello { .. } => return,
+        ClientFrame::RunStart { device, root } => (device, DeviceOp::RunStart { root }),
+        ClientFrame::Event { device, event } => (device, DeviceOp::Event(event)),
+        ClientFrame::RunEnd { device } => (device, DeviceOp::RunEnd),
+        ClientFrame::DeviceEnd { device } => (device, DeviceOp::DeviceEnd),
+    };
+    let shard = shard_of(device, shard_txs.len());
+    metrics.shards[shard]
+        .enqueued
+        .fetch_add(1, Ordering::Release);
+    // A full queue blocks here — that is the backpressure contract.
+    if shard_txs[shard]
+        .send(ShardMsg::Op {
+            conn,
+            device,
+            op,
+            reply: Arc::clone(reply),
+        })
+        .is_err()
+    {
+        // Shard is gone (shutdown); account the message as processed
+        // so depth drains to zero.
+        metrics.shards[shard]
+            .processed
+            .fetch_add(1, Ordering::Release);
+    }
+}
+
+fn shard_worker(
+    shard: usize,
+    rx: Receiver<ShardMsg>,
+    config: &ServeConfig,
+    metrics: &ServeMetrics,
+) {
+    let mut evaluator = ShardEvaluator::new(&config.sim);
+    let mut sessions: HashMap<(u64, u64), Session> = HashMap::new();
+    let mut out = Vec::with_capacity(64 * 1024);
+    let stats = &metrics.shards[shard];
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ShardMsg::ConnClosed { conn } => {
+                let before = sessions.len();
+                sessions.retain(|&(c, _), _| c != conn);
+                let removed = (before - sessions.len()) as u64;
+                metrics.devices_active.fetch_sub(removed, Ordering::Relaxed);
+            }
+            ShardMsg::Op {
+                conn,
+                device,
+                op,
+                reply,
+            } => {
+                handle_op(
+                    conn,
+                    device,
+                    op,
+                    &reply,
+                    config,
+                    metrics,
+                    shard,
+                    &mut evaluator,
+                    &mut sessions,
+                    &mut out,
+                );
+                stats.processed.fetch_add(1, Ordering::Release);
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn handle_op(
+    conn: u64,
+    device: u64,
+    op: DeviceOp,
+    reply: &Arc<Reply>,
+    config: &ServeConfig,
+    metrics: &ServeMetrics,
+    shard: usize,
+    evaluator: &mut ShardEvaluator,
+    sessions: &mut HashMap<(u64, u64), Session>,
+    out: &mut Vec<u8>,
+) {
+    let key = (conn, device);
+    match op {
+        DeviceOp::RunStart { root } => {
+            let session = sessions.entry(key).or_insert_with(|| {
+                metrics.devices_active.fetch_add(1, Ordering::Relaxed);
+                Session {
+                    manager: config.kind.manager(&config.sim),
+                    builder: None,
+                    run: 0,
+                }
+            });
+            if session.builder.is_some() {
+                // RunStart with a run already open: the open run can
+                // never be completed coherently; discard it.
+                metrics.stray_frames.fetch_add(1, Ordering::Relaxed);
+            }
+            session.builder = Some(TraceRunBuilder::new(root));
+        }
+        DeviceOp::Event(event) => match sessions.get_mut(&key).and_then(|s| s.builder.as_mut()) {
+            Some(builder) => {
+                builder.event(event);
+                metrics.events.fetch_add(1, Ordering::Relaxed);
+            }
+            None => {
+                metrics.stray_frames.fetch_add(1, Ordering::Relaxed);
+            }
+        },
+        DeviceOp::RunEnd => {
+            let Some(session) = sessions.get_mut(&key) else {
+                metrics.stray_frames.fetch_add(1, Ordering::Relaxed);
+                return;
+            };
+            let Some(builder) = session.builder.take() else {
+                metrics.stray_frames.fetch_add(1, Ordering::Relaxed);
+                return;
+            };
+            out.clear();
+            match builder.finish() {
+                Ok(trace_run) => {
+                    let started = Instant::now();
+                    let mut observer = EmitObserver {
+                        device,
+                        run: session.run,
+                        decisions: 0,
+                        buf: out,
+                        metrics,
+                    };
+                    observer.on_run_start(session.run);
+                    evaluator.evaluate_run_observed(
+                        &trace_run,
+                        &mut session.manager,
+                        &mut observer,
+                    );
+                    let decisions = observer.decisions;
+                    frame::encode_server(
+                        &ServerFrame::RunSummary {
+                            device,
+                            run: session.run,
+                            decisions,
+                            accesses: evaluator.last_run_accesses() as u32,
+                        },
+                        out,
+                    );
+                    let elapsed = started.elapsed().as_micros() as u64;
+                    metrics.run_eval_us.record(elapsed);
+                    metrics.runs.fetch_add(1, Ordering::Relaxed);
+                    metrics.shards[shard].runs.fetch_add(1, Ordering::Relaxed);
+                    metrics.shards[shard]
+                        .busy_us
+                        .fetch_add(elapsed, Ordering::Relaxed);
+                    session.run += 1;
+                }
+                Err(_) => {
+                    // Invalid run: device state is as if the run never
+                    // happened (the manager was never touched).
+                    metrics.run_rejects.fetch_add(1, Ordering::Relaxed);
+                    frame::encode_server(
+                        &ServerFrame::RunRejected {
+                            device,
+                            run: session.run,
+                        },
+                        out,
+                    );
+                }
+            }
+            reply.send(out);
+        }
+        DeviceOp::DeviceEnd => {
+            let Some(session) = sessions.remove(&key) else {
+                metrics.stray_frames.fetch_add(1, Ordering::Relaxed);
+                return;
+            };
+            metrics.devices_active.fetch_sub(1, Ordering::Relaxed);
+            out.clear();
+            frame::encode_server(
+                &ServerFrame::DeviceSummary {
+                    device,
+                    runs: session.run,
+                    table_entries: session.manager.table_entries().map(|n| n as u64),
+                    table_aliases: session.manager.table_aliases(),
+                },
+                out,
+            );
+            reply.send(out);
+        }
+    }
+}
+
+/// Minimal HTTP/1.1 responder for `/metrics` (Prometheus text) and
+/// `/audit` (sampled decision records as JSONL).
+fn metrics_http_loop(listener: TcpListener, stop: &AtomicBool, metrics: &ServeMetrics) {
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            return;
+        }
+        match listener.accept() {
+            Ok((mut stream, _)) => {
+                let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+                let mut req = [0u8; 1024];
+                let n = stream.read(&mut req).unwrap_or(0);
+                let head = String::from_utf8_lossy(&req[..n]);
+                let path = head
+                    .lines()
+                    .next()
+                    .and_then(|line| line.split_whitespace().nth(1))
+                    .unwrap_or("/");
+                let (status, content_type, body) = match path {
+                    "/metrics" => (
+                        "200 OK",
+                        "text/plain; version=0.0.4",
+                        metrics.render_prometheus(),
+                    ),
+                    "/audit" => (
+                        "200 OK",
+                        "application/jsonl",
+                        pcap_sim::records_to_jsonl(&metrics.sampled_records()),
+                    ),
+                    _ => ("404 Not Found", "text/plain", "not found\n".to_owned()),
+                };
+                let _ = write!(
+                    stream,
+                    "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+                    body.len()
+                );
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}

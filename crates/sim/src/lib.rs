@@ -62,7 +62,7 @@ pub use prepared::{evaluate_prepared, evaluate_prepared_traced, PreparedTrace};
 pub use profile::WorkloadProfile;
 pub use stream::{
     stream_device_report, sweep_fleet, sweep_fleet_observed, DeviceOutcome, FleetReport, FleetSlot,
-    StreamWorker, FLEET_CHUNK,
+    ShardEvaluator, StreamWorker, FLEET_CHUNK,
 };
 pub use streams::{prepare_call_count, Lifetime, RunStreams};
 pub use sweep::{SeedStat, SweepRunner};

@@ -170,6 +170,74 @@ impl StreamWorker {
     }
 }
 
+/// Per-shard online evaluator: the recycled rebuild/simulate state of a
+/// [`StreamWorker`] *without* a manager — the serving layer owns one
+/// [`Manager`] per live device (predictor tables must persist across a
+/// device's runs even when other devices' runs interleave between them
+/// on the same shard).
+///
+/// Unlike [`StreamWorker::new`], the predictor pool is never enabled
+/// here: pooled predictor boxes hold handles into one specific
+/// manager's shared table, which is unsound when every call may bring a
+/// different manager. Per-run predictor boxes are instead allocated
+/// fresh, exactly as [`crate::audit_prepared`] does — which is also
+/// what makes the online decision stream byte-identical to the offline
+/// audit stream.
+pub struct ShardEvaluator {
+    config: SimConfig,
+    cache: FileCache,
+    streams: RunStreams,
+    scratch: EngineScratch,
+}
+
+impl ShardEvaluator {
+    /// Creates an evaluator under `config`.
+    pub fn new(config: &SimConfig) -> ShardEvaluator {
+        ShardEvaluator {
+            config: config.clone(),
+            cache: FileCache::new(config.cache.clone()),
+            streams: RunStreams::empty(),
+            scratch: EngineScratch::new(),
+        }
+    }
+
+    /// The simulation configuration this evaluator was built for.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Streams one run of one device through filter and evaluation
+    /// with an external per-device `manager` and a decision `observer`:
+    /// rebuild → simulate → `manager.on_run_end()`, the exact per-run
+    /// sequence of both [`StreamWorker::evaluate_run`] and the
+    /// prepare-once evaluator. The caller is responsible for
+    /// [`DecisionObserver::on_run_start`] (it needs the device's run
+    /// counter, which lives with the session, not here).
+    pub fn evaluate_run_observed<O: crate::audit::DecisionObserver>(
+        &mut self,
+        run: &TraceRun,
+        manager: &mut Manager,
+        observer: &mut O,
+    ) -> RunOutcome {
+        self.streams.rebuild(run, &self.config, &mut self.cache);
+        let outcome = simulate_run_observed(
+            &self.streams,
+            &self.config,
+            manager,
+            &mut self.scratch,
+            observer,
+        );
+        manager.on_run_end();
+        outcome
+    }
+
+    /// Cache-filtered disk accesses of the most recent
+    /// [`evaluate_run_observed`](Self::evaluate_run_observed).
+    pub fn last_run_accesses(&self) -> usize {
+        self.streams.accesses.len()
+    }
+}
+
 /// One device's aggregate evaluation — the streaming equivalent of an
 /// [`AppReport`], kept `Copy` so fleet folding never allocates.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize)]
@@ -434,6 +502,49 @@ mod tests {
         let streamed =
             stream_device_report(&pop, 4, &config, PowerManagerKind::PCAP, None).unwrap();
         assert_eq!(legacy, streamed);
+    }
+
+    #[test]
+    fn shard_evaluator_matches_audit_with_interleaved_devices() {
+        // Two devices' runs interleaved through ONE evaluator with
+        // per-device managers must each produce the audit stream the
+        // offline path produces for that device alone. (nedit and
+        // mplayer are the two cheapest apps.)
+        use crate::audit::DecisionObserver;
+        let config = SimConfig::paper();
+        let kind = PowerManagerKind::PCAP;
+        let apps = [PaperApp::Nedit, PaperApp::Mplayer];
+        let offline: Vec<_> = apps
+            .iter()
+            .map(|app| {
+                let trace = app.spec().generate_trace(42).unwrap();
+                let prepared = crate::PreparedTrace::build(&trace, &config);
+                crate::audit_prepared(&prepared, &config, kind)
+            })
+            .collect();
+
+        let mut eval = ShardEvaluator::new(&config);
+        let mut managers = [kind.manager(&config), kind.manager(&config)];
+        let mut collectors = [crate::AuditCollector::new(), crate::AuditCollector::new()];
+        let traces: Vec<_> = apps
+            .iter()
+            .map(|app| app.spec().generate_trace(42).unwrap())
+            .collect();
+        let max_runs = traces.iter().map(|t| t.runs.len()).max().unwrap();
+        for run in 0..max_runs {
+            for (d, trace) in traces.iter().enumerate() {
+                if let Some(trace_run) = trace.runs.get(run) {
+                    collectors[d].on_run_start(run as u32);
+                    eval.evaluate_run_observed(trace_run, &mut managers[d], &mut collectors[d]);
+                }
+            }
+        }
+        for (d, collector) in collectors.into_iter().enumerate() {
+            let (records, metrics, _, energy) = collector.finish();
+            assert_eq!(records, offline[d].records, "device {d} decision stream");
+            assert_eq!(metrics, offline[d].metrics, "device {d} metrics");
+            assert_eq!(energy, offline[d].audit_energy, "device {d} energy");
+        }
     }
 
     #[test]

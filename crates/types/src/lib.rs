@@ -36,9 +36,11 @@ use std::ops::{Add, AddAssign, Div, Mul, Sub};
 
 pub mod collections;
 pub mod event;
+pub mod wire;
 
 pub use collections::LruMap;
 pub use event::{DiskAccess, IoEvent, IoKind, TraceEvent};
+pub use wire::{WireError, WireReader};
 
 /// An instant in simulated time, stored as integer microseconds since the
 /// start of the containing trace run.

@@ -16,6 +16,7 @@ pub use pcap_core as core;
 pub use pcap_disk as disk;
 pub use pcap_obs as obs;
 pub use pcap_report as report;
+pub use pcap_serve as serve;
 pub use pcap_sim as sim;
 pub use pcap_trace as trace;
 pub use pcap_types as types;

@@ -126,24 +126,39 @@ fn committed_trajectory_roundtrips_and_passes_the_gate() {
     assert!(entries[0].tracing_overhead.is_none());
     for entry in &entries {
         assert!(entry.label.is_some(), "every entry is labelled");
-        // Grid entries report cells/s; streaming-fleet entries report
-        // devices/s. Every entry must carry exactly the throughput its
-        // gate group keys on.
+        // Grid entries report cells/s, streaming-fleet entries
+        // devices/s, serve-replay entries decisions/s. Every entry
+        // must carry exactly the throughput its gate group keys on.
         assert!(
-            entry.cells_per_s.is_some() || entry.devices_per_s.is_some(),
+            entry.cells_per_s.is_some()
+                || entry.devices_per_s.is_some()
+                || entry.decisions_per_s.is_some(),
             "every entry has a throughput metric"
         );
-        if entry.mode.as_deref() == Some("fleet") {
-            assert!(
-                entry.devices_per_s.is_some(),
-                "fleet entries gate on devices/s"
-            );
-            assert!(
-                entry.devices.is_some(),
-                "fleet entries record the device count"
-            );
-        } else {
-            assert!(entry.cells_per_s.is_some(), "grid entries gate on cells/s");
+        match entry.mode.as_deref() {
+            Some("fleet") => {
+                assert!(
+                    entry.devices_per_s.is_some(),
+                    "fleet entries gate on devices/s"
+                );
+                assert!(
+                    entry.devices.is_some(),
+                    "fleet entries record the device count"
+                );
+            }
+            Some("serve") => {
+                assert!(
+                    entry.decisions_per_s.is_some(),
+                    "serve entries gate on decisions/s"
+                );
+                assert!(
+                    entry.decisions.is_some(),
+                    "serve entries record the decision count"
+                );
+            }
+            _ => {
+                assert!(entry.cells_per_s.is_some(), "grid entries gate on cells/s");
+            }
         }
     }
 
