@@ -38,10 +38,10 @@ use std::io::Write;
 use std::process::ExitCode;
 
 const USAGE: &str = "usage:
-  pcap run <experiment> [--seed N] [--jobs N] [--csv]
+  pcap run <experiment> [--seed N] [--jobs N] [--journal FILE] [--csv]
   pcap all [--seed N | --seeds A..B] [--jobs N] [--csv]
-  pcap sweep [--seeds A..B] [--jobs N] [--csv]
-  pcap sweep --devices N [--seed N] [--jobs N] [--quick] [--csv]
+  pcap sweep [--seeds A..B] [--jobs N] [--journal FILE] [--csv]
+  pcap sweep --devices N [--seed N] [--jobs N] [--quick] [--journal FILE] [--csv]
   pcap verify [--update] [--golden DIR] [--seed N] [--jobs N]
   pcap chart <fig6|fig7|fig8|fig9|fig10> [--seed N] [--jobs N]
   pcap list
@@ -84,6 +84,12 @@ flags:
   --rate N       load: target event rate in events/s (default: unthrottled)
   --interleave   load: interleave devices run-by-run instead of device-major
   --hist-out FILE  load: write the run-latency histogram as JSON
+  --journal FILE run/sweep: record finished cells in a crash-safe journal; a killed
+                 or restarted invocation resumes instead of recomputing, and
+                 concurrent invocations on the same FILE cooperate. Output is
+                 byte-identical to an uninterrupted run. The journal is keyed to
+                 the sweep configuration; a FILE from a different grid/seed
+                 range/device count is rejected
 
 experiments: table1 table2 fig6 fig7 fig8 fig9 fig10 table3 ablations system multistate lambda
 apps: mozilla writer impress xemacs nedit mplayer";
@@ -113,6 +119,7 @@ struct Options {
     rate: Option<u64>,
     interleave: bool,
     hist_out: Option<String>,
+    journal: Option<String>,
     positional: Vec<String>,
 }
 
@@ -164,6 +171,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         rate: None,
         interleave: false,
         hist_out: None,
+        journal: None,
         positional: Vec::new(),
     };
     let mut it = args.iter();
@@ -256,6 +264,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 options.rate = Some(rate);
             }
             "--interleave" => options.interleave = true,
+            "--journal" => {
+                options.journal = Some(it.next().ok_or("--journal needs a value")?.clone());
+            }
             "--hist-out" => {
                 options.hist_out = Some(it.next().ok_or("--hist-out needs a value")?.clone());
             }
@@ -325,6 +336,9 @@ fn run() -> Result<(), String> {
                 Experiment::by_name(name).ok_or_else(|| format!("unknown experiment {name}"))?;
             let bench = Workbench::generate_par(options.seed, SimConfig::paper(), options.jobs)
                 .map_err(|e| e.to_string())?;
+            if let Some(path) = &options.journal {
+                warm_bench_journaled(&bench, options.jobs, path)?;
+            }
             emit(&experiment.run(&bench), options.csv);
             Ok(())
         }
@@ -370,7 +384,35 @@ fn run() -> Result<(), String> {
                 .seeds
                 .clone()
                 .unwrap_or_else(|| (GOLDEN_SEED..GOLDEN_SEED + 5).collect());
-            let benches = run_sweep(&seeds, &SimConfig::paper(), &SWEEP_KINDS, options.jobs)
+            let config = SimConfig::paper();
+            if let Some(path) = &options.journal {
+                let mut journal = pcap_sim::Journal::open(
+                    path,
+                    pcap_report::sweep_journal_config(&seeds, &config, &SWEEP_KINDS),
+                )
+                .map_err(|e| e.to_string())?;
+                let per_seed = pcap_report::run_sweep_journaled(
+                    &seeds,
+                    &config,
+                    &SWEEP_KINDS,
+                    options.jobs,
+                    &mut journal,
+                )
+                .map_err(|e| e.to_string())?;
+                let grids: Vec<Vec<pcap_sim::AppReport>> =
+                    per_seed.into_iter().map(|(_, grid)| grid).collect();
+                emit(
+                    &[pcap_report::sweep_table_from_reports(
+                        &seeds,
+                        &grids,
+                        &SWEEP_KINDS,
+                    )],
+                    options.csv,
+                );
+                eprintln!("pcap sweep: journal {}", journal.progress().summary());
+                return Ok(());
+            }
+            let benches = run_sweep(&seeds, &config, &SWEEP_KINDS, options.jobs)
                 .map_err(|e| e.to_string())?;
             emit(&[sweep_table(&benches, &SWEEP_KINDS)], options.csv);
             Ok(())
@@ -641,15 +683,69 @@ fn run_pipeline_profile(options: &Options) -> Result<(), String> {
 fn run_fleet_sweep(devices: u64, options: &Options) -> Result<(), String> {
     let pop = DevicePopulation::new(devices, options.seed);
     let max_runs = options.quick.then_some(QUICK_RUNS);
-    let report = pcap_sim::sweep_fleet(
-        &pop,
-        &SimConfig::paper(),
-        pcap_sim::PowerManagerKind::PCAP,
-        &pcap_sim::SweepRunner::new(options.jobs),
-        max_runs,
-    )
-    .map_err(|e| e.to_string())?;
+    let kind = pcap_sim::PowerManagerKind::PCAP;
+    let config = SimConfig::paper();
+    let runner = pcap_sim::SweepRunner::new(options.jobs);
+    let report = if let Some(path) = &options.journal {
+        let mut journal = pcap_sim::Journal::open(
+            path,
+            pcap_sim::fleet_journal_config(devices, options.seed, max_runs, kind),
+        )
+        .map_err(|e| e.to_string())?;
+        let report =
+            pcap_sim::sweep_fleet_journaled(&pop, &config, kind, &runner, max_runs, &mut journal)
+                .map_err(|e| e.to_string())?;
+        eprintln!("pcap sweep: journal {}", journal.progress().summary());
+        report
+    } else {
+        pcap_sim::sweep_fleet(&pop, &config, kind, &runner, max_runs).map_err(|e| e.to_string())?
+    };
     emit(&[fleet_table(&report)], options.csv);
+    Ok(())
+}
+
+/// `pcap run --journal`: warms the workbench's full `app × manager`
+/// grid through a crash-safe journal, so a killed `pcap run` resumes
+/// from the finished cells instead of recomputing them. Decoded
+/// reports are primed into the workbench memo; the experiment then
+/// renders from the memo, byte-identical to an unjournaled run.
+fn warm_bench_journaled(bench: &Workbench, jobs: usize, path: &str) -> Result<(), String> {
+    // The run-grid journal shares the sweep config hash (seed, full
+    // SimConfig, kind list) but chains it through a distinct domain, so
+    // a seed-sweep journal can never be mistaken for a run-grid one.
+    let mut domain = pcap_workload::ConfigHash::new("run-grid");
+    domain.push(pcap_report::sweep_journal_config(
+        &[bench.seed()],
+        bench.config(),
+        &GRID_KINDS,
+    ));
+    let mut journal = pcap_sim::Journal::open(path, domain.finish()).map_err(|e| e.to_string())?;
+    bench.prepare_all(jobs);
+    let runner = pcap_sim::SweepRunner::new(jobs);
+    let cells: Vec<(u64, (usize, pcap_sim::PowerManagerKind))> = (0..bench.traces().len())
+        .flat_map(|trace_idx| {
+            GRID_KINDS.iter().enumerate().map(move |(kind_idx, &kind)| {
+                (
+                    ((trace_idx as u64) << 32) | kind_idx as u64,
+                    (trace_idx, kind),
+                )
+            })
+        })
+        .collect();
+    let config = bench.config().clone();
+    let results = pcap_sim::run_journaled(&mut journal, &runner, &cells, |&(trace_idx, kind)| {
+        let report = pcap_sim::evaluate_prepared(bench.prepared(trace_idx), &config, kind);
+        Ok(pcap_sim::encode_reports(std::slice::from_ref(&report)))
+    })
+    .map_err(|e| e.to_string())?;
+    for ((_, (trace_idx, kind)), bytes) in cells.iter().zip(results) {
+        let report = pcap_sim::decode_reports(&bytes)
+            .map_err(|e| e.to_string())?
+            .pop()
+            .ok_or("empty journal cell")?;
+        bench.prime(*trace_idx, *kind, report);
+    }
+    eprintln!("pcap run: journal {}", journal.progress().summary());
     Ok(())
 }
 
@@ -718,21 +814,34 @@ fn run_serve(options: &Options) -> Result<(), String> {
 }
 
 /// Approximate quantile from a log-bucketed histogram: the upper bound
-/// of the first bucket whose cumulative count reaches `q`.
+/// of the bucket holding the sample of rank `ceil(total · q)`.
+///
+/// The rank is clamped to `[1, total]`: `q ≈ 0` would otherwise round
+/// to rank 0 and report the first bucket even when it is empty, and
+/// `q = 1.0` can round *above* `total` through the `f64` multiply and
+/// walk past the last occupied bucket (the old code then returned a
+/// `u64::MAX` sentinel). An empty histogram reports 0.
 fn hist_quantile(hist: &pcap_obs::LogHistogram, q: f64) -> u64 {
     let total = hist.total();
     if total == 0 {
         return 0;
     }
-    let target = ((total as f64) * q).ceil() as u64;
+    let target = (((total as f64) * q).ceil() as u64).clamp(1, total);
     let mut seen = 0;
+    let mut last_occupied = 0;
     for (index, &count) in hist.counts().iter().enumerate() {
+        if count > 0 {
+            last_occupied = index;
+        }
         seen += count;
         if seen >= target {
             return pcap_obs::LogHistogram::bucket_bounds(index).1;
         }
     }
-    u64::MAX
+    // Defensive: with the rank clamped the loop always returns; if the
+    // counts ever disagree with total(), still answer with a real
+    // bucket bound rather than a sentinel.
+    pcap_obs::LogHistogram::bucket_bounds(last_occupied).1
 }
 
 /// Renders a latency histogram as a small JSON artifact (per-bucket
@@ -1185,7 +1294,9 @@ fn run_bench(options: &Options) -> Result<(), String> {
 
     let rendered =
         serde_json::to_string_pretty(&serde::Value::Array(entries)).map_err(|e| e.to_string())?;
-    std::fs::write(&out, rendered + "\n").map_err(|e| e.to_string())?;
+    // Atomic commit: a crash mid-write must never truncate the
+    // trajectory history the `--check` gate depends on.
+    pcap_sim::atomic_write(&out, (rendered + "\n").as_bytes()).map_err(|e| e.to_string())?;
     eprintln!("pcap bench: appended trajectory entries to {out}");
     if options.check {
         return check_bench_trajectory(&out);
@@ -1432,6 +1543,52 @@ mod tests {
         let p99 = hist_quantile(&h, 0.99);
         assert!((100..1000).contains(&p50), "p50 near the bulk: {p50}");
         assert!(p99 >= 1_000_000, "p99 in the tail bucket: {p99}");
+    }
+
+    #[test]
+    fn hist_quantile_edge_cases_stay_in_occupied_buckets() {
+        // Empty: every quantile is 0, including the extremes.
+        let empty = pcap_obs::LogHistogram::new();
+        assert_eq!(hist_quantile(&empty, 0.0), 0);
+        assert_eq!(hist_quantile(&empty, 1.0), 0);
+
+        // One sample in a high bucket: rank 0 must not fall into the
+        // empty first bucket, and q=1.0 must not walk past the end.
+        let mut one = pcap_obs::LogHistogram::new();
+        one.record(5_000);
+        let bound = hist_quantile(&one, 0.5);
+        assert!(bound >= 5_000, "single sample's bucket: {bound}");
+        assert_eq!(hist_quantile(&one, 0.0), bound, "q=0 clamps to rank 1");
+        assert_eq!(hist_quantile(&one, 1.0), bound, "q=1 stays on the sample");
+        assert_ne!(hist_quantile(&one, 1.0), u64::MAX, "no sentinel leaks");
+
+        // q=1.0 on a total whose f64 product rounds above the count.
+        let mut big = pcap_obs::LogHistogram::new();
+        for _ in 0..49 {
+            big.record(10);
+        }
+        for _ in 0..51 {
+            big.record(100);
+        }
+        let last = hist_quantile(&big, 1.0);
+        assert!(
+            (100..1000).contains(&last),
+            "q=1 is the last bucket: {last}"
+        );
+
+        // Monotone in q over a spread histogram.
+        let mut spread = pcap_obs::LogHistogram::new();
+        for magnitude in [1u64, 10, 100, 1_000, 10_000] {
+            for _ in 0..20 {
+                spread.record(magnitude);
+            }
+        }
+        let qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0];
+        let bounds: Vec<u64> = qs.iter().map(|&q| hist_quantile(&spread, q)).collect();
+        assert!(
+            bounds.windows(2).all(|w| w[0] <= w[1]),
+            "quantiles must be monotone: {bounds:?}"
+        );
     }
 
     #[test]

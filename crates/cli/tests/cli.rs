@@ -535,3 +535,293 @@ fn serve_then_load_round_trip_with_metrics_artifacts() {
     assert!(artifact.contains("\"buckets\""), "artifact: {artifact}");
     std::fs::remove_dir_all(&dir).ok();
 }
+
+// ------------------------------------------------ journaled sweeps
+
+fn journal_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("pcap-cli-journal-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+#[test]
+fn journaled_seed_sweep_matches_plain_and_resumes_warm() {
+    let dir = journal_dir("seed");
+    let journal = dir.join("sweep.jnl");
+    let journal = journal.to_str().expect("utf-8");
+    let plain = pcap(&["sweep", "--seeds", "42..44", "--jobs", "1", "--csv"]);
+    assert!(plain.status.success(), "stderr: {}", stderr(&plain));
+
+    let journaled = pcap(&[
+        "sweep",
+        "--seeds",
+        "42..44",
+        "--jobs",
+        "2",
+        "--journal",
+        journal,
+        "--csv",
+    ]);
+    assert!(journaled.status.success(), "stderr: {}", stderr(&journaled));
+    assert_eq!(
+        plain.stdout, journaled.stdout,
+        "journaled sweep must be byte-identical to the plain --jobs 1 run"
+    );
+    assert!(
+        stderr(&journaled).contains("journal resumed 0, computed 2"),
+        "cold journal computes both seeds, stderr: {}",
+        stderr(&journaled)
+    );
+
+    // Second run over the finished journal: everything resumes.
+    let warm = pcap(&[
+        "sweep",
+        "--seeds",
+        "42..44",
+        "--jobs",
+        "2",
+        "--journal",
+        journal,
+        "--csv",
+    ]);
+    assert!(warm.status.success(), "stderr: {}", stderr(&warm));
+    assert_eq!(plain.stdout, warm.stdout);
+    assert!(
+        stderr(&warm).contains("journal resumed 2, computed 0"),
+        "warm journal recomputes nothing, stderr: {}",
+        stderr(&warm)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn killed_journaled_sweep_resumes_byte_identical() {
+    let dir = journal_dir("kill");
+    let journal = dir.join("sweep.jnl");
+    let journal = journal.to_str().expect("utf-8");
+    let seeds = "42..50";
+    let plain = pcap(&["sweep", "--seeds", seeds, "--jobs", "1", "--csv"]);
+    assert!(plain.status.success(), "stderr: {}", stderr(&plain));
+
+    // Start a journaled run and SIGKILL it partway through.
+    let mut child = Command::new(env!("CARGO_BIN_EXE_pcap"))
+        .args([
+            "sweep",
+            "--seeds",
+            seeds,
+            "--jobs",
+            "1",
+            "--journal",
+            journal,
+            "--csv",
+        ])
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("child starts");
+    std::thread::sleep(std::time::Duration::from_millis(1500));
+    child.kill().expect("kill");
+    child.wait().expect("reap");
+
+    // The resumed run finishes the grid and emits identical bytes.
+    let resumed = pcap(&[
+        "sweep",
+        "--seeds",
+        seeds,
+        "--jobs",
+        "2",
+        "--journal",
+        journal,
+        "--csv",
+    ]);
+    assert!(resumed.status.success(), "stderr: {}", stderr(&resumed));
+    assert_eq!(
+        plain.stdout, resumed.stdout,
+        "kill-and-resume must not change a byte of the table"
+    );
+    assert!(
+        stderr(&resumed).contains("journal resumed"),
+        "stderr: {}",
+        stderr(&resumed)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn two_concurrent_journaled_sweeps_cooperate() {
+    let dir = journal_dir("pair");
+    let journal = dir.join("sweep.jnl");
+    let journal = journal.to_str().expect("utf-8");
+    let seeds = "42..47";
+    let plain = pcap(&["sweep", "--seeds", seeds, "--jobs", "1", "--csv"]);
+    assert!(plain.status.success(), "stderr: {}", stderr(&plain));
+
+    let spawn = || {
+        Command::new(env!("CARGO_BIN_EXE_pcap"))
+            .args([
+                "sweep",
+                "--seeds",
+                seeds,
+                "--jobs",
+                "1",
+                "--journal",
+                journal,
+                "--csv",
+            ])
+            .stdout(std::process::Stdio::piped())
+            .stderr(std::process::Stdio::piped())
+            .spawn()
+            .expect("child starts")
+    };
+    let a = spawn();
+    let b = spawn();
+    let a = a.wait_with_output().expect("a finishes");
+    let b = b.wait_with_output().expect("b finishes");
+    assert!(a.status.success(), "stderr: {}", stderr(&a));
+    assert!(b.status.success(), "stderr: {}", stderr(&b));
+    // Both processes print the full table, byte-identical to the
+    // single-process run, no matter how the cells were split.
+    assert_eq!(plain.stdout, a.stdout);
+    assert_eq!(plain.stdout, b.stdout);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn journaled_fleet_sweep_matches_plain() {
+    let dir = journal_dir("fleet");
+    let journal = dir.join("fleet.jnl");
+    let journal = journal.to_str().expect("utf-8");
+    let plain = pcap(&[
+        "sweep",
+        "--devices",
+        "30",
+        "--quick",
+        "--jobs",
+        "1",
+        "--csv",
+    ]);
+    assert!(plain.status.success(), "stderr: {}", stderr(&plain));
+    let journaled = pcap(&[
+        "sweep",
+        "--devices",
+        "30",
+        "--quick",
+        "--jobs",
+        "2",
+        "--journal",
+        journal,
+        "--csv",
+    ]);
+    assert!(journaled.status.success(), "stderr: {}", stderr(&journaled));
+    assert_eq!(plain.stdout, journaled.stdout);
+    let warm = pcap(&[
+        "sweep",
+        "--devices",
+        "30",
+        "--quick",
+        "--jobs",
+        "2",
+        "--journal",
+        journal,
+        "--csv",
+    ]);
+    assert!(warm.status.success(), "stderr: {}", stderr(&warm));
+    assert_eq!(plain.stdout, warm.stdout);
+    assert!(
+        stderr(&warm).contains("computed 0"),
+        "warm fleet journal recomputes nothing, stderr: {}",
+        stderr(&warm)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn mismatched_journal_is_rejected_with_named_error() {
+    let dir = journal_dir("mismatch");
+    let journal = dir.join("fleet.jnl");
+    let journal = journal.to_str().expect("utf-8");
+    let first = pcap(&[
+        "sweep",
+        "--devices",
+        "12",
+        "--quick",
+        "--journal",
+        journal,
+        "--csv",
+    ]);
+    assert!(first.status.success(), "stderr: {}", stderr(&first));
+    // Same journal file, different fleet size: refused, not merged.
+    let wrong = pcap(&[
+        "sweep",
+        "--devices",
+        "13",
+        "--quick",
+        "--journal",
+        journal,
+        "--csv",
+    ]);
+    assert!(!wrong.status.success(), "mismatched journal must fail");
+    assert!(
+        stderr(&wrong).contains("config mismatch"),
+        "stderr: {}",
+        stderr(&wrong)
+    );
+    assert!(wrong.stdout.is_empty(), "no table on a rejected journal");
+    // A non-journal file is refused with the bad-magic error.
+    let bogus = dir.join("notes.txt");
+    std::fs::write(&bogus, "not a journal").expect("write");
+    let bad = pcap(&[
+        "sweep",
+        "--devices",
+        "12",
+        "--quick",
+        "--journal",
+        bogus.to_str().expect("utf-8"),
+        "--csv",
+    ]);
+    assert!(!bad.status.success());
+    assert!(
+        stderr(&bad).contains("bad magic"),
+        "stderr: {}",
+        stderr(&bad)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn journaled_run_matches_plain_experiment_output() {
+    let dir = journal_dir("run");
+    let journal = dir.join("grid.jnl");
+    let journal = journal.to_str().expect("utf-8");
+    let plain = pcap(&["run", "table2", "--jobs", "1", "--csv"]);
+    assert!(plain.status.success(), "stderr: {}", stderr(&plain));
+    let journaled = pcap(&[
+        "run",
+        "table2",
+        "--jobs",
+        "2",
+        "--journal",
+        journal,
+        "--csv",
+    ]);
+    assert!(journaled.status.success(), "stderr: {}", stderr(&journaled));
+    assert_eq!(plain.stdout, journaled.stdout);
+    // Warm rerun answers from the journal alone.
+    let warm = pcap(&[
+        "run",
+        "table2",
+        "--jobs",
+        "2",
+        "--journal",
+        journal,
+        "--csv",
+    ]);
+    assert!(warm.status.success(), "stderr: {}", stderr(&warm));
+    assert_eq!(plain.stdout, warm.stdout);
+    assert!(
+        stderr(&warm).contains("computed 0"),
+        "stderr: {}",
+        stderr(&warm)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

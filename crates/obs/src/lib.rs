@@ -33,6 +33,7 @@
 pub mod bench;
 pub mod chrome;
 pub mod histogram;
+pub mod journal;
 pub mod prom;
 pub mod recorder;
 pub mod summary;
@@ -42,6 +43,7 @@ pub use bench::{
 };
 pub use chrome::{render_chrome_trace, validate_chrome_trace, ChromeTraceStats};
 pub use histogram::LogHistogram;
+pub use journal::{JournalProgress, JournalProgressSnapshot};
 pub use prom::{render_prometheus, validate_prometheus};
 pub use recorder::{SlowestTask, TraceEvent, TraceRecorder};
 pub use summary::{imbalance_ratio, render_stage_table, stage_summary, worker_summary, StageStat};

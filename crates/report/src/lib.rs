@@ -34,6 +34,9 @@ pub use profiling::{profile_pipeline, ProfileSummary};
 pub use snapshot::{
     snapshot_files, snapshot_files_observed, verify_snapshot, write_snapshot, Drift, GOLDEN_SEED,
 };
-pub use sweep::{fleet_table, run_sweep, run_sweep_observed, sweep_table, SWEEP_KINDS};
+pub use sweep::{
+    fleet_table, run_sweep, run_sweep_journaled, run_sweep_observed, sweep_journal_config,
+    sweep_table, sweep_table_from_reports, SWEEP_KINDS,
+};
 pub use tables::Table;
 pub use workbench::{Workbench, GRID_KINDS};

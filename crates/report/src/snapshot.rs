@@ -167,7 +167,9 @@ pub fn write_snapshot(bench: &Workbench, dir: &Path) -> io::Result<()> {
         fs::create_dir_all(&sub)?;
     }
     for (rel, contents) in snapshot_files(bench) {
-        fs::write(dir.join(rel), contents)?;
+        // Atomic per-file commit (temp + rename): a crash mid-bless
+        // leaves each golden file either old or new, never truncated.
+        pcap_sim::atomic_write(dir.join(rel), contents.as_bytes())?;
     }
     Ok(())
 }

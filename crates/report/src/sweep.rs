@@ -15,9 +15,13 @@
 use crate::tables::{pct1, Table};
 use crate::workbench::Workbench;
 use pcap_obs::{NullPipeline, PipelineObserver};
-use pcap_sim::{evaluate_prepared_traced, PowerManagerKind, SeedStat, SimConfig, SweepRunner};
+use pcap_sim::{
+    decode_reports, encode_reports, evaluate_prepared, evaluate_prepared_traced, run_journaled,
+    AppReport, Journal, JournalError, PowerManagerKind, PreparedTrace, SeedStat, SimConfig,
+    SweepRunner,
+};
 use pcap_trace::TraceError;
-use pcap_workload::{AppModel, PaperApp};
+use pcap_workload::{AppModel, ConfigHash, PaperApp};
 
 /// The managers aggregated by the `sweep` experiment: the paper's
 /// headline predictors plus the clairvoyant bound.
@@ -127,16 +131,106 @@ pub fn run_sweep_observed<P: PipelineObserver>(
     Ok(benches)
 }
 
+/// The config hash a seed-sweep journal is pinned to: the exact seed
+/// list, the full [`SimConfig`] (via its canonical JSON serialization),
+/// and the manager grid. Any change to any of them re-keys the journal,
+/// so stale results can never leak into a different sweep.
+pub fn sweep_journal_config(seeds: &[u64], config: &SimConfig, kinds: &[PowerManagerKind]) -> u64 {
+    let mut hash = ConfigHash::new("seed-sweep");
+    hash.push(seeds.len() as u64);
+    for &seed in seeds {
+        hash.push(seed);
+    }
+    hash.push_str(&serde_json::to_string(config).expect("SimConfig serializes"));
+    hash.push(kinds.len() as u64);
+    for kind in kinds {
+        hash.push_str(&serde_json::to_string(kind).expect("PowerManagerKind serializes"));
+    }
+    hash.finish()
+}
+
+/// [`run_sweep`] against a journal: one cell per seed (the cell key is
+/// the seed itself), each holding the full `app × kind` report grid.
+/// Seeds already committed are decoded instead of recomputed; pending
+/// seeds are claimed via the journal's advisory locks so concurrent or
+/// restarted processes cooperate. Returns per-seed reports in app-major
+/// × kind order, ready for [`sweep_table_from_reports`] — always read
+/// back from journal bytes, so the readout is identical no matter
+/// which process computed which seed.
+///
+/// # Errors
+///
+/// [`JournalError`] on journal I/O or integrity failures, with
+/// [`JournalError::Task`] wrapping trace-generation errors.
+pub fn run_sweep_journaled(
+    seeds: &[u64],
+    config: &SimConfig,
+    kinds: &[PowerManagerKind],
+    jobs: usize,
+    journal: &mut Journal,
+) -> Result<Vec<(u64, Vec<AppReport>)>, JournalError> {
+    let runner = SweepRunner::new(jobs);
+    let cells: Vec<(u64, u64)> = seeds.iter().map(|&seed| (seed, seed)).collect();
+    let results = run_journaled(journal, &runner, &cells, |&seed| {
+        let mut reports = Vec::with_capacity(PaperApp::ALL.len() * kinds.len());
+        for app in PaperApp::ALL {
+            let trace = app.spec().generate_trace(seed).map_err(|e| e.to_string())?;
+            let prepared = PreparedTrace::build(&trace, config);
+            for &kind in kinds {
+                reports.push(evaluate_prepared(&prepared, config, kind));
+            }
+        }
+        Ok(encode_reports(&reports))
+    })?;
+    seeds
+        .iter()
+        .zip(results)
+        .map(|(&seed, bytes)| {
+            let reports = decode_reports(&bytes).map_err(|e| JournalError::Corrupt {
+                offset: 0,
+                reason: format!("seed {seed} payload: {e}"),
+            })?;
+            Ok((seed, reports))
+        })
+        .collect()
+}
+
 /// Aggregates a sweep into the mean/min/max table: one row per
 /// `app × manager`, plus per-manager suite averages.
 pub fn sweep_table(benches: &[(u64, Workbench)], kinds: &[PowerManagerKind]) -> Table {
     let seeds: Vec<u64> = benches.iter().map(|(seed, _)| *seed).collect();
     let apps = benches.first().map_or(0, |(_, bench)| bench.traces().len());
+    let per_seed: Vec<Vec<AppReport>> = benches
+        .iter()
+        .map(|(_, bench)| {
+            (0..apps)
+                .flat_map(|trace_idx| kinds.iter().map(move |&kind| bench.report(trace_idx, kind)))
+                .collect()
+        })
+        .collect();
+    sweep_table_from_reports(&seeds, &per_seed, kinds)
+}
+
+/// [`sweep_table`] over bare report grids (one `Vec<AppReport>` per
+/// seed, app-major × kind order, as produced by
+/// [`run_sweep_journaled`]). [`sweep_table`] delegates here, so the
+/// journaled and workbench paths render through one implementation and
+/// are byte-identical by construction.
+pub fn sweep_table_from_reports(
+    seeds: &[u64],
+    per_seed: &[Vec<AppReport>],
+    kinds: &[PowerManagerKind],
+) -> Table {
+    let apps = if kinds.is_empty() {
+        0
+    } else {
+        per_seed.first().map_or(0, |grid| grid.len() / kinds.len())
+    };
     let mut t = Table::new(
         format!(
             "Sweep: savings and accuracy across {} seeds ({})",
             seeds.len(),
-            render_seeds(&seeds)
+            render_seeds(seeds)
         ),
         &[
             "app",
@@ -151,14 +245,16 @@ pub fn sweep_table(benches: &[(u64, Workbench)], kinds: &[PowerManagerKind]) -> 
             "miss max",
         ],
     );
-    let stat_row = |t: &mut Table, app: &str, kind: PowerManagerKind, cells: &[(usize, usize)]| {
-        // `cells` are (bench index, trace index) pairs to average over.
-        let collect = |metric: &dyn Fn(&pcap_sim::AppReport) -> f64| -> SeedStat {
+    let report_of = |bench_idx: usize, trace_idx: usize, kind_idx: usize| -> &AppReport {
+        &per_seed[bench_idx][trace_idx * kinds.len() + kind_idx]
+    };
+    let stat_row = |t: &mut Table, app: &str, kind_idx: usize, cells: &[(usize, usize)]| {
+        let kind = kinds[kind_idx];
+        // `cells` are (seed index, trace index) pairs to average over.
+        let collect = |metric: &dyn Fn(&AppReport) -> f64| -> SeedStat {
             let samples: Vec<f64> = cells
                 .iter()
-                .map(|&(bench_idx, trace_idx)| {
-                    metric(&benches[bench_idx].1.report(trace_idx, kind))
-                })
+                .map(|&(bench_idx, trace_idx)| metric(report_of(bench_idx, trace_idx, kind_idx)))
                 .collect();
             SeedStat::of(&samples)
         };
@@ -179,20 +275,20 @@ pub fn sweep_table(benches: &[(u64, Workbench)], kinds: &[PowerManagerKind]) -> 
         ]);
     };
     for trace_idx in 0..apps {
-        let app = benches[0].1.traces()[trace_idx].app.clone();
-        for &kind in kinds {
-            let cells: Vec<(usize, usize)> = (0..benches.len())
+        let app = report_of(0, trace_idx, 0).app.clone();
+        for kind_idx in 0..kinds.len() {
+            let cells: Vec<(usize, usize)> = (0..per_seed.len())
                 .map(|bench_idx| (bench_idx, trace_idx))
                 .collect();
-            stat_row(&mut t, &app, kind, &cells);
+            stat_row(&mut t, &app, kind_idx, &cells);
         }
     }
     // Suite-wide aggregation: every app × seed sample per manager.
-    for &kind in kinds {
-        let cells: Vec<(usize, usize)> = (0..benches.len())
+    for kind_idx in 0..kinds.len() {
+        let cells: Vec<(usize, usize)> = (0..per_seed.len())
             .flat_map(|bench_idx| (0..apps).map(move |trace_idx| (bench_idx, trace_idx)))
             .collect();
-        stat_row(&mut t, "AVERAGE", kind, &cells);
+        stat_row(&mut t, "AVERAGE", kind_idx, &cells);
     }
     t
 }
@@ -302,6 +398,41 @@ mod tests {
         assert_eq!(serial.to_csv(), parallel.to_csv());
         // 6 apps × 4 kinds + 4 AVERAGE rows.
         assert_eq!(serial.rows.len(), 6 * 4 + 4);
+    }
+
+    #[test]
+    fn sweep_table_from_reports_matches_workbench_path() {
+        let seeds = [42u64, 43];
+        let benches = truncated_sweep(&seeds, 2);
+        let via_bench = sweep_table(&benches, &SWEEP_KINDS);
+        // The same grid, flattened to bare reports (the journal layout:
+        // app-major × kind), must render the identical table.
+        let per_seed: Vec<Vec<_>> = benches
+            .iter()
+            .map(|(_, bench)| {
+                (0..bench.traces().len())
+                    .flat_map(|ti| SWEEP_KINDS.iter().map(move |&k| bench.report(ti, k)))
+                    .collect()
+            })
+            .collect();
+        let via_reports = sweep_table_from_reports(&seeds, &per_seed, &SWEEP_KINDS);
+        assert_eq!(via_bench.to_csv(), via_reports.to_csv());
+    }
+
+    #[test]
+    fn sweep_journal_config_pins_every_dimension() {
+        let config = SimConfig::paper();
+        let base = sweep_journal_config(&[42, 43], &config, &SWEEP_KINDS);
+        assert_eq!(base, sweep_journal_config(&[42, 43], &config, &SWEEP_KINDS));
+        assert_ne!(base, sweep_journal_config(&[42], &config, &SWEEP_KINDS));
+        assert_ne!(base, sweep_journal_config(&[43, 42], &config, &SWEEP_KINDS));
+        let mut other = config.clone();
+        other.pcap_history_len += 1;
+        assert_ne!(base, sweep_journal_config(&[42, 43], &other, &SWEEP_KINDS));
+        assert_ne!(
+            base,
+            sweep_journal_config(&[42, 43], &config, &SWEEP_KINDS[..3])
+        );
     }
 
     #[test]

@@ -156,7 +156,7 @@ pub fn encode_client(frame: &ClientFrame, buf: &mut Vec<u8>) {
             put::u64(&mut payload, device);
         }
     }
-    wire::write_frame(buf, &payload);
+    wire::write_frame(buf, &payload).expect("client frames are fixed-size, below MAX_FRAME_LEN");
 }
 
 /// Decodes one de-framed client payload.
@@ -326,7 +326,7 @@ pub fn encode_server(frame: &ServerFrame, buf: &mut Vec<u8>) {
             put::option(&mut payload, table_aliases, put::u64);
         }
     }
-    wire::write_frame(buf, &payload);
+    wire::write_frame(buf, &payload).expect("server frames are fixed-size, below MAX_FRAME_LEN");
 }
 
 /// Decodes one de-framed server payload.

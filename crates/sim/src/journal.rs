@@ -1,0 +1,1135 @@
+//! Crash-safe append-only sweep journal: resumable, multi-process
+//! deterministic sweeps.
+//!
+//! A journal is a single file of length-prefixed records
+//! `(cell_key, content_hash, result_bytes)` behind a fixed header that
+//! pins the record schema version and a caller-supplied *config hash*
+//! (seed range, device count, manager grid — whatever parameterizes
+//! the sweep). A journal written under a different configuration is
+//! rejected with a named error ([`JournalError::ConfigMismatch`]), not
+//! silently merged into the wrong table.
+//!
+//! Durability model, built on three properties:
+//!
+//! * **Appends are atomic-or-torn-at-EOF.** Every record is written as
+//!   one `write_all` to an `O_APPEND` descriptor while holding an
+//!   exclusive advisory lock on the journal file, then `sync_data`'d.
+//!   A crash can therefore leave at most one *torn* record, and only
+//!   at the tail. Recovery detects it by the length prefix (record
+//!   runs past EOF) and truncates back to the last whole record;
+//!   anywhere else, a bad length or a content-hash mismatch is real
+//!   corruption and fails loudly ([`JournalError::Corrupt`]).
+//! * **Results are deterministic.** Every cell is a pure function of
+//!   the sweep configuration, so a record computed by any process at
+//!   any time holds the same bytes. Duplicate records for one cell are
+//!   legal if byte-identical (first one wins) and corruption otherwise.
+//! * **Claims are advisory file locks.** A process claims a pending
+//!   cell by taking `flock`-style exclusive locks on per-cell sidecar
+//!   files under `<journal>.claims/`. Locks die with their process, so
+//!   a crashed worker's claims free themselves and a restart (or a
+//!   second concurrent process) picks the cells up — cooperation, not
+//!   duplication.
+//!
+//! [`run_journaled`] ties the three together into the execution loop
+//! used by `pcap sweep --journal` / `pcap run --journal`, and
+//! [`sweep_fleet_journaled`] instantiates it for the streaming fleet
+//! pipeline. The final readout always decodes *from the journal* in
+//! canonical cell order, so output is byte-identical no matter which
+//! process computed which cell, or how many times the run was killed
+//! and resumed.
+//!
+//! The module also exports [`atomic_write`]: write-to-temp +
+//! `rename`, the commit protocol used for `BENCH_sim.json` and golden
+//! snapshot files so a mid-write crash can never leave a truncated
+//! committed artifact.
+
+use crate::engine::AppReport;
+use crate::factory::PowerManagerKind;
+use crate::metrics::{EnergyBreakdown, PredictionCounts};
+use crate::stream::{FleetReport, FleetSlot, StreamWorker, FLEET_CHUNK};
+use crate::sweep::SweepRunner;
+use crate::SimConfig;
+use pcap_disk::Joules;
+use pcap_obs::JournalProgress;
+use pcap_types::wire::{put, WireError, WireReader};
+use pcap_workload::{fleet_cell_key, DevicePopulation};
+use std::collections::HashMap;
+use std::fmt;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// File magic: the first eight bytes of every journal.
+pub const JOURNAL_MAGIC: [u8; 8] = *b"PCAPJRNL";
+
+/// Record-schema version pinned in the header. Bump on any change to
+/// the record layout; old journals are then rejected, never misread.
+pub const JOURNAL_SCHEMA: u32 = 1;
+
+/// Header length: magic + schema (`u32`) + config hash (`u64`).
+pub const JOURNAL_HEADER_LEN: usize = 20;
+
+/// Hard ceiling on one record's payload (cell key + hash + result).
+/// Journal payloads (a whole chunk's slots, a seed's report grid) can
+/// exceed the serve layer's 64 KiB `MAX_FRAME_LEN`, so the journal
+/// carries its own bound; a length prefix above it is corruption.
+pub const MAX_RECORD_LEN: usize = 1 << 24;
+
+/// Bytes of record payload that precede the result: cell key + hash.
+const RECORD_OVERHEAD: usize = 16;
+
+/// FNV-1a 64-bit content hash, the integrity check on every record.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Everything that can go wrong opening, scanning, or extending a
+/// journal — each case named so callers (and tests) can match on it.
+#[derive(Debug)]
+pub enum JournalError {
+    /// An underlying filesystem operation failed.
+    Io {
+        /// Path being operated on.
+        path: String,
+        /// The OS error.
+        error: io::Error,
+    },
+    /// The file exists but does not start with [`JOURNAL_MAGIC`].
+    BadMagic {
+        /// Path of the offending file.
+        path: String,
+    },
+    /// The header's schema version is not [`JOURNAL_SCHEMA`].
+    SchemaMismatch {
+        /// Version found in the header.
+        found: u32,
+        /// Version this build writes.
+        expected: u32,
+    },
+    /// The header's config hash does not match this sweep's
+    /// configuration — the journal belongs to a different grid, seed
+    /// range, or device count.
+    ConfigMismatch {
+        /// Hash found in the header.
+        found: u64,
+        /// Hash of the requested configuration.
+        expected: u64,
+    },
+    /// A structurally invalid record *before* the tail: bad length,
+    /// content-hash mismatch, or two records for one cell with
+    /// different bytes. Unlike a torn tail this is never self-healing.
+    Corrupt {
+        /// Byte offset of the offending record.
+        offset: u64,
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// A result payload exceeded [`MAX_RECORD_LEN`] at append time.
+    Oversized {
+        /// The payload length.
+        len: usize,
+    },
+    /// A sweep worker failed while computing a cell.
+    Task(String),
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Io { path, error } => write!(f, "journal io error: {path}: {error}"),
+            JournalError::BadMagic { path } => {
+                write!(f, "not a sweep journal: {path} (bad magic)")
+            }
+            JournalError::SchemaMismatch { found, expected } => write!(
+                f,
+                "journal schema mismatch: file has v{found}, this build reads v{expected}"
+            ),
+            JournalError::ConfigMismatch { found, expected } => write!(
+                f,
+                "journal config mismatch: file pins {found:#018x}, this sweep is {expected:#018x} \
+                 (different grid, seed range, or device count)"
+            ),
+            JournalError::Corrupt { offset, reason } => {
+                write!(f, "journal corrupt at byte {offset}: {reason}")
+            }
+            JournalError::Oversized { len } => {
+                write!(
+                    f,
+                    "journal record too large: {len} bytes > {MAX_RECORD_LEN} max"
+                )
+            }
+            JournalError::Task(message) => write!(f, "journaled task failed: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+fn io_err(path: &Path, error: io::Error) -> JournalError {
+    JournalError::Io {
+        path: path.display().to_string(),
+        error,
+    }
+}
+
+/// An open sweep journal: the append-only record file plus this
+/// process's in-memory view of completed cells and held claims.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    file: File,
+    claims_dir: PathBuf,
+    config_hash: u64,
+    completed: HashMap<u64, Vec<u8>>,
+    claims: HashMap<u64, File>,
+    progress: JournalProgress,
+}
+
+impl Journal {
+    /// Opens (creating if absent) the journal at `path` for a sweep
+    /// whose configuration hashes to `config_hash`, and recovers it:
+    /// the header is validated, every whole record is loaded, and a
+    /// torn tail (crash mid-append) is truncated away.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::BadMagic`] / [`JournalError::SchemaMismatch`] /
+    /// [`JournalError::ConfigMismatch`] when the file belongs to
+    /// something else, [`JournalError::Corrupt`] on non-tail damage,
+    /// [`JournalError::Io`] on filesystem failures.
+    pub fn open(path: impl AsRef<Path>, config_hash: u64) -> Result<Journal, JournalError> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new()
+            .read(true)
+            .append(true)
+            .create(true)
+            .open(&path)
+            .map_err(|e| io_err(&path, e))?;
+        let claims_dir = PathBuf::from(format!("{}.claims", path.display()));
+        fs::create_dir_all(&claims_dir).map_err(|e| io_err(&claims_dir, e))?;
+        let mut journal = Journal {
+            path,
+            file,
+            claims_dir,
+            config_hash,
+            completed: HashMap::new(),
+            claims: HashMap::new(),
+            progress: JournalProgress::new(),
+        };
+        journal.refresh()?;
+        Ok(journal)
+    }
+
+    /// Path of the journal file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The config hash pinned in this journal's header.
+    pub fn config_hash(&self) -> u64 {
+        self.config_hash
+    }
+
+    /// Progress counters (resumed / computed / torn bytes, …).
+    pub fn progress(&self) -> &JournalProgress {
+        &self.progress
+    }
+
+    /// Whether `cell_key` has a committed result.
+    pub fn is_done(&self, cell_key: u64) -> bool {
+        self.completed.contains_key(&cell_key)
+    }
+
+    /// The committed result bytes for `cell_key`, if any.
+    pub fn result(&self, cell_key: u64) -> Option<&[u8]> {
+        self.completed.get(&cell_key).map(Vec::as_slice)
+    }
+
+    /// Number of committed cells.
+    pub fn completed_cells(&self) -> usize {
+        self.completed.len()
+    }
+
+    /// The expected header bytes for this journal's configuration.
+    fn header_bytes(&self) -> Vec<u8> {
+        let mut header = Vec::with_capacity(JOURNAL_HEADER_LEN);
+        header.extend_from_slice(&JOURNAL_MAGIC);
+        put::u32(&mut header, JOURNAL_SCHEMA);
+        put::u64(&mut header, self.config_hash);
+        header
+    }
+
+    /// Re-scans the journal under its exclusive lock: loads records
+    /// appended by cooperating processes, repairs a torn tail by
+    /// truncating to the last whole record, and (re)writes the header
+    /// when the file is empty or holds only a torn header.
+    ///
+    /// # Errors
+    ///
+    /// Same named errors as [`Journal::open`].
+    pub fn refresh(&mut self) -> Result<(), JournalError> {
+        self.file.lock().map_err(|e| io_err(&self.path, e))?;
+        let result = self.refresh_locked();
+        let _ = self.file.unlock();
+        result
+    }
+
+    fn refresh_locked(&mut self) -> Result<(), JournalError> {
+        self.progress.add("refreshes", 1);
+        self.file
+            .seek(SeekFrom::Start(0))
+            .map_err(|e| io_err(&self.path, e))?;
+        let mut bytes = Vec::new();
+        self.file
+            .read_to_end(&mut bytes)
+            .map_err(|e| io_err(&self.path, e))?;
+        let header = self.header_bytes();
+        if bytes.len() < JOURNAL_HEADER_LEN {
+            // Empty file, or a crash mid-header-write. A partial header
+            // must be a prefix of the one we would write; anything else
+            // is some other file.
+            if !header.starts_with(&bytes) {
+                return Err(JournalError::BadMagic {
+                    path: self.path.display().to_string(),
+                });
+            }
+            if !bytes.is_empty() {
+                self.progress.add("torn_bytes", bytes.len() as u64);
+            }
+            self.file.set_len(0).map_err(|e| io_err(&self.path, e))?;
+            self.file
+                .write_all(&header)
+                .map_err(|e| io_err(&self.path, e))?;
+            self.file.sync_data().map_err(|e| io_err(&self.path, e))?;
+            return Ok(());
+        }
+        if bytes[..JOURNAL_MAGIC.len()] != JOURNAL_MAGIC {
+            return Err(JournalError::BadMagic {
+                path: self.path.display().to_string(),
+            });
+        }
+        let mut r = WireReader::new(&bytes[JOURNAL_MAGIC.len()..JOURNAL_HEADER_LEN]);
+        let schema = r.u32().expect("header length checked");
+        let found_config = r.u64().expect("header length checked");
+        if schema != JOURNAL_SCHEMA {
+            return Err(JournalError::SchemaMismatch {
+                found: schema,
+                expected: JOURNAL_SCHEMA,
+            });
+        }
+        if found_config != self.config_hash {
+            return Err(JournalError::ConfigMismatch {
+                found: found_config,
+                expected: self.config_hash,
+            });
+        }
+
+        let mut pos = JOURNAL_HEADER_LEN;
+        while pos < bytes.len() {
+            let remaining = bytes.len() - pos;
+            if remaining < 4 {
+                // Torn length prefix: the crash hit inside the first
+                // four bytes of an append. Truncate to the record start.
+                return self.truncate_tail(pos, remaining);
+            }
+            let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+            if !(RECORD_OVERHEAD..=MAX_RECORD_LEN).contains(&len) {
+                // The prefix is written first inside a single append,
+                // so a present-but-impossible length is corruption,
+                // not a torn write.
+                return Err(JournalError::Corrupt {
+                    offset: pos as u64,
+                    reason: format!(
+                        "record length {len} outside [{RECORD_OVERHEAD}, {MAX_RECORD_LEN}]"
+                    ),
+                });
+            }
+            if remaining - 4 < len {
+                // Torn payload: record runs past EOF.
+                return self.truncate_tail(pos, remaining);
+            }
+            let payload = &bytes[pos + 4..pos + 4 + len];
+            let mut r = WireReader::new(payload);
+            let cell_key = r.u64().expect("length checked");
+            let content_hash = r.u64().expect("length checked");
+            let result = r.bytes(len - RECORD_OVERHEAD).expect("length checked");
+            if fnv1a64(result) != content_hash {
+                return Err(JournalError::Corrupt {
+                    offset: pos as u64,
+                    reason: format!("content hash mismatch for cell {cell_key:#018x}"),
+                });
+            }
+            match self.completed.get(&cell_key) {
+                // Two processes may legally commit the same cell; the
+                // determinism contract makes the bytes identical.
+                Some(existing) if existing.as_slice() == result => {}
+                Some(_) => {
+                    return Err(JournalError::Corrupt {
+                        offset: pos as u64,
+                        reason: format!(
+                            "cell {cell_key:#018x} recorded twice with different contents"
+                        ),
+                    });
+                }
+                None => {
+                    self.completed.insert(cell_key, result.to_vec());
+                }
+            }
+            pos += 4 + len;
+        }
+        Ok(())
+    }
+
+    /// Truncates a torn tail: drops `torn` bytes so the file ends at
+    /// `valid_end`, the start of the half-written record.
+    fn truncate_tail(&mut self, valid_end: usize, torn: usize) -> Result<(), JournalError> {
+        self.progress.add("torn_bytes", torn as u64);
+        self.file
+            .set_len(valid_end as u64)
+            .map_err(|e| io_err(&self.path, e))?;
+        self.file.sync_data().map_err(|e| io_err(&self.path, e))?;
+        Ok(())
+    }
+
+    /// Commits one cell's result: a single locked, `O_APPEND`,
+    /// `sync_data`'d write of the complete record, then releases the
+    /// cell's claim if this process held one.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Oversized`] when the payload exceeds
+    /// [`MAX_RECORD_LEN`], [`JournalError::Io`] on write failures.
+    pub fn append(&mut self, cell_key: u64, result: &[u8]) -> Result<(), JournalError> {
+        let payload_len = RECORD_OVERHEAD + result.len();
+        if payload_len > MAX_RECORD_LEN {
+            return Err(JournalError::Oversized { len: payload_len });
+        }
+        if let Some(existing) = self.completed.get(&cell_key) {
+            debug_assert_eq!(
+                existing.as_slice(),
+                result,
+                "determinism violation: cell {cell_key:#018x} recomputed with different bytes"
+            );
+            self.release(cell_key);
+            return Ok(());
+        }
+        let mut record = Vec::with_capacity(4 + payload_len);
+        put::u32(&mut record, payload_len as u32);
+        put::u64(&mut record, cell_key);
+        put::u64(&mut record, fnv1a64(result));
+        record.extend_from_slice(result);
+
+        self.file.lock().map_err(|e| io_err(&self.path, e))?;
+        let write = self
+            .file
+            .write_all(&record)
+            .and_then(|()| self.file.sync_data());
+        let _ = self.file.unlock();
+        write.map_err(|e| io_err(&self.path, e))?;
+
+        self.completed.insert(cell_key, result.to_vec());
+        self.progress.add("computed", 1);
+        self.release(cell_key);
+        Ok(())
+    }
+
+    /// Tries to claim `cell_key` for this process via an exclusive
+    /// advisory lock on the cell's sidecar file. Returns `false` when
+    /// another process (or another journal handle) holds the claim.
+    /// Claims are released by [`Journal::append`], [`Journal::release`],
+    /// or automatically when the process dies.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] when the sidecar file cannot be created.
+    pub fn try_claim(&mut self, cell_key: u64) -> Result<bool, JournalError> {
+        if self.claims.contains_key(&cell_key) {
+            return Ok(true);
+        }
+        let lock_path = self.claims_dir.join(format!("cell-{cell_key:016x}.lock"));
+        let lock_file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&lock_path)
+            .map_err(|e| io_err(&lock_path, e))?;
+        match lock_file.try_lock() {
+            Ok(()) => {
+                self.claims.insert(cell_key, lock_file);
+                Ok(true)
+            }
+            Err(std::fs::TryLockError::WouldBlock) => Ok(false),
+            Err(std::fs::TryLockError::Error(e)) => Err(io_err(&lock_path, e)),
+        }
+    }
+
+    /// Releases a claim held by this process (no-op otherwise).
+    pub fn release(&mut self, cell_key: u64) {
+        if let Some(lock_file) = self.claims.remove(&cell_key) {
+            let _ = lock_file.unlock();
+        }
+    }
+}
+
+/// Writes `contents` to `path` atomically: the bytes go to a temp file
+/// in the same directory (same filesystem, so `rename` is atomic),
+/// are synced, and the temp file is renamed over the target. A crash
+/// at any point leaves either the old committed file or the new one —
+/// never a truncated hybrid.
+///
+/// # Errors
+///
+/// Propagates filesystem failures; the temp file is removed on error.
+pub fn atomic_write(path: impl AsRef<Path>, contents: &[u8]) -> io::Result<()> {
+    let path = path.as_ref();
+    let name = path
+        .file_name()
+        .ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "atomic_write needs a file name",
+            )
+        })?
+        .to_string_lossy()
+        .into_owned();
+    let dir = match path.parent() {
+        Some(parent) if !parent.as_os_str().is_empty() => parent.to_path_buf(),
+        _ => PathBuf::from("."),
+    };
+    let tmp = dir.join(format!(".{name}.tmp.{}", std::process::id()));
+    let commit = (|| {
+        let mut file = File::create(&tmp)?;
+        file.write_all(contents)?;
+        file.sync_all()?;
+        drop(file);
+        fs::rename(&tmp, path)
+    })();
+    if commit.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    commit
+}
+
+/// Runs a cell grid to completion against `journal`: already-committed
+/// cells are skipped, pending ones are claimed and computed in
+/// parallel on `runner`, and cells claimed by a cooperating process
+/// are waited out rather than recomputed. Returns every cell's result
+/// bytes in the order of `cells` — always decoded from the journal, so
+/// the readout does not depend on which process computed what.
+///
+/// `worker` maps a task to its serialized result; it must be a pure
+/// function of the task (the journal's determinism contract).
+///
+/// # Errors
+///
+/// [`JournalError::Task`] wraps the first worker failure; the other
+/// variants surface journal I/O and integrity problems.
+pub fn run_journaled<T, F>(
+    journal: &mut Journal,
+    runner: &SweepRunner,
+    cells: &[(u64, T)],
+    worker: F,
+) -> Result<Vec<Vec<u8>>, JournalError>
+where
+    T: Sync,
+    F: Fn(&T) -> Result<Vec<u8>, String> + Sync,
+{
+    let resumed = cells
+        .iter()
+        .filter(|(key, _)| journal.is_done(*key))
+        .count() as u64;
+    journal.progress.add("resumed", resumed);
+    let mut computed = 0u64;
+    loop {
+        let pending: Vec<&(u64, T)> = cells
+            .iter()
+            .filter(|(key, _)| !journal.is_done(*key))
+            .collect();
+        if pending.is_empty() {
+            break;
+        }
+        // Claim at most one round of work (`jobs` cells) so each round
+        // commits before the next is claimed: a crash loses at most one
+        // round of computation, and cooperating processes can claim the
+        // cells this one leaves unclaimed.
+        let round = runner.jobs().max(1);
+        let mut claimed: Vec<&(u64, T)> = Vec::new();
+        for cell in pending {
+            if claimed.len() == round {
+                break;
+            }
+            if journal.try_claim(cell.0)? {
+                claimed.push(cell);
+            }
+        }
+        if claimed.is_empty() {
+            // Every pending cell is claimed by a cooperating process;
+            // wait for its appends to land and rescan.
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            journal.refresh()?;
+            continue;
+        }
+        // A peer may have committed a cell between our scan and claim.
+        journal.refresh()?;
+        let mut work: Vec<&(u64, T)> = Vec::new();
+        for cell in claimed {
+            if journal.is_done(cell.0) {
+                journal.release(cell.0);
+            } else {
+                work.push(cell);
+            }
+        }
+        let results = runner.run(&work, |_, cell| worker(&cell.1));
+        for (cell, result) in work.iter().zip(results) {
+            let bytes = result.map_err(JournalError::Task)?;
+            journal.append(cell.0, &bytes)?;
+            computed += 1;
+        }
+        journal.refresh()?;
+    }
+    let ceded = (cells.len() as u64).saturating_sub(resumed + computed);
+    journal.progress.add("ceded", ceded);
+    cells
+        .iter()
+        .map(|(key, _)| {
+            journal
+                .result(*key)
+                .map(<[u8]>::to_vec)
+                .ok_or_else(|| JournalError::Corrupt {
+                    offset: 0,
+                    reason: format!("cell {key:#018x} missing after completed sweep"),
+                })
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Wire codecs for journal payloads. Integers and IEEE-754 bits only —
+// byte-exact round trips, so a journal-resumed readout is bit-identical
+// to the in-memory value it recorded.
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put::u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn get_str(r: &mut WireReader<'_>) -> Result<String, WireError> {
+    let len = r.u32()? as usize;
+    let bytes = r.bytes(len)?;
+    String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadEnum {
+        what: "utf-8 string",
+        value: 0,
+    })
+}
+
+fn put_counts(buf: &mut Vec<u8>, c: &PredictionCounts) {
+    put::u64(buf, c.opportunities);
+    put::u64(buf, c.hit_primary);
+    put::u64(buf, c.hit_backup);
+    put::u64(buf, c.miss_primary);
+    put::u64(buf, c.miss_backup);
+    put::u64(buf, c.not_predicted);
+}
+
+fn get_counts(r: &mut WireReader<'_>) -> Result<PredictionCounts, WireError> {
+    Ok(PredictionCounts {
+        opportunities: r.u64()?,
+        hit_primary: r.u64()?,
+        hit_backup: r.u64()?,
+        miss_primary: r.u64()?,
+        miss_backup: r.u64()?,
+        not_predicted: r.u64()?,
+    })
+}
+
+fn put_energy(buf: &mut Vec<u8>, e: &EnergyBreakdown) {
+    put::f64(buf, e.busy.0);
+    put::f64(buf, e.idle_short.0);
+    put::f64(buf, e.idle_long.0);
+    put::f64(buf, e.power_cycle.0);
+}
+
+fn get_energy(r: &mut WireReader<'_>) -> Result<EnergyBreakdown, WireError> {
+    Ok(EnergyBreakdown {
+        busy: Joules(r.f64()?),
+        idle_short: Joules(r.f64()?),
+        idle_long: Joules(r.f64()?),
+        power_cycle: Joules(r.f64()?),
+    })
+}
+
+/// Appends one [`AppReport`] to `buf` (no framing).
+pub fn put_report(buf: &mut Vec<u8>, report: &AppReport) {
+    put_str(buf, &report.app);
+    put_str(buf, &report.manager);
+    put_counts(buf, &report.local);
+    put_counts(buf, &report.global);
+    put_energy(buf, &report.energy);
+    put_energy(buf, &report.base_energy);
+    put::option(buf, report.table_entries.map(|n| n as u64), put::u64);
+    put::option(buf, report.table_aliases, put::u64);
+}
+
+/// Reads one [`AppReport`] from `r`, the inverse of [`put_report`].
+///
+/// # Errors
+///
+/// [`WireError`] on truncation or malformed fields.
+pub fn get_report(r: &mut WireReader<'_>) -> Result<AppReport, WireError> {
+    Ok(AppReport {
+        app: Arc::from(get_str(r)?.as_str()),
+        manager: get_str(r)?,
+        local: get_counts(r)?,
+        global: get_counts(r)?,
+        energy: get_energy(r)?,
+        base_energy: get_energy(r)?,
+        table_entries: r.option(WireReader::u64)?.map(|n| n as usize),
+        table_aliases: r.option(WireReader::u64)?,
+    })
+}
+
+/// Encodes a list of [`AppReport`]s as one journal result payload.
+pub fn encode_reports(reports: &[AppReport]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    put::u32(&mut buf, reports.len() as u32);
+    for report in reports {
+        put_report(&mut buf, report);
+    }
+    buf
+}
+
+/// Decodes a payload written by [`encode_reports`].
+///
+/// # Errors
+///
+/// [`WireError`] on truncation, malformed fields, or trailing bytes.
+pub fn decode_reports(bytes: &[u8]) -> Result<Vec<AppReport>, WireError> {
+    let mut r = WireReader::new(bytes);
+    let count = r.u32()? as usize;
+    let mut reports = Vec::with_capacity(count);
+    for _ in 0..count {
+        reports.push(get_report(&mut r)?);
+    }
+    r.finish()?;
+    Ok(reports)
+}
+
+fn put_slot(buf: &mut Vec<u8>, slot: &FleetSlot) {
+    put::u64(buf, slot.devices);
+    put::u64(buf, slot.runs);
+    put::u64(buf, slot.accesses);
+    put_counts(buf, &slot.local);
+    put_counts(buf, &slot.global);
+    put_energy(buf, &slot.energy);
+    put_energy(buf, &slot.base_energy);
+    put::u64(buf, slot.table_entries);
+    put::u64(buf, slot.table_aliases);
+}
+
+fn get_slot(r: &mut WireReader<'_>) -> Result<FleetSlot, WireError> {
+    Ok(FleetSlot {
+        devices: r.u64()?,
+        runs: r.u64()?,
+        accesses: r.u64()?,
+        local: get_counts(r)?,
+        global: get_counts(r)?,
+        energy: get_energy(r)?,
+        base_energy: get_energy(r)?,
+        table_entries: r.u64()?,
+        table_aliases: r.u64()?,
+    })
+}
+
+/// Encodes a fleet chunk's six per-app slots as one journal payload.
+pub fn encode_fleet_slots(slots: &[FleetSlot; 6]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    for slot in slots {
+        put_slot(&mut buf, slot);
+    }
+    buf
+}
+
+/// Decodes a payload written by [`encode_fleet_slots`].
+///
+/// # Errors
+///
+/// [`WireError`] on truncation or trailing bytes.
+pub fn decode_fleet_slots(bytes: &[u8]) -> Result<[FleetSlot; 6], WireError> {
+    let mut r = WireReader::new(bytes);
+    let mut slots = [FleetSlot::default(); 6];
+    for slot in &mut slots {
+        *slot = get_slot(&mut r)?;
+    }
+    r.finish()?;
+    Ok(slots)
+}
+
+/// The config hash a fleet sweep journal is pinned to: device count,
+/// base seed, per-device run cap, manager, and the chunking constant.
+pub fn fleet_journal_config(
+    devices: u64,
+    base_seed: u64,
+    max_runs: Option<usize>,
+    kind: PowerManagerKind,
+) -> u64 {
+    let mut hash = pcap_workload::ConfigHash::new("fleet-sweep");
+    hash.push(devices);
+    hash.push(base_seed);
+    hash.push(u64::from(max_runs.is_some()));
+    hash.push(max_runs.unwrap_or(0) as u64);
+    hash.push_str(&kind.label());
+    hash.push(FLEET_CHUNK);
+    hash.finish()
+}
+
+/// [`crate::sweep_fleet`] against a journal: chunks already committed
+/// are decoded instead of recomputed, pending chunks are claimed via
+/// the journal's advisory locks (so concurrent or restarted processes
+/// cooperate), and the merged [`FleetReport`] is built from journal
+/// bytes in chunk order — byte-identical to an uninterrupted
+/// single-process run for any `--jobs` value.
+///
+/// # Errors
+///
+/// [`JournalError`] on journal I/O or integrity failures, with
+/// [`JournalError::Task`] wrapping trace-generation errors.
+pub fn sweep_fleet_journaled(
+    pop: &DevicePopulation,
+    config: &SimConfig,
+    kind: PowerManagerKind,
+    runner: &SweepRunner,
+    max_runs: Option<usize>,
+    journal: &mut Journal,
+) -> Result<FleetReport, JournalError> {
+    let devices = pop.devices();
+    let mut cells: Vec<(u64, (u64, u64))> = Vec::new();
+    let mut start = 0;
+    while start < devices {
+        let end = (start + FLEET_CHUNK).min(devices);
+        cells.push((fleet_cell_key(start, end), (start, end)));
+        start = end;
+    }
+    let results = run_journaled(journal, runner, &cells, |&(start, end)| {
+        let mut worker = StreamWorker::new(config, kind);
+        let mut slots = [FleetSlot::default(); 6];
+        for device in start..end {
+            let outcome = worker
+                .evaluate_device(pop, device, max_runs)
+                .map_err(|e| e.to_string())?;
+            slots[(device % 6) as usize].absorb(&outcome);
+        }
+        Ok(encode_fleet_slots(&slots))
+    })?;
+    let mut per_app = [FleetSlot::default(); 6];
+    for (index, bytes) in results.iter().enumerate() {
+        let slots = decode_fleet_slots(bytes).map_err(|e| JournalError::Corrupt {
+            offset: 0,
+            reason: format!("chunk {index} payload: {e}"),
+        })?;
+        for (into, from) in per_app.iter_mut().zip(slots.iter()) {
+            into.merge(from);
+        }
+    }
+    let mut total = FleetSlot::default();
+    for slot in &per_app {
+        total.merge(slot);
+    }
+    Ok(FleetReport {
+        devices,
+        base_seed: pop.base_seed(),
+        manager: kind.label(),
+        max_runs,
+        per_app: per_app.to_vec(),
+        total,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_journal(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("pcap-journal-{tag}-{}.jnl", std::process::id()))
+    }
+
+    fn cleanup(path: &Path) {
+        let _ = fs::remove_file(path);
+        let _ = fs::remove_dir_all(format!("{}.claims", path.display()));
+    }
+
+    #[test]
+    fn empty_journal_round_trips_records() {
+        let path = temp_journal("roundtrip");
+        cleanup(&path);
+        let mut j = Journal::open(&path, 0xfeed).unwrap();
+        j.append(1, b"one").unwrap();
+        j.append(2, b"two").unwrap();
+        drop(j);
+        let j = Journal::open(&path, 0xfeed).unwrap();
+        assert_eq!(j.result(1), Some(&b"one"[..]));
+        assert_eq!(j.result(2), Some(&b"two"[..]));
+        assert_eq!(j.completed_cells(), 2);
+        assert!(!j.is_done(3));
+        cleanup(&path);
+    }
+
+    #[test]
+    fn config_mismatch_is_a_named_error() {
+        let path = temp_journal("config");
+        cleanup(&path);
+        drop(Journal::open(&path, 111).unwrap());
+        let err = Journal::open(&path, 222).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                JournalError::ConfigMismatch {
+                    found: 111,
+                    expected: 222
+                }
+            ),
+            "{err}"
+        );
+        assert!(err.to_string().contains("config mismatch"), "{err}");
+        cleanup(&path);
+    }
+
+    #[test]
+    fn foreign_file_is_bad_magic() {
+        let path = temp_journal("magic");
+        cleanup(&path);
+        fs::write(&path, b"definitely not a journal").unwrap();
+        let err = Journal::open(&path, 0).unwrap_err();
+        assert!(matches!(err, JournalError::BadMagic { .. }), "{err}");
+        cleanup(&path);
+    }
+
+    #[test]
+    fn torn_tail_truncates_and_mid_file_corruption_fails() {
+        let path = temp_journal("torn");
+        cleanup(&path);
+        let mut j = Journal::open(&path, 7).unwrap();
+        j.append(10, b"first-record").unwrap();
+        j.append(11, b"second-record").unwrap();
+        drop(j);
+        let full = fs::read(&path).unwrap();
+        // Chop the last record anywhere: recovery keeps record one.
+        fs::write(&path, &full[..full.len() - 5]).unwrap();
+        let j = Journal::open(&path, 7).unwrap();
+        assert!(j.is_done(10));
+        assert!(!j.is_done(11));
+        assert!(j.progress().snapshot().torn_bytes > 0);
+        drop(j);
+        // Flip a result byte mid-file: that is corruption, not a tear.
+        let mut bad = full.clone();
+        let flip = JOURNAL_HEADER_LEN + 4 + RECORD_OVERHEAD; // first result byte
+        bad[flip] ^= 0xff;
+        fs::write(&path, &bad).unwrap();
+        let err = Journal::open(&path, 7).unwrap_err();
+        assert!(matches!(err, JournalError::Corrupt { .. }), "{err}");
+        assert!(err.to_string().contains("hash mismatch"), "{err}");
+        cleanup(&path);
+    }
+
+    #[test]
+    fn oversized_append_is_rejected() {
+        let path = temp_journal("oversized");
+        cleanup(&path);
+        let mut j = Journal::open(&path, 1).unwrap();
+        let huge = vec![0u8; MAX_RECORD_LEN];
+        let err = j.append(5, &huge).unwrap_err();
+        assert!(matches!(err, JournalError::Oversized { .. }), "{err}");
+        // The failed append committed nothing.
+        drop(j);
+        let j = Journal::open(&path, 1).unwrap();
+        assert_eq!(j.completed_cells(), 0);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn claims_exclude_between_handles_and_release() {
+        // Two journal handles in one process: flock is per open file
+        // description, so this models two cooperating processes.
+        let path = temp_journal("claims");
+        cleanup(&path);
+        let mut a = Journal::open(&path, 9).unwrap();
+        let mut b = Journal::open(&path, 9).unwrap();
+        assert!(a.try_claim(1).unwrap());
+        assert!(!b.try_claim(1).unwrap(), "claim must exclude peer");
+        assert!(b.try_claim(2).unwrap(), "other cells stay claimable");
+        a.release(1);
+        assert!(b.try_claim(1).unwrap(), "released claim is claimable");
+        // Append through b; a sees it after refresh.
+        b.append(1, b"done").unwrap();
+        assert!(!a.is_done(1));
+        a.refresh().unwrap();
+        assert_eq!(a.result(1), Some(&b"done"[..]));
+        cleanup(&path);
+    }
+
+    #[test]
+    fn run_journaled_resumes_and_two_handles_cooperate() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let path = temp_journal("cooperate");
+        cleanup(&path);
+        let cells: Vec<(u64, u64)> = (0..16u64).map(|i| (i + 100, i)).collect();
+        let work = |task: &u64| Ok(task.to_le_bytes().to_vec());
+        let runner = SweepRunner::new(2);
+
+        // First pass: compute half, then "crash" (drop the journal).
+        let mut j = Journal::open(&path, 55).unwrap();
+        for cell in &cells[..8] {
+            j.append(cell.0, &cell.1.to_le_bytes()).unwrap();
+        }
+        drop(j);
+
+        // Resume: only the remaining half is computed.
+        let computed = AtomicU64::new(0);
+        let mut j = Journal::open(&path, 55).unwrap();
+        let results = run_journaled(&mut j, &runner, &cells, |task| {
+            computed.fetch_add(1, Ordering::Relaxed);
+            work(task)
+        })
+        .unwrap();
+        assert_eq!(computed.load(Ordering::Relaxed), 8);
+        let snapshot = j.progress().snapshot();
+        assert_eq!(snapshot.resumed, 8);
+        assert_eq!(snapshot.computed, 8);
+        assert_eq!(
+            results,
+            (0..16u64)
+                .map(|i| i.to_le_bytes().to_vec())
+                .collect::<Vec<_>>()
+        );
+
+        // A second handle over the finished journal computes nothing.
+        let mut j2 = Journal::open(&path, 55).unwrap();
+        let recomputed = AtomicU64::new(0);
+        let results2 = run_journaled(&mut j2, &runner, &cells, |task| {
+            recomputed.fetch_add(1, Ordering::Relaxed);
+            work(task)
+        })
+        .unwrap();
+        assert_eq!(recomputed.load(Ordering::Relaxed), 0);
+        assert_eq!(results2, results);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn report_codec_is_bit_exact() {
+        let report = AppReport {
+            app: Arc::from("nedit"),
+            manager: "PCAPh".to_owned(),
+            local: PredictionCounts {
+                opportunities: 10,
+                hit_primary: 4,
+                hit_backup: 3,
+                miss_primary: 2,
+                miss_backup: 1,
+                not_predicted: 0,
+            },
+            global: PredictionCounts::default(),
+            energy: EnergyBreakdown {
+                busy: Joules(1.25),
+                idle_short: Joules(-0.0),
+                idle_long: Joules(f64::MIN_POSITIVE),
+                power_cycle: Joules(3.5e300),
+            },
+            base_energy: EnergyBreakdown::default(),
+            table_entries: Some(17),
+            table_aliases: None,
+        };
+        let bytes = encode_reports(std::slice::from_ref(&report));
+        let decoded = decode_reports(&bytes).unwrap();
+        assert_eq!(decoded.len(), 1);
+        assert_eq!(decoded[0], report);
+        // -0.0 survives as -0.0 (bit-exact, not value-equal).
+        assert_eq!(
+            decoded[0].energy.idle_short.0.to_bits(),
+            (-0.0f64).to_bits()
+        );
+    }
+
+    #[test]
+    fn fleet_slot_codec_round_trips() {
+        let mut slots = [FleetSlot::default(); 6];
+        slots[2].devices = 5;
+        slots[2].runs = 40;
+        slots[2].energy.busy = Joules(0.1 + 0.2); // a non-representable sum
+        slots[5].table_aliases = u64::MAX;
+        let bytes = encode_fleet_slots(&slots);
+        assert_eq!(decode_fleet_slots(&bytes).unwrap(), slots);
+        // Trailing garbage is an error, not a silent pass.
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(decode_fleet_slots(&padded).is_err());
+    }
+
+    #[test]
+    fn atomic_write_replaces_and_cleans_up() {
+        let dir = std::env::temp_dir().join(format!("pcap-atomic-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let target = dir.join("artifact.json");
+        atomic_write(&target, b"v1").unwrap();
+        assert_eq!(fs::read(&target).unwrap(), b"v1");
+        atomic_write(&target, b"v2-longer").unwrap();
+        assert_eq!(fs::read(&target).unwrap(), b"v2-longer");
+        // No temp droppings left behind.
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(Result::ok)
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn interrupted_atomic_write_never_truncates_the_committed_file() {
+        let dir = std::env::temp_dir().join(format!("pcap-atomic-crash-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let target = dir.join("golden.csv");
+        atomic_write(&target, b"complete-v1").unwrap();
+        // A writer that dies mid-write leaves only a partial temp file:
+        // the committed target is never opened for writing, so it can
+        // never be observed truncated.
+        let tmp = dir.join(format!(".golden.csv.tmp.{}", std::process::id()));
+        fs::write(&tmp, b"par").unwrap();
+        assert_eq!(fs::read(&target).unwrap(), b"complete-v1");
+        // A retry commits cleanly over both target and stale temp.
+        atomic_write(&target, b"complete-v2").unwrap();
+        assert_eq!(fs::read(&target).unwrap(), b"complete-v2");
+        assert!(!tmp.exists(), "retry must reclaim the stale temp file");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fleet_journal_config_distinguishes_sweeps() {
+        let base = fleet_journal_config(100, 42, None, PowerManagerKind::PCAP);
+        assert_eq!(
+            base,
+            fleet_journal_config(100, 42, None, PowerManagerKind::PCAP)
+        );
+        assert_ne!(
+            base,
+            fleet_journal_config(101, 42, None, PowerManagerKind::PCAP)
+        );
+        assert_ne!(
+            base,
+            fleet_journal_config(100, 43, None, PowerManagerKind::PCAP)
+        );
+        assert_ne!(
+            base,
+            fleet_journal_config(100, 42, Some(6), PowerManagerKind::PCAP)
+        );
+        assert_ne!(
+            base,
+            fleet_journal_config(100, 42, None, PowerManagerKind::Timeout)
+        );
+    }
+}

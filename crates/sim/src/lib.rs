@@ -34,6 +34,7 @@
 pub mod audit;
 pub mod engine;
 pub mod factory;
+pub mod journal;
 pub mod metrics;
 pub mod multistate;
 pub mod prepared;
@@ -52,6 +53,10 @@ pub use engine::{
     AppReport, EngineScratch, GapRecord, GapVerdict, RunOutcome,
 };
 pub use factory::{Manager, PowerManagerKind};
+pub use journal::{
+    atomic_write, decode_reports, encode_reports, fleet_journal_config, run_journaled,
+    sweep_fleet_journaled, Journal, JournalError,
+};
 pub use metrics::{EnergyBreakdown, PredictionCounts};
 pub use multistate::{
     audit_prepared_multistate, evaluate_prepared_multistate, evaluate_prepared_multistate_observed,

@@ -135,6 +135,11 @@ impl<'a> WireReader<'a> {
         Ok(f64::from_bits(self.u64()?))
     }
 
+    /// Reads `n` raw bytes.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        self.take(n)
+    }
+
     /// Reads an `Option` via the flag-byte convention.
     pub fn option<T>(
         &mut self,
@@ -200,18 +205,20 @@ pub mod put {
 /// Appends `payload` to `buf` as one frame: `u32` length prefix plus
 /// the payload bytes.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `payload` exceeds [`MAX_FRAME_LEN`] — producing an
-/// oversized frame is a programming error, not an input condition.
-pub fn write_frame(buf: &mut Vec<u8>, payload: &[u8]) {
-    assert!(
-        payload.len() <= MAX_FRAME_LEN,
-        "frame payload {} exceeds MAX_FRAME_LEN",
-        payload.len()
-    );
+/// [`WireError::Oversized`] if `payload` exceeds [`MAX_FRAME_LEN`].
+/// The bound is enforced at encode time so an oversized payload can
+/// never reach the wire: the old `payload.len() as u32` cast would
+/// silently truncate lengths above `u32::MAX` and emit a frame the
+/// peer decodes as garbage. On error `buf` is left untouched.
+pub fn write_frame(buf: &mut Vec<u8>, payload: &[u8]) -> Result<(), WireError> {
+    if payload.len() > MAX_FRAME_LEN {
+        return Err(WireError::Oversized { len: payload.len() });
+    }
     put::u32(buf, payload.len() as u32);
     buf.extend_from_slice(payload);
+    Ok(())
 }
 
 /// Attempts to split one frame off the front of `buf`.
@@ -413,8 +420,8 @@ mod tests {
     #[test]
     fn frames_split_incrementally() {
         let mut buf = Vec::new();
-        write_frame(&mut buf, b"abc");
-        write_frame(&mut buf, b"");
+        write_frame(&mut buf, b"abc").unwrap();
+        write_frame(&mut buf, b"").unwrap();
         // Partial prefix → incomplete.
         assert_eq!(read_frame(&buf[..3]).unwrap(), None);
         // Prefix but short payload → incomplete.
@@ -437,6 +444,28 @@ mod tests {
                 len: MAX_FRAME_LEN + 1
             })
         );
+    }
+
+    #[test]
+    fn encode_enforces_max_frame_len_on_both_sides_of_the_boundary() {
+        // Exactly MAX_FRAME_LEN is legal and round-trips.
+        let payload = vec![0xabu8; MAX_FRAME_LEN];
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        let (decoded, consumed) = read_frame(&buf).unwrap().unwrap();
+        assert_eq!(decoded, &payload[..]);
+        assert_eq!(consumed, LEN_PREFIX + MAX_FRAME_LEN);
+        // One byte over is an encode-time error that leaves the output
+        // buffer untouched — nothing partial hits the wire.
+        let oversized = vec![0u8; MAX_FRAME_LEN + 1];
+        let mut buf = Vec::new();
+        assert_eq!(
+            write_frame(&mut buf, &oversized),
+            Err(WireError::Oversized {
+                len: MAX_FRAME_LEN + 1
+            })
+        );
+        assert!(buf.is_empty(), "failed encode must not emit bytes");
     }
 
     #[test]

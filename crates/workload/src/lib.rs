@@ -36,6 +36,8 @@ pub mod spec;
 pub use adversary::{adversarial_gaps, straddle, worst_case_search, NoisyVotes, WorstCase};
 pub use apps::{paper_suite, PaperApp};
 pub use dists::{CountDist, TimeDist};
-pub use population::{device_app, device_seed, splitmix64, Device, DevicePopulation};
+pub use population::{
+    device_app, device_seed, fleet_cell_key, splitmix64, ConfigHash, Device, DevicePopulation,
+};
 pub use replay::{ReplayItem, ReplayOrder, ReplayPlan};
 pub use spec::{Activity, ActivityStep, AppModel, AppSpec, HelperSpec, IoOp, SpecError, UserState};

@@ -134,6 +134,57 @@ impl DevicePopulation {
     }
 }
 
+/// An order-sensitive configuration hash for sweep journals, chained
+/// through [`splitmix64`]. Not cryptographic — its job is to make two
+/// *different* sweep configurations (grid, seed range, device count)
+/// collide with negligible probability so a stale or foreign journal
+/// is rejected, not merged.
+#[derive(Debug, Clone)]
+pub struct ConfigHash {
+    state: u64,
+}
+
+impl ConfigHash {
+    /// Starts a hash chain for the named sweep family (e.g.
+    /// `"fleet-sweep"`); distinct domains never share a hash space.
+    pub fn new(domain: &str) -> ConfigHash {
+        let mut hash = ConfigHash { state: 0 };
+        hash.push_str(domain);
+        hash
+    }
+
+    /// Folds one integer into the chain (order matters).
+    pub fn push(&mut self, value: u64) {
+        self.state = splitmix64(self.state ^ value);
+    }
+
+    /// Folds a string into the chain, length-prefixed so `"ab","c"`
+    /// and `"a","bc"` hash differently.
+    pub fn push_str(&mut self, s: &str) {
+        self.push(s.len() as u64);
+        for chunk in s.as_bytes().chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.push(u64::from_le_bytes(word));
+        }
+    }
+
+    /// The final hash value.
+    pub fn finish(&self) -> u64 {
+        splitmix64(self.state)
+    }
+}
+
+/// The journal cell key of fleet-chunk `[start, end)`: the half-open
+/// device range packed through the hash chain, so any two distinct
+/// chunkings produce distinct keys.
+pub fn fleet_cell_key(start: u64, end: u64) -> u64 {
+    let mut hash = ConfigHash::new("fleet-chunk");
+    hash.push(start);
+    hash.push(end);
+    hash.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

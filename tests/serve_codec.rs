@@ -298,7 +298,7 @@ fn unknown_tag_is_skipped_and_device_state_stays_consistent() {
     for frame in &script_head[..split] {
         encode_client(frame, &mut bytes);
     }
-    wire::write_frame(&mut bytes, &[0x77, 1, 2, 3]);
+    wire::write_frame(&mut bytes, &[0x77, 1, 2, 3]).unwrap();
     for frame in &script_head[split..] {
         encode_client(frame, &mut bytes);
     }
