@@ -17,14 +17,18 @@
 //! pcap bench --check                         gate BENCH_sim.json against its own trajectory
 //! pcap serve --uds PATH|--listen ADDR        run the online sharded decision daemon
 //! pcap load --uds PATH|--connect ADDR        replay a generated workload against a daemon
+//! pcap top ADDR [--once]                     live per-shard view of a daemon's /metrics
+//! pcap flight FILE                           validate a flight-recorder JSONL dump
 //! ```
 //!
 //! Every command is deterministic in `(seed, config)`: `--jobs` changes
 //! wall clock, never a byte of output.
 
 use pcap_obs::{
-    check_trajectory, parse_trajectory, render_chrome_trace, render_prometheus, render_stage_table,
-    stage_summary, validate_chrome_trace, validate_prometheus, worker_summary, TraceRecorder,
+    check_trajectory, parse_prometheus_samples, parse_trajectory, render_chrome_trace,
+    render_journal_progress, render_prometheus, render_stage_table, stage_summary,
+    validate_chrome_trace, validate_flight_dump, validate_prometheus, validate_prometheus_strict,
+    worker_summary, PromSample, TraceRecorder,
 };
 use pcap_report::{
     audit_tables, explain_tables, figure_chart, fleet_table, profile_pipeline, run_sweep,
@@ -54,8 +58,11 @@ const USAGE: &str = "usage:
   pcap bench [--quick] [--seed N] [--jobs N] [--out FILE] [--label L] [--check]
   pcap bench --check [--out FILE]
   pcap serve [--uds PATH] [--listen ADDR] [--metrics ADDR] [--shards N]
+             [--flight-dump FILE]
   pcap load [--uds PATH] [--connect ADDR] [--devices N] [--seed N] [--rate N]
             [--quick] [--interleave] [--hist-out FILE]
+  pcap top ADDR [--once] [--interval SECS] [--iterations N]
+  pcap flight FILE
 
 flags:
   --seed N       workload seed (default 42)
@@ -84,6 +91,11 @@ flags:
   --rate N       load: target event rate in events/s (default: unthrottled)
   --interleave   load: interleave devices run-by-run instead of device-major
   --hist-out FILE  load: write the run-latency histogram as JSON
+  --flight-dump FILE  serve: where SIGUSR1 and panics dump the flight recorder
+                 as JSON lines (default pcap-flight.jsonl)
+  --once         top: print one frame and exit (same as --iterations 1)
+  --interval SECS  top: seconds between polls (default 1)
+  --iterations N top: frames to print before exiting (default: until killed)
   --journal FILE run/sweep: record finished cells in a crash-safe journal; a killed
                  or restarted invocation resumes instead of recomputing, and
                  concurrent invocations on the same FILE cooperate. Output is
@@ -120,6 +132,10 @@ struct Options {
     interleave: bool,
     hist_out: Option<String>,
     journal: Option<String>,
+    flight_dump: Option<String>,
+    once: bool,
+    interval: f64,
+    iterations: Option<u64>,
     positional: Vec<String>,
 }
 
@@ -172,6 +188,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         interleave: false,
         hist_out: None,
         journal: None,
+        flight_dump: None,
+        once: false,
+        interval: 1.0,
+        iterations: None,
         positional: Vec::new(),
     };
     let mut it = args.iter();
@@ -264,6 +284,30 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 options.rate = Some(rate);
             }
             "--interleave" => options.interleave = true,
+            "--flight-dump" => {
+                options.flight_dump = Some(it.next().ok_or("--flight-dump needs a value")?.clone());
+            }
+            "--once" => options.once = true,
+            "--interval" => {
+                let value = it.next().ok_or("--interval needs a value")?;
+                let interval: f64 = value
+                    .parse()
+                    .map_err(|_| format!("bad interval: {value}"))?;
+                if !interval.is_finite() || interval <= 0.0 {
+                    return Err("interval must be positive".to_owned());
+                }
+                options.interval = interval;
+            }
+            "--iterations" => {
+                let value = it.next().ok_or("--iterations needs a value")?;
+                let iterations: u64 = value
+                    .parse()
+                    .map_err(|_| format!("bad iteration count: {value}"))?;
+                if iterations == 0 {
+                    return Err("iterations must be at least 1".to_owned());
+                }
+                options.iterations = Some(iterations);
+            }
             "--journal" => {
                 options.journal = Some(it.next().ok_or("--journal needs a value")?.clone());
             }
@@ -337,7 +381,7 @@ fn run() -> Result<(), String> {
             let bench = Workbench::generate_par(options.seed, SimConfig::paper(), options.jobs)
                 .map_err(|e| e.to_string())?;
             if let Some(path) = &options.journal {
-                warm_bench_journaled(&bench, options.jobs, path)?;
+                warm_bench_journaled(&bench, options.jobs, path, options.prometheus.as_deref())?;
             }
             emit(&experiment.run(&bench), options.csv);
             Ok(())
@@ -410,6 +454,9 @@ fn run() -> Result<(), String> {
                     options.csv,
                 );
                 eprintln!("pcap sweep: journal {}", journal.progress().summary());
+                if let Some(prom) = &options.prometheus {
+                    write_journal_prometheus(journal.progress(), prom)?;
+                }
                 return Ok(());
             }
             let benches = run_sweep(&seeds, &config, &SWEEP_KINDS, options.jobs)
@@ -597,6 +644,16 @@ idle-gap distribution (all executions):"
         "bench" => run_bench(&options),
         "serve" => run_serve(&options),
         "load" => run_load_client(&options),
+        "top" => {
+            let addr = positional
+                .next()
+                .ok_or("top needs a metrics address (host:port)")?;
+            run_top(addr, &options)
+        }
+        "flight" => {
+            let path = positional.next().ok_or("flight needs a dump file")?;
+            run_flight(path)
+        }
         "help" | "--help" => {
             println!("{USAGE}");
             Ok(())
@@ -696,6 +753,9 @@ fn run_fleet_sweep(devices: u64, options: &Options) -> Result<(), String> {
             pcap_sim::sweep_fleet_journaled(&pop, &config, kind, &runner, max_runs, &mut journal)
                 .map_err(|e| e.to_string())?;
         eprintln!("pcap sweep: journal {}", journal.progress().summary());
+        if let Some(prom) = &options.prometheus {
+            write_journal_prometheus(journal.progress(), prom)?;
+        }
         report
     } else {
         pcap_sim::sweep_fleet(&pop, &config, kind, &runner, max_runs).map_err(|e| e.to_string())?
@@ -709,7 +769,12 @@ fn run_fleet_sweep(devices: u64, options: &Options) -> Result<(), String> {
 /// from the finished cells instead of recomputing them. Decoded
 /// reports are primed into the workbench memo; the experiment then
 /// renders from the memo, byte-identical to an unjournaled run.
-fn warm_bench_journaled(bench: &Workbench, jobs: usize, path: &str) -> Result<(), String> {
+fn warm_bench_journaled(
+    bench: &Workbench,
+    jobs: usize,
+    path: &str,
+    prometheus: Option<&str>,
+) -> Result<(), String> {
     // The run-grid journal shares the sweep config hash (seed, full
     // SimConfig, kind list) but chains it through a distinct domain, so
     // a seed-sweep journal can never be mistaken for a run-grid one.
@@ -746,6 +811,24 @@ fn warm_bench_journaled(bench: &Workbench, jobs: usize, path: &str) -> Result<()
         bench.prime(*trace_idx, *kind, report);
     }
     eprintln!("pcap run: journal {}", journal.progress().summary());
+    if let Some(prom) = prometheus {
+        write_journal_prometheus(journal.progress(), prom)?;
+    }
+    Ok(())
+}
+
+/// `--prometheus FILE` on a journaled command: exports the journal's
+/// resume/compute/cede/torn-byte counters as Prometheus text
+/// (`pcap_journal_*_total`), validated before it is written.
+fn write_journal_prometheus(
+    progress: &pcap_obs::JournalProgress,
+    path: &str,
+) -> Result<(), String> {
+    let text = render_journal_progress(&progress.snapshot());
+    validate_prometheus_strict(&text)
+        .map_err(|e| format!("internal error: invalid journal exposition: {e}"))?;
+    std::fs::write(path, &text).map_err(|e| format!("{path}: {e}"))?;
+    eprintln!("pcap: wrote journal progress metrics to {path}");
     Ok(())
 }
 
@@ -765,10 +848,55 @@ fn serve_config(options: &Options) -> pcap_serve::ServeConfig {
     config
 }
 
+/// SIGUSR1 plumbing for `pcap serve`. The handler only flips an
+/// atomic; the serve loop polls it and does the file I/O outside
+/// signal context (writing from a handler is not async-signal-safe).
+#[cfg(target_os = "linux")]
+mod usr1 {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    /// Set by the handler, cleared by the serve loop.
+    pub static PENDING: AtomicBool = AtomicBool::new(false);
+
+    /// `SIGUSR1` on Linux.
+    const SIGUSR1: i32 = 10;
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    extern "C" fn on_signal(_: i32) {
+        PENDING.store(true, Ordering::Release);
+    }
+
+    /// Installs the handler; called once before the serve loop.
+    pub fn install() {
+        // SAFETY: libc `signal` with a handler that only stores to a
+        // static atomic — async-signal-safe by construction.
+        unsafe {
+            signal(SIGUSR1, on_signal);
+        }
+    }
+}
+
+/// Dumps the flight recorder's current contents to `path` (atomic
+/// rename, so a scraper never reads a half-written file). Shared by
+/// the SIGUSR1 and panic paths of `pcap serve`.
+fn dump_flight(flight: &pcap_obs::FlightRecorder, path: &str, why: &str) {
+    let dump = flight.dump_jsonl();
+    let events = dump.lines().count();
+    match pcap_sim::atomic_write(path, dump.as_bytes()) {
+        Ok(()) => eprintln!("pcap serve: {why}: dumped {events} flight events to {path}"),
+        Err(e) => eprintln!("pcap serve: {why}: flight dump to {path} failed: {e}"),
+    }
+}
+
 /// `pcap serve`: starts the online sharded decision daemon on the
 /// requested endpoints and runs until killed. With `--metrics ADDR`
 /// the live counters are scrapeable as Prometheus text at
-/// `http://ADDR/metrics` (sampled audit records at `/audit`).
+/// `http://ADDR/metrics` (sampled audit records at `/audit`, the
+/// flight recorder at `/debug/flight`). `SIGUSR1` — and any panic —
+/// dumps the flight recorder to the `--flight-dump` path.
 fn run_serve(options: &Options) -> Result<(), String> {
     let mut endpoints = Vec::new();
     if let Some(listen) = &options.listen {
@@ -806,10 +934,41 @@ fn run_serve(options: &Options) -> Result<(), String> {
     if let Some(addr) = handle.metrics_addr() {
         eprintln!("pcap serve: metrics at http://{addr}/metrics");
     }
+    let flight = handle.flight().clone();
+    let flight_dump = options
+        .flight_dump
+        .clone()
+        .unwrap_or_else(|| "pcap-flight.jsonl".to_owned());
+    // Panic dump: a crashing daemon leaves its last few thousand
+    // events behind for the postmortem. Chains the default hook so the
+    // panic message and backtrace still print.
+    {
+        let flight = flight.clone();
+        let path = flight_dump.clone();
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            dump_flight(&flight, &path, "panic");
+            previous(info);
+        }));
+    }
+    #[cfg(target_os = "linux")]
+    usr1::install();
+    eprintln!("pcap serve: flight dumps to {flight_dump} (SIGUSR1 or panic)");
+    // Test hook: exercises the panic-dump path end to end without
+    // needing a real crash (`crates/cli/tests`).
+    if std::env::var_os("PCAP_SERVE_SELFTEST_PANIC").is_some() {
+        std::thread::sleep(std::time::Duration::from_millis(200));
+        panic!("selftest panic requested via PCAP_SERVE_SELFTEST_PANIC");
+    }
     // The daemon has no stop condition of its own: it serves until the
-    // process is killed (CI backgrounds it and signals it).
+    // process is killed (CI backgrounds it and signals it). The short
+    // poll is what turns a pending SIGUSR1 into a dump.
     loop {
-        std::thread::sleep(std::time::Duration::from_secs(3600));
+        std::thread::sleep(std::time::Duration::from_millis(200));
+        #[cfg(target_os = "linux")]
+        if usr1::PENDING.swap(false, std::sync::atomic::Ordering::Acquire) {
+            dump_flight(&flight, &flight_dump, "SIGUSR1");
+        }
     }
 }
 
@@ -937,6 +1096,236 @@ fn run_load_client(options: &Options) -> Result<(), String> {
             report.devices_done
         ));
     }
+    Ok(())
+}
+
+/// Minimal HTTP/1.0 GET against the daemon's metrics endpoint;
+/// returns the response body of a 200, an error line otherwise.
+fn http_get(addr: &str, path: &str) -> Result<String, String> {
+    use std::io::Read as _;
+    let timeout = std::time::Duration::from_secs(5);
+    let sock = parse_addr(addr, "metrics")?;
+    let mut stream =
+        std::net::TcpStream::connect_timeout(&sock, timeout).map_err(|e| format!("{addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(timeout))
+        .map_err(|e| e.to_string())?;
+    stream
+        .set_write_timeout(Some(timeout))
+        .map_err(|e| e.to_string())?;
+    write!(
+        stream,
+        "GET {path} HTTP/1.0\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )
+    .map_err(|e| format!("{addr}: {e}"))?;
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .map_err(|e| format!("{addr}: {e}"))?;
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| format!("{addr}{path}: malformed HTTP response"))?;
+    let status = head.lines().next().unwrap_or("");
+    if !status.contains(" 200") {
+        return Err(format!("{addr}{path}: {status}"));
+    }
+    Ok(body.to_owned())
+}
+
+/// Sum of every scraped sample named `name`. The scalar series the
+/// top view reads carry no labels, so the sum is the value itself.
+fn prom_value(samples: &[PromSample], name: &str) -> f64 {
+    samples
+        .iter()
+        .filter(|s| s.name == name)
+        .map(|s| s.value)
+        .sum()
+}
+
+/// The sample named `name` carrying `shard="shard"`, or 0.
+fn prom_shard_value(samples: &[PromSample], name: &str, shard: &str) -> f64 {
+    samples
+        .iter()
+        .find(|s| s.name == name && s.label("shard") == Some(shard))
+        .map_or(0.0, |s| s.value)
+}
+
+/// Approximate quantile from a scraped Prometheus histogram family:
+/// the `le` bound of the first bucket whose cumulative count reaches
+/// rank `ceil(total · q)` (clamped into `[1, total]`); 0 when the
+/// family is empty. With `shard`, only buckets carrying that `shard`
+/// label count.
+fn prom_hist_quantile(samples: &[PromSample], family: &str, shard: Option<&str>, q: f64) -> f64 {
+    let bucket = format!("{family}_bucket");
+    let mut pairs: Vec<(f64, f64)> = samples
+        .iter()
+        .filter(|s| s.name == bucket)
+        .filter(|s| shard.is_none_or(|want| s.label("shard") == Some(want)))
+        .filter_map(|s| {
+            let le = s.label("le")?;
+            let le = if le == "+Inf" {
+                f64::INFINITY
+            } else {
+                le.parse().ok()?
+            };
+            Some((le, s.value))
+        })
+        .collect();
+    pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
+    // Same-bound buckets from different shards sum: cumulative counts
+    // over one bucket layout add pointwise.
+    let mut merged: Vec<(f64, f64)> = Vec::new();
+    for (le, cum) in pairs {
+        match merged.last_mut() {
+            Some(last) if last.0 == le => last.1 += cum,
+            _ => merged.push((le, cum)),
+        }
+    }
+    let total = merged.last().map_or(0.0, |&(_, cum)| cum);
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let target = (total * q).ceil().clamp(1.0, total);
+    for &(le, cum) in &merged {
+        if cum >= target {
+            return le;
+        }
+    }
+    merged.last().map_or(0.0, |&(le, _)| le)
+}
+
+/// Formats a histogram bucket bound for the top table (the overflow
+/// bucket renders as `inf`).
+fn fmt_bound(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value:.0}")
+    } else {
+        "inf".to_owned()
+    }
+}
+
+/// Renders one `pcap top` frame. Counter rates come from deltas
+/// against the previous poll (`(uptime, samples)`); the first frame
+/// rates against uptime instead. Stage quantiles are lifetime values
+/// from the cumulative histograms, not per-window.
+fn print_top_frame(addr: &str, samples: &[PromSample], prev: Option<&(f64, Vec<PromSample>)>) {
+    let uptime = prom_value(samples, "pcap_uptime_seconds");
+    let rate = |name: &str| -> f64 {
+        let cur = prom_value(samples, name);
+        match prev {
+            Some((prev_uptime, prev_samples)) => {
+                let dt = (uptime - prev_uptime).max(1e-9);
+                ((cur - prom_value(prev_samples, name)) / dt).max(0.0)
+            }
+            None => cur / uptime.max(1e-9),
+        }
+    };
+    let shard_rate = |name: &str, shard: &str| -> f64 {
+        let cur = prom_shard_value(samples, name, shard);
+        match prev {
+            Some((prev_uptime, prev_samples)) => {
+                let dt = (uptime - prev_uptime).max(1e-9);
+                ((cur - prom_shard_value(prev_samples, name, shard)) / dt).max(0.0)
+            }
+            None => cur / uptime.max(1e-9),
+        }
+    };
+    println!(
+        "pcap top — {addr} — uptime {uptime:.1}s — {:.0} devices active",
+        prom_value(samples, "pcap_serve_devices_active")
+    );
+    println!(
+        "decisions {:.0} ({:.0}/s)   frames {:.0} ({:.0}/s)   runs {:.0} ({:.1}/s)   \
+         bad frames {:.0} ({:.2}/s)",
+        prom_value(samples, "pcap_serve_decisions_total"),
+        rate("pcap_serve_decisions_total"),
+        prom_value(samples, "pcap_serve_frames_total"),
+        rate("pcap_serve_frames_total"),
+        prom_value(samples, "pcap_serve_runs_total"),
+        rate("pcap_serve_runs_total"),
+        prom_value(samples, "pcap_serve_bad_frames_total"),
+        rate("pcap_serve_bad_frames_total"),
+    );
+    let mut shards: Vec<&str> = samples
+        .iter()
+        .filter(|s| s.name == "pcap_serve_shard_depth")
+        .filter_map(|s| s.label("shard"))
+        .collect();
+    shards.sort_by_key(|s| s.parse::<u64>().unwrap_or(u64::MAX));
+    println!(
+        "{:>5} {:>6} {:>9} {:>8}  {:>15} {:>15} {:>15} {:>15}",
+        "shard",
+        "depth",
+        "proc/s",
+        "runs/s",
+        "decode p50/99ns",
+        "qwait p50/99us",
+        "eval p50/99us",
+        "enc p50/99us"
+    );
+    for shard in shards {
+        let quantiles = |family: &str| -> String {
+            format!(
+                "{}/{}",
+                fmt_bound(prom_hist_quantile(samples, family, Some(shard), 0.50)),
+                fmt_bound(prom_hist_quantile(samples, family, Some(shard), 0.99)),
+            )
+        };
+        println!(
+            "{:>5} {:>6.0} {:>9.1} {:>8.2}  {:>15} {:>15} {:>15} {:>15}",
+            shard,
+            prom_shard_value(samples, "pcap_serve_shard_depth", shard),
+            shard_rate("pcap_serve_shard_processed_total", shard),
+            shard_rate("pcap_serve_shard_runs_total", shard),
+            quantiles("pcap_serve_stage_decode_ns"),
+            quantiles("pcap_serve_stage_queue_wait_us"),
+            quantiles("pcap_serve_stage_eval_us"),
+            quantiles("pcap_serve_stage_encode_us"),
+        );
+    }
+    println!();
+}
+
+/// `pcap top ADDR`: polls a daemon's `/metrics` endpoint and renders
+/// a live per-shard view — throughput from counter deltas between
+/// polls, queue depths, and stage-latency quantiles. Every scrape is
+/// strict-validated first: a daemon whose exposition loses its
+/// `# HELP`/`# TYPE` metadata fails the view rather than rendering
+/// garbage.
+fn run_top(addr: &str, options: &Options) -> Result<(), String> {
+    let frames = if options.once {
+        1
+    } else {
+        options.iterations.unwrap_or(u64::MAX)
+    };
+    let interval = std::time::Duration::from_secs_f64(options.interval);
+    let mut prev: Option<(f64, Vec<PromSample>)> = None;
+    for frame in 0..frames {
+        if frame > 0 {
+            std::thread::sleep(interval);
+        }
+        let body = http_get(addr, "/metrics")?;
+        validate_prometheus_strict(&body)
+            .map_err(|e| format!("{addr}: invalid /metrics exposition: {e}"))?;
+        let samples = parse_prometheus_samples(&body).map_err(|e| format!("{addr}: {e}"))?;
+        print_top_frame(addr, &samples, prev.as_ref());
+        let uptime = prom_value(&samples, "pcap_uptime_seconds");
+        prev = Some((uptime, samples));
+    }
+    Ok(())
+}
+
+/// `pcap flight FILE`: validates a flight-recorder JSONL dump (line
+/// shape, known event kinds, per-ring monotone timestamps) and prints
+/// its stats; a malformed dump is a nonzero exit.
+fn run_flight(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let stats =
+        validate_flight_dump(&text).map_err(|e| format!("{path}: invalid flight dump: {e}"))?;
+    println!(
+        "pcap flight: {path}: {} events across {} rings",
+        stats.events, stats.rings
+    );
     Ok(())
 }
 
@@ -1243,40 +1632,68 @@ fn run_bench(options: &Options) -> Result<(), String> {
     let mut serve_decisions = 0u64;
     let mut serve_runs = 0u64;
     let mut decisions_per_s = 0f64;
+    let mut disabled_dps = 0f64;
+    // Two interleaved arms per rep — the fully instrumented default
+    // config (flight recorder + stage histograms on, the arm the
+    // throughput gate tracks) against one with both off — so clock
+    // drift hits both alike. Their ratio is the observability tax,
+    // gated at <2% by `pcap bench --check` (DESIGN.md §15).
     for rep in 0..3 {
-        let sock = std::env::temp_dir().join(format!(
-            "pcap-bench-serve-{}-{rep}.sock",
-            std::process::id()
-        ));
-        let mut config = serve_config(options);
-        if options.jobs > 0 {
-            config.shards = options.jobs;
-        }
-        config.sample_every = 0; // measure the hot path, not the sampler
-        let handle = pcap_serve::start(config, &[pcap_serve::Endpoint::Uds(sock.clone())], None)
+        for arm in 0..2u32 {
+            let sock = std::env::temp_dir().join(format!(
+                "pcap-bench-serve-{}-{rep}-{arm}.sock",
+                std::process::id()
+            ));
+            let mut config = serve_config(options);
+            if options.jobs > 0 {
+                config.shards = options.jobs;
+            }
+            config.sample_every = 0; // measure the hot path, not the sampler
+            if arm == 1 {
+                config.flight_capacity = 0;
+                config.stage_metrics = false;
+            }
+            let handle =
+                pcap_serve::start(config, &[pcap_serve::Endpoint::Uds(sock.clone())], None)
+                    .map_err(|e| e.to_string())?;
+            let plan = pcap_workload::ReplayPlan::new(
+                DevicePopulation::new(SERVE_BENCH_DEVICES, options.seed),
+                Some(QUICK_RUNS),
+                pcap_workload::ReplayOrder::Interleaved,
+            );
+            let report = pcap_serve::run_load(
+                &pcap_serve::Endpoint::Uds(sock),
+                &plan,
+                &pcap_serve::LoadOptions::default(),
+            )
             .map_err(|e| e.to_string())?;
-        let plan = pcap_workload::ReplayPlan::new(
-            DevicePopulation::new(SERVE_BENCH_DEVICES, options.seed),
-            Some(QUICK_RUNS),
-            pcap_workload::ReplayOrder::Interleaved,
-        );
-        let report = pcap_serve::run_load(
-            &pcap_serve::Endpoint::Uds(sock),
-            &plan,
-            &pcap_serve::LoadOptions::default(),
-        )
-        .map_err(|e| e.to_string())?;
-        handle.shutdown();
-        if report.timed_out {
-            return Err("serve bench timed out waiting for the daemon".to_owned());
+            handle.shutdown();
+            if report.timed_out {
+                return Err("serve bench timed out waiting for the daemon".to_owned());
+            }
+            if arm == 0 {
+                serve_decisions = report.decisions;
+                serve_runs = report.runs;
+                decisions_per_s = decisions_per_s.max(report.decisions_per_s);
+            } else {
+                disabled_dps = disabled_dps.max(report.decisions_per_s);
+            }
         }
-        serve_decisions = report.decisions;
-        serve_runs = report.runs;
-        decisions_per_s = decisions_per_s.max(report.decisions_per_s);
     }
     eprintln!(
         "pcap bench: serve: {SERVE_BENCH_DEVICES} devices ({serve_runs} runs) replayed, \
          {serve_decisions} decisions ({decisions_per_s:.0} decisions/s, best of 3)"
+    );
+    let serve_obs_overhead = (disabled_dps / decisions_per_s.max(1e-9) - 1.0).max(0.0);
+    eprintln!(
+        "pcap bench: serve observability guard: instrumented {decisions_per_s:.0}/s vs \
+         disabled {disabled_dps:.0}/s ({:.2}% overhead, limit 2%{})",
+        serve_obs_overhead * 100.0,
+        if optimized {
+            ""
+        } else {
+            ", not enforced in debug builds"
+        }
     );
     entries.push(serde::Value::Object(vec![
         ("label".into(), serde::Value::Str("serve-replay".to_owned())),
@@ -1289,6 +1706,20 @@ fn run_bench(options: &Options) -> Result<(), String> {
         (
             "decisions_per_s".into(),
             serde::Value::Float(decisions_per_s),
+        ),
+        (
+            "serve_obs_disabled_dps".into(),
+            serde::Value::Float(disabled_dps),
+        ),
+        (
+            "serve_obs_overhead".into(),
+            // Like the tracing guard: the ratio only means anything
+            // with optimizations on, so debug builds record null.
+            if optimized {
+                serde::Value::Float(serve_obs_overhead)
+            } else {
+                serde::Value::Null
+            },
         ),
     ]));
 
@@ -1589,6 +2020,85 @@ mod tests {
             bounds.windows(2).all(|w| w[0] <= w[1]),
             "quantiles must be monotone: {bounds:?}"
         );
+    }
+
+    #[test]
+    fn parses_top_and_flight_flags() {
+        let o = parse_args(&args(&["top", "127.0.0.1:7071", "--once"])).unwrap();
+        assert!(o.once);
+        assert_eq!(o.positional, vec!["top", "127.0.0.1:7071"]);
+        let o = parse_args(&args(&[
+            "top",
+            "h:1",
+            "--interval",
+            "0.25",
+            "--iterations",
+            "3",
+        ]))
+        .unwrap();
+        assert_eq!(o.interval, 0.25);
+        assert_eq!(o.iterations, Some(3));
+        let o = parse_args(&args(&[
+            "serve",
+            "--uds",
+            "/tmp/x.sock",
+            "--flight-dump",
+            "/tmp/f.jsonl",
+        ]))
+        .unwrap();
+        assert_eq!(o.flight_dump.as_deref(), Some("/tmp/f.jsonl"));
+        let o = parse_args(&args(&["serve"])).unwrap();
+        assert!(o.flight_dump.is_none(), "dump path defaults at the command");
+        assert_eq!(o.interval, 1.0, "poll interval defaults to 1s");
+        assert!(!o.once);
+        assert_eq!(o.iterations, None, "top runs until killed by default");
+    }
+
+    #[test]
+    fn rejects_bad_top_flags() {
+        assert!(parse_args(&args(&["top", "h:1", "--interval"])).is_err());
+        assert!(parse_args(&args(&["top", "h:1", "--interval", "0"])).is_err());
+        assert!(parse_args(&args(&["top", "h:1", "--interval", "-1"])).is_err());
+        assert!(parse_args(&args(&["top", "h:1", "--interval", "NaN"])).is_err());
+        let e = parse_args(&args(&["top", "h:1", "--iterations", "0"])).unwrap_err();
+        assert!(e.contains("at least 1"), "{e}");
+        assert!(parse_args(&args(&["serve", "--flight-dump"])).is_err());
+    }
+
+    #[test]
+    fn prom_quantiles_walk_scraped_buckets() {
+        let text = "\
+# HELP x_us Stage latency.
+# TYPE x_us histogram
+x_us_bucket{shard=\"0\",le=\"1\"} 0
+x_us_bucket{shard=\"0\",le=\"8\"} 90
+x_us_bucket{shard=\"0\",le=\"64\"} 99
+x_us_bucket{shard=\"0\",le=\"+Inf\"} 100
+x_us_sum{shard=\"0\"} 1234
+x_us_count{shard=\"0\"} 100
+x_us_bucket{shard=\"1\",le=\"1\"} 0
+x_us_bucket{shard=\"1\",le=\"8\"} 0
+x_us_bucket{shard=\"1\",le=\"64\"} 0
+x_us_bucket{shard=\"1\",le=\"+Inf\"} 0
+x_us_sum{shard=\"1\"} 0
+x_us_count{shard=\"1\"} 0
+";
+        let samples = parse_prometheus_samples(text).unwrap();
+        assert_eq!(prom_hist_quantile(&samples, "x_us", Some("0"), 0.50), 8.0);
+        assert_eq!(prom_hist_quantile(&samples, "x_us", Some("0"), 0.99), 64.0);
+        assert!(prom_hist_quantile(&samples, "x_us", Some("0"), 1.0).is_infinite());
+        assert_eq!(
+            prom_hist_quantile(&samples, "x_us", Some("1"), 0.50),
+            0.0,
+            "empty shard reports 0"
+        );
+        assert_eq!(
+            prom_hist_quantile(&samples, "x_us", None, 0.50),
+            8.0,
+            "unscoped quantile sums the shards"
+        );
+        assert_eq!(prom_value(&samples, "x_us_count"), 100.0);
+        assert_eq!(prom_shard_value(&samples, "x_us_count", "1"), 0.0);
     }
 
     #[test]

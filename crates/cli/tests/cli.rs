@@ -825,3 +825,200 @@ fn journaled_run_matches_plain_experiment_output() {
     );
     std::fs::remove_dir_all(&dir).ok();
 }
+
+// ------------------------------------------- daemon observability
+
+/// Polls `pred` for up to 10 s.
+fn poll_until(mut pred: impl FnMut() -> bool) -> bool {
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while std::time::Instant::now() < deadline {
+        if pred() {
+            return true;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    false
+}
+
+/// One live daemon drives the whole observability surface: `pcap top`
+/// against the real `/metrics` endpoint, then `SIGUSR1` dumping the
+/// flight recorder to the `--flight-dump` path, validated by
+/// `pcap flight`.
+#[test]
+fn serve_sigusr1_dump_and_top_against_live_daemon() {
+    use std::io::BufRead;
+    let dir = std::env::temp_dir().join(format!("pcap-serve-obs-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let sock = dir.join("daemon.sock");
+    let dump = dir.join("flight.jsonl");
+    let mut daemon = Command::new(env!("CARGO_BIN_EXE_pcap"))
+        .args([
+            "serve",
+            "--uds",
+            sock.to_str().expect("utf-8"),
+            "--metrics",
+            "127.0.0.1:0",
+            "--shards",
+            "2",
+            "--flight-dump",
+            dump.to_str().expect("utf-8"),
+        ])
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("daemon starts");
+    // The daemon announces the bound metrics port on stderr.
+    let mut lines = std::io::BufReader::new(daemon.stderr.take().expect("piped stderr")).lines();
+    let metrics_addr = loop {
+        let line = lines
+            .next()
+            .expect("stderr open")
+            .expect("stderr line reads");
+        if let Some(rest) = line.split("metrics at http://").nth(1) {
+            break rest.trim_end_matches("/metrics").to_owned();
+        }
+    };
+    assert!(poll_until(|| sock.exists()), "daemon socket appears");
+
+    // Traffic first, so the flight rings and stage histograms fill.
+    let out = pcap(&[
+        "load",
+        "--uds",
+        sock.to_str().expect("utf-8"),
+        "--devices",
+        "2",
+        "--quick",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+
+    // `pcap top --once`: one frame, strict-validated scrape, per-shard
+    // rows with stage quantiles.
+    let out = pcap(&["top", &metrics_addr, "--once"]);
+    assert!(out.status.success(), "top stderr: {}", stderr(&out));
+    let top = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(top.contains("pcap top"), "header: {top}");
+    assert!(top.contains("decisions"), "totals row: {top}");
+    assert!(top.contains("shard"), "shard table: {top}");
+    for shard in ["0", "1"] {
+        assert!(
+            top.lines().any(|l| l.trim_start().starts_with(shard)),
+            "row for shard {shard}: {top}"
+        );
+    }
+
+    // SIGUSR1 → the daemon writes a validated JSONL flight dump.
+    let pid = daemon.id().to_string();
+    let kill = Command::new("kill")
+        .args(["-USR1", &pid])
+        .status()
+        .expect("kill runs");
+    assert!(kill.success(), "kill -USR1 delivered");
+    assert!(
+        poll_until(|| dump.exists()),
+        "flight dump appears after SIGUSR1"
+    );
+    let out = pcap(&["flight", dump.to_str().expect("utf-8")]);
+    assert!(out.status.success(), "flight stderr: {}", stderr(&out));
+    let report = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(report.contains("events across"), "stats line: {report}");
+    assert!(
+        !report.contains(": 0 events"),
+        "traffic left events in the rings: {report}"
+    );
+
+    daemon.kill().ok();
+    daemon.wait().ok();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A panicking daemon leaves a parseable flight dump behind: the
+/// selftest hook panics after startup and the chained panic hook must
+/// write the `--flight-dump` file before the process dies nonzero.
+#[test]
+fn serve_panic_writes_flight_dump_and_exits_nonzero() {
+    let dir = std::env::temp_dir().join(format!("pcap-serve-panic-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let sock = dir.join("daemon.sock");
+    let dump = dir.join("crash.jsonl");
+    let out = Command::new(env!("CARGO_BIN_EXE_pcap"))
+        .args([
+            "serve",
+            "--uds",
+            sock.to_str().expect("utf-8"),
+            "--flight-dump",
+            dump.to_str().expect("utf-8"),
+        ])
+        .env("PCAP_SERVE_SELFTEST_PANIC", "1")
+        .output()
+        .expect("daemon runs to its panic");
+    assert!(!out.status.success(), "panicking daemon exits nonzero");
+    let err = stderr(&out);
+    assert!(err.contains("panic"), "panic message surfaced: {err}");
+    assert!(
+        err.contains("dumped") && err.contains("flight events"),
+        "dump confirmation on stderr: {err}"
+    );
+    assert!(dump.exists(), "panic hook wrote the dump");
+    let check = pcap(&["flight", dump.to_str().expect("utf-8")]);
+    assert!(
+        check.status.success(),
+        "crash dump validates: {}",
+        stderr(&check)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `pcap flight` on garbage is a named, nonzero failure.
+#[test]
+fn flight_rejects_garbage_dump() {
+    let dir = std::env::temp_dir().join(format!("pcap-flight-bad-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let bad = dir.join("bad.jsonl");
+    std::fs::write(&bad, "this is not a flight dump\n").expect("write");
+    let out = pcap(&["flight", bad.to_str().expect("utf-8")]);
+    assert!(!out.status.success(), "garbage must fail");
+    assert!(
+        stderr(&out).contains("invalid flight dump"),
+        "stderr: {}",
+        stderr(&out)
+    );
+    let out = pcap(&["flight", dir.join("missing.jsonl").to_str().expect("utf-8")]);
+    assert!(!out.status.success(), "missing file must fail");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `--prometheus` on a journaled sweep exports the journal's progress
+/// counters as a strict-valid exposition.
+#[test]
+fn journaled_sweep_exports_progress_metrics() {
+    let dir = journal_dir("prom");
+    let journal = dir.join("sweep.jnl");
+    let prom = dir.join("journal.prom");
+    let out = pcap(&[
+        "sweep",
+        "--seeds",
+        "42..43",
+        "--jobs",
+        "1",
+        "--journal",
+        journal.to_str().expect("utf-8"),
+        "--prometheus",
+        prom.to_str().expect("utf-8"),
+        "--csv",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    assert!(
+        stderr(&out).contains("wrote journal progress metrics"),
+        "stderr: {}",
+        stderr(&out)
+    );
+    let text = std::fs::read_to_string(&prom).expect("exposition written");
+    assert!(
+        text.contains("pcap_journal_computed_total 1"),
+        "cold journal computed the seed: {text}"
+    );
+    assert!(
+        text.contains("# TYPE pcap_journal_resumed_total counter"),
+        "metadata present: {text}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

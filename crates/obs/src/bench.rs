@@ -71,6 +71,12 @@ pub struct BenchEntry {
     /// PR 8: online daemon throughput — the gated metric for serve
     /// groups (entries with neither `cells_per_s` nor `devices_per_s`).
     pub decisions_per_s: Option<f64>,
+    /// PR 10: serve throughput with flight recorder + stage histograms
+    /// disabled (the A/B control arm).
+    pub serve_obs_disabled_dps: Option<f64>,
+    /// PR 10: fractional serve-observability overhead
+    /// (`disabled/enabled − 1`, gated < 2%).
+    pub serve_obs_overhead: Option<f64>,
 }
 
 impl BenchEntry {
@@ -168,6 +174,7 @@ pub fn check_trajectory(entries: &[BenchEntry]) -> Result<Vec<String>, String> {
         for (field, overhead) in [
             ("observer_overhead", latest.observer_overhead),
             ("tracing_overhead", latest.tracing_overhead),
+            ("serve_obs_overhead", latest.serve_obs_overhead),
         ] {
             if let Some(overhead) = overhead {
                 if overhead >= OVERHEAD_LIMIT {
@@ -400,6 +407,25 @@ mod tests {
         assert!(err.contains("decisions/s"), "{err}");
         assert!(!err.contains("devices/s"), "{err}");
         assert!(!err.contains("cells/s"), "{err}");
+    }
+
+    #[test]
+    fn serve_obs_overhead_is_gated() {
+        let mut breach = serve_entry(1, 2.1e6);
+        breach.serve_obs_overhead = Some(0.03);
+        let err = check_trajectory(&[serve_entry(1, 2.0e6), breach]).unwrap_err();
+        assert!(err.contains("serve_obs_overhead"), "{err}");
+
+        let mut ok = serve_entry(1, 2.1e6);
+        ok.serve_obs_disabled_dps = Some(2.12e6);
+        ok.serve_obs_overhead = Some(0.01);
+        let lines = check_trajectory(&[serve_entry(1, 2.0e6), ok]).unwrap();
+        assert!(lines.iter().any(|l| l.contains("serve_obs_overhead")));
+        // Pre-PR-10 serve entries (no serve_obs fields) are ungated.
+        let old: BenchEntry =
+            serde_json::from_str(r#"{"mode":"serve","decisions_per_s":1.0}"#).unwrap();
+        assert_eq!(old.serve_obs_overhead, None);
+        check_trajectory(&[old]).unwrap();
     }
 
     #[test]

@@ -26,14 +26,21 @@
 //! per-stage tables for terminals). [`bench`] holds the
 //! forward/backward-compatible `BENCH_sim.json` schema and the
 //! `pcap bench --check` regression gate.
+//!
+//! PR 10 adds the daemon-facing pieces (DESIGN.md §15): [`flight`],
+//! the always-on lock-free crash ring dumped on panic/`SIGUSR1`/
+//! `/debug/flight`, and [`log`], the leveled rate-limited structured
+//! logging facade behind `PCAP_LOG`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bench;
 pub mod chrome;
+pub mod flight;
 pub mod histogram;
 pub mod journal;
+pub mod log;
 pub mod prom;
 pub mod recorder;
 pub mod summary;
@@ -42,9 +49,14 @@ pub use bench::{
     check_trajectory, parse_trajectory, BenchEntry, OVERHEAD_LIMIT, REGRESSION_TOLERANCE,
 };
 pub use chrome::{render_chrome_trace, validate_chrome_trace, ChromeTraceStats};
+pub use flight::{validate_flight_dump, FlightDumpStats, FlightEvent, FlightKind, FlightRecorder};
 pub use histogram::LogHistogram;
 pub use journal::{JournalProgress, JournalProgressSnapshot};
-pub use prom::{render_prometheus, validate_prometheus};
+pub use log::RateGate;
+pub use prom::{
+    parse_prometheus_samples, render_journal_progress, render_prometheus, validate_prometheus,
+    validate_prometheus_strict, PromSample,
+};
 pub use recorder::{SlowestTask, TraceEvent, TraceRecorder};
 pub use summary::{imbalance_ratio, render_stage_table, stage_summary, worker_summary, StageStat};
 

@@ -1,0 +1,316 @@
+//! Leveled, rate-limited structured logging (DESIGN.md §15).
+//!
+//! One line of JSONL per event on stderr, so daemon logs are machine
+//! parseable from day one and interleave cleanly with the crash-time
+//! flight dump. The level comes from `PCAP_LOG`
+//! (`error|warn|info|debug`, default `info`), read once per process.
+//! `debug`-level calls compile out entirely in release builds through
+//! the same `const` pattern as `NullPipeline`: the call sites guard on
+//! [`DEBUG_ENABLED`], a `cfg!(debug_assertions)` constant, so the
+//! optimizer removes both the branch and the formatting behind it.
+//!
+//! Hot paths must not log per event; they go through a [`RateGate`],
+//! which admits a bounded number of lines per window and counts the
+//! rest, reporting the suppressed total on the next admitted line.
+
+use std::io::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Log severity, most severe first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// The process cannot do its job.
+    Error,
+    /// Degraded but continuing (bad frames, dropped events).
+    Warn,
+    /// Lifecycle landmarks (startup, shutdown, dumps written).
+    Info,
+    /// Per-operation detail; compiled out in release builds.
+    Debug,
+}
+
+impl Level {
+    /// The lowercase name used both in `PCAP_LOG` and in output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+
+    /// Parses a `PCAP_LOG` value (case-insensitive).
+    pub fn parse(value: &str) -> Option<Level> {
+        match value.to_ascii_lowercase().as_str() {
+            "error" => Some(Level::Error),
+            "warn" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            _ => None,
+        }
+    }
+}
+
+/// Whether `debug`-level logging exists in this build at all. Mirrors
+/// `NullPipeline`'s `const ENABLED` compile-out: in release builds the
+/// constant is `false`, so `if log::DEBUG_ENABLED { log::debug(...) }`
+/// call sites are removed by the optimizer, formatting included.
+pub const DEBUG_ENABLED: bool = cfg!(debug_assertions);
+
+fn max_level() -> Level {
+    static MAX: OnceLock<Level> = OnceLock::new();
+    *MAX.get_or_init(|| {
+        std::env::var("PCAP_LOG")
+            .ok()
+            .as_deref()
+            .and_then(Level::parse)
+            .unwrap_or(Level::Info)
+    })
+}
+
+/// Whether a message at `level` would be emitted under the current
+/// `PCAP_LOG` setting. Callers building expensive field values should
+/// check this first.
+pub fn enabled(level: Level) -> bool {
+    (level != Level::Debug || DEBUG_ENABLED) && level <= max_level()
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Formats one log line without emitting it (the testable core of
+/// [`log`]): `{"ts_us":…,"level":…,"target":…,"msg":…,"fields":{…}}`.
+pub fn format_line(
+    ts_us: u64,
+    level: Level,
+    target: &str,
+    msg: &str,
+    fields: &[(&str, &str)],
+) -> String {
+    let mut out = String::with_capacity(96);
+    out.push_str("{\"ts_us\":");
+    out.push_str(&ts_us.to_string());
+    out.push_str(",\"level\":\"");
+    out.push_str(level.name());
+    out.push_str("\",\"target\":\"");
+    escape_into(&mut out, target);
+    out.push_str("\",\"msg\":\"");
+    escape_into(&mut out, msg);
+    out.push('"');
+    if !fields.is_empty() {
+        out.push_str(",\"fields\":{");
+        for (i, (key, value)) in fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            escape_into(&mut out, key);
+            out.push_str("\":\"");
+            escape_into(&mut out, value);
+            out.push('"');
+        }
+        out.push('}');
+    }
+    out.push('}');
+    out
+}
+
+/// Emits one structured JSONL line to stderr if `level` is enabled.
+/// `target` names the subsystem (`"serve"`, `"journal"`); `fields`
+/// carry the structured payload.
+pub fn log(level: Level, target: &str, msg: &str, fields: &[(&str, &str)]) {
+    if !enabled(level) {
+        return;
+    }
+    let ts_us = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_micros() as u64)
+        .unwrap_or(0);
+    let line = format_line(ts_us, level, target, msg, fields);
+    let mut stderr = std::io::stderr().lock();
+    let _ = writeln!(stderr, "{line}");
+}
+
+/// [`log`] at [`Level::Error`].
+pub fn error(target: &str, msg: &str, fields: &[(&str, &str)]) {
+    log(Level::Error, target, msg, fields);
+}
+
+/// [`log`] at [`Level::Warn`].
+pub fn warn(target: &str, msg: &str, fields: &[(&str, &str)]) {
+    log(Level::Warn, target, msg, fields);
+}
+
+/// [`log`] at [`Level::Info`].
+pub fn info(target: &str, msg: &str, fields: &[(&str, &str)]) {
+    log(Level::Info, target, msg, fields);
+}
+
+/// [`log`] at [`Level::Debug`]; a no-op in release builds
+/// ([`DEBUG_ENABLED`]).
+pub fn debug(target: &str, msg: &str, fields: &[(&str, &str)]) {
+    if DEBUG_ENABLED {
+        log(Level::Debug, target, msg, fields);
+    }
+}
+
+/// A token-bucket-style limiter for hot-path logging: at most `limit`
+/// admissions per `window_us`, everything else counted, with the
+/// suppressed count handed back on the next admission so no signal is
+/// silently lost. Lock-free and allocation-free; suitable for shared
+/// `static` use.
+#[derive(Debug)]
+pub struct RateGate {
+    limit: u64,
+    window_us: u64,
+    window_start: AtomicU64,
+    count: AtomicU64,
+    suppressed: AtomicU64,
+}
+
+impl RateGate {
+    /// A gate admitting `limit` events per `window_us` microseconds.
+    pub const fn new(limit: u64, window_us: u64) -> RateGate {
+        RateGate {
+            limit,
+            window_us,
+            window_start: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+            suppressed: AtomicU64::new(0),
+        }
+    }
+
+    /// Asks to emit one event at time `now_us` (any monotone µs clock).
+    /// `Some(suppressed)` grants admission and reports how many events
+    /// were dropped since the last admitted one; `None` means stay
+    /// quiet.
+    pub fn admit(&self, now_us: u64) -> Option<u64> {
+        let start = self.window_start.load(Ordering::Relaxed);
+        if now_us.saturating_sub(start) >= self.window_us {
+            // A new window: the first caller to move the marker resets
+            // the budget. Losing the race just means counting against
+            // the winner's fresh window, which is fine for logging.
+            if self
+                .window_start
+                .compare_exchange(start, now_us, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+            {
+                self.count.store(0, Ordering::Relaxed);
+            }
+        }
+        if self.count.fetch_add(1, Ordering::Relaxed) < self.limit {
+            Some(self.suppressed.swap(0, Ordering::Relaxed))
+        } else {
+            self.suppressed.fetch_add(1, Ordering::Relaxed);
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_order_and_parse() {
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Warn < Level::Info);
+        assert!(Level::Info < Level::Debug);
+        for level in [Level::Error, Level::Warn, Level::Info, Level::Debug] {
+            assert_eq!(Level::parse(level.name()), Some(level));
+        }
+        assert_eq!(Level::parse("INFO"), Some(Level::Info));
+        assert_eq!(Level::parse("trace"), None);
+        assert_eq!(Level::parse(""), None);
+    }
+
+    #[test]
+    fn formatted_lines_are_valid_json() {
+        let line = format_line(
+            42,
+            Level::Warn,
+            "serve",
+            "bad frame \"x\"\n",
+            &[("conn", "7"), ("why\t", "over\\size")],
+        );
+        let value: serde::Value = serde_json::from_str(&line).expect("line parses");
+        assert_eq!(value.get("ts_us"), Some(&serde::Value::UInt(42)));
+        assert_eq!(
+            value.get("level"),
+            Some(&serde::Value::Str("warn".to_string()))
+        );
+        assert_eq!(
+            value.get("msg"),
+            Some(&serde::Value::Str("bad frame \"x\"\n".to_string()))
+        );
+        let fields = value.get("fields").expect("fields object");
+        assert_eq!(
+            fields.get("conn"),
+            Some(&serde::Value::Str("7".to_string()))
+        );
+        assert_eq!(
+            fields.get("why\t"),
+            Some(&serde::Value::Str("over\\size".to_string()))
+        );
+    }
+
+    #[test]
+    fn fieldless_lines_omit_the_fields_object() {
+        let line = format_line(1, Level::Info, "serve", "up", &[]);
+        assert!(!line.contains("fields"));
+        serde_json::from_str::<serde::Value>(&line).expect("still valid JSON");
+    }
+
+    #[test]
+    fn debug_compiles_out_in_release() {
+        assert_eq!(DEBUG_ENABLED, cfg!(debug_assertions));
+        if !DEBUG_ENABLED {
+            assert!(!enabled(Level::Debug));
+        }
+    }
+
+    #[test]
+    fn rate_gate_admits_limit_per_window_and_reports_suppressed() {
+        let gate = RateGate::new(2, 1_000_000);
+        assert_eq!(gate.admit(0), Some(0));
+        assert_eq!(gate.admit(10), Some(0));
+        assert_eq!(gate.admit(20), None);
+        assert_eq!(gate.admit(30), None);
+        // New window: admitted again, with the two drops reported.
+        assert_eq!(gate.admit(1_000_000), Some(2));
+        assert_eq!(gate.admit(1_000_001), Some(0));
+        assert_eq!(gate.admit(1_000_002), None);
+    }
+
+    #[test]
+    fn rate_gate_is_safe_from_many_threads() {
+        static GATE: RateGate = RateGate::new(4, u64::MAX);
+        let admitted: u64 = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    scope.spawn(|| {
+                        (0..100).filter(|&i| GATE.admit(i as u64).is_some()).count() as u64
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        assert_eq!(admitted, 4, "one shared budget across all threads");
+    }
+}

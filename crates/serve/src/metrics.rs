@@ -15,6 +15,7 @@ use std::collections::VecDeque;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// A [`LogHistogram`] with relaxed-atomic buckets, recordable from any
 /// thread without locking.
@@ -49,24 +50,53 @@ impl AtomicHistogram {
         (hist, self.sum.load(Ordering::Relaxed))
     }
 
-    fn render(&self, name: &str, out: &mut String) {
+    fn render(&self, name: &str, help: &str, out: &mut String) {
+        let _ = writeln!(out, "# HELP {name} {help}");
         let _ = writeln!(out, "# TYPE {name} histogram");
+        self.render_series(name, "", out);
+    }
+
+    /// Appends this histogram's bucket/sum/count series under `name`
+    /// with `labels` (e.g. `shard="3"`) on every line, without family
+    /// metadata — the caller emits one `# HELP`/`# TYPE` pair for all
+    /// labelled instances of the family.
+    fn render_series(&self, name: &str, labels: &str, out: &mut String) {
+        let sep = if labels.is_empty() { "" } else { "," };
         let mut cumulative = 0u64;
         for k in 0..32 {
             cumulative += self.buckets[k].load(Ordering::Relaxed);
             if k < 31 {
                 let (_, hi) = LogHistogram::bucket_bounds(k);
-                let _ = writeln!(out, "{name}_bucket{{le=\"{}\"}} {cumulative}", hi - 1);
+                let _ = writeln!(
+                    out,
+                    "{name}_bucket{{{labels}{sep}le=\"{}\"}} {cumulative}",
+                    hi - 1
+                );
             } else {
-                let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+                let _ = writeln!(
+                    out,
+                    "{name}_bucket{{{labels}{sep}le=\"+Inf\"}} {cumulative}"
+                );
             }
         }
-        let _ = writeln!(out, "{name}_sum {}", self.sum.load(Ordering::Relaxed));
-        let _ = writeln!(out, "{name}_count {cumulative}");
+        let brace = if labels.is_empty() {
+            String::new()
+        } else {
+            format!("{{{labels}}}")
+        };
+        let _ = writeln!(
+            out,
+            "{name}_sum{brace} {}",
+            self.sum.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(out, "{name}_count{brace} {cumulative}");
     }
 }
 
-/// Per-shard queue and throughput counters.
+/// Per-shard queue and throughput counters, plus the stage-latency
+/// attribution histograms (DESIGN.md §15): the end-to-end decision
+/// latency decomposed into decode → queue-wait → evaluate → encode so
+/// queueing delay is distinguishable from compute in a scrape.
 #[derive(Debug, Default)]
 pub struct ShardStats {
     /// Messages enqueued to the shard (incremented by readers before
@@ -78,6 +108,15 @@ pub struct ShardStats {
     pub runs: AtomicU64,
     /// Microseconds the shard spent evaluating runs (utilization).
     pub busy_us: AtomicU64,
+    /// Sampled wire-frame decode latency (ns; recorded by the reader
+    /// thread for frames routed to this shard).
+    pub decode_ns: AtomicHistogram,
+    /// Time a run-completing message waited in the shard queue (µs).
+    pub queue_wait_us: AtomicHistogram,
+    /// Run evaluation latency (µs).
+    pub eval_us: AtomicHistogram,
+    /// Decision-frame encode latency per run (µs).
+    pub encode_us: AtomicHistogram,
 }
 
 impl ShardStats {
@@ -128,6 +167,7 @@ pub struct ServeMetrics {
     pub run_eval_us: AtomicHistogram,
     /// Per-shard stats, indexed by shard.
     pub shards: Vec<ShardStats>,
+    started: Instant,
     sample_every: u64,
     sample_capacity: usize,
     samples: Mutex<VecDeque<DecisionRecord>>,
@@ -156,6 +196,7 @@ impl ServeMetrics {
             gap_us: AtomicHistogram::default(),
             run_eval_us: AtomicHistogram::default(),
             shards: (0..shards).map(|_| ShardStats::default()).collect(),
+            started: Instant::now(),
             sample_every,
             sample_capacity,
             samples: Mutex::new(VecDeque::new()),
@@ -198,27 +239,78 @@ impl ServeMetrics {
         self.shards.iter().map(ShardStats::depth).sum()
     }
 
+    /// Seconds since these metrics (and hence the server) started.
+    pub fn uptime_seconds(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
     /// Renders all metrics in Prometheus text exposition format
-    /// (version 0.0.4); validated by
-    /// [`pcap_obs::validate_prometheus`] in tests.
+    /// (version 0.0.4) with `# HELP`/`# TYPE` metadata on every
+    /// family; held to [`pcap_obs::validate_prometheus_strict`] in
+    /// tests and CI.
     pub fn render_prometheus(&self) -> String {
         let mut out = String::new();
-        let counters: [(&str, &AtomicU64); 13] = [
-            ("connections", &self.connections),
-            ("disconnects", &self.disconnects),
-            ("frames", &self.frames),
-            ("bad_frames", &self.bad_frames),
-            ("stray_frames", &self.stray_frames),
-            ("events", &self.events),
-            ("runs", &self.runs),
-            ("run_rejects", &self.run_rejects),
-            ("decisions", &self.decisions),
-            ("decisions_hit", &self.hits),
-            ("decisions_miss", &self.misses),
-            ("decisions_not_predicted", &self.not_predicted),
-            ("decisions_short", &self.short),
+        let _ = writeln!(
+            out,
+            "# HELP pcap_build_info Build metadata of the running daemon."
+        );
+        let _ = writeln!(out, "# TYPE pcap_build_info gauge");
+        let _ = writeln!(
+            out,
+            "pcap_build_info{{version=\"{}\"}} 1",
+            env!("CARGO_PKG_VERSION")
+        );
+        let _ = writeln!(
+            out,
+            "# HELP pcap_uptime_seconds Seconds since the daemon started."
+        );
+        let _ = writeln!(out, "# TYPE pcap_uptime_seconds gauge");
+        let _ = writeln!(out, "pcap_uptime_seconds {:.3}", self.uptime_seconds());
+        let counters: [(&str, &str, &AtomicU64); 13] = [
+            ("connections", "Connections accepted.", &self.connections),
+            ("disconnects", "Connections closed.", &self.disconnects),
+            ("frames", "Well-formed frames decoded.", &self.frames),
+            (
+                "bad_frames",
+                "Malformed frames (truncated, oversized, or unknown tag).",
+                &self.bad_frames,
+            ),
+            (
+                "stray_frames",
+                "Well-formed frames dropped in an invalid protocol state.",
+                &self.stray_frames,
+            ),
+            (
+                "events",
+                "Trace events accepted into open runs.",
+                &self.events,
+            ),
+            ("runs", "Runs evaluated.", &self.runs),
+            (
+                "run_rejects",
+                "Runs rejected by trace validation.",
+                &self.run_rejects,
+            ),
+            ("decisions", "Decisions emitted.", &self.decisions),
+            ("decisions_hit", "Decisions with verdict Hit.", &self.hits),
+            (
+                "decisions_miss",
+                "Decisions with verdict Miss.",
+                &self.misses,
+            ),
+            (
+                "decisions_not_predicted",
+                "Decisions with verdict NotPredicted.",
+                &self.not_predicted,
+            ),
+            (
+                "decisions_short",
+                "Decisions with verdict Short.",
+                &self.short,
+            ),
         ];
-        for (name, value) in counters.iter() {
+        for (name, help, value) in counters.iter() {
+            let _ = writeln!(out, "# HELP pcap_serve_{name}_total {help}");
             let _ = writeln!(out, "# TYPE pcap_serve_{name}_total counter");
             let _ = writeln!(
                 out,
@@ -226,6 +318,10 @@ impl ServeMetrics {
                 value.load(Ordering::Relaxed)
             );
         }
+        let _ = writeln!(
+            out,
+            "# HELP pcap_serve_devices_active Device sessions currently live."
+        );
         let _ = writeln!(out, "# TYPE pcap_serve_devices_active gauge");
         let _ = writeln!(
             out,
@@ -233,41 +329,82 @@ impl ServeMetrics {
             self.devices_active.load(Ordering::Relaxed)
         );
         if !self.shards.is_empty() {
-            let _ = writeln!(out, "# TYPE pcap_serve_shard_depth gauge");
-            for (i, shard) in self.shards.iter().enumerate() {
-                let _ = writeln!(
-                    out,
-                    "pcap_serve_shard_depth{{shard=\"{i}\"}} {}",
-                    shard.depth()
-                );
+            #[allow(clippy::type_complexity)]
+            let gauges: [(&str, &str, fn(&ShardStats) -> u64); 4] = [
+                (
+                    "pcap_serve_shard_depth",
+                    "Messages queued or in flight for the shard.",
+                    ShardStats::depth,
+                ),
+                (
+                    "pcap_serve_shard_processed_total",
+                    "Messages the shard worker finished processing.",
+                    |s| s.processed.load(Ordering::Relaxed),
+                ),
+                (
+                    "pcap_serve_shard_runs_total",
+                    "Runs the shard evaluated.",
+                    |s| s.runs.load(Ordering::Relaxed),
+                ),
+                (
+                    "pcap_serve_shard_busy_us_total",
+                    "Microseconds the shard spent in evaluate + encode.",
+                    |s| s.busy_us.load(Ordering::Relaxed),
+                ),
+            ];
+            for (name, help, read) in gauges {
+                let ty = if name.ends_with("_total") {
+                    "counter"
+                } else {
+                    "gauge"
+                };
+                let _ = writeln!(out, "# HELP {name} {help}");
+                let _ = writeln!(out, "# TYPE {name} {ty}");
+                for (i, shard) in self.shards.iter().enumerate() {
+                    let _ = writeln!(out, "{name}{{shard=\"{i}\"}} {}", read(shard));
+                }
             }
-            let _ = writeln!(out, "# TYPE pcap_serve_shard_processed_total counter");
-            for (i, shard) in self.shards.iter().enumerate() {
-                let _ = writeln!(
-                    out,
-                    "pcap_serve_shard_processed_total{{shard=\"{i}\"}} {}",
-                    shard.processed.load(Ordering::Relaxed)
-                );
-            }
-            let _ = writeln!(out, "# TYPE pcap_serve_shard_runs_total counter");
-            for (i, shard) in self.shards.iter().enumerate() {
-                let _ = writeln!(
-                    out,
-                    "pcap_serve_shard_runs_total{{shard=\"{i}\"}} {}",
-                    shard.runs.load(Ordering::Relaxed)
-                );
-            }
-            let _ = writeln!(out, "# TYPE pcap_serve_shard_busy_us_total counter");
-            for (i, shard) in self.shards.iter().enumerate() {
-                let _ = writeln!(
-                    out,
-                    "pcap_serve_shard_busy_us_total{{shard=\"{i}\"}} {}",
-                    shard.busy_us.load(Ordering::Relaxed)
-                );
+            #[allow(clippy::type_complexity)]
+            let stages: [(&str, &str, fn(&ShardStats) -> &AtomicHistogram); 4] = [
+                (
+                    "pcap_serve_stage_decode_ns",
+                    "Sampled wire-frame decode latency per shard (ns).",
+                    |s| &s.decode_ns,
+                ),
+                (
+                    "pcap_serve_stage_queue_wait_us",
+                    "Shard-queue wait of run-completing messages (us).",
+                    |s| &s.queue_wait_us,
+                ),
+                (
+                    "pcap_serve_stage_eval_us",
+                    "Run evaluation latency per shard (us).",
+                    |s| &s.eval_us,
+                ),
+                (
+                    "pcap_serve_stage_encode_us",
+                    "Decision-frame encode latency per run per shard (us).",
+                    |s| &s.encode_us,
+                ),
+            ];
+            for (name, help, pick) in stages {
+                let _ = writeln!(out, "# HELP {name} {help}");
+                let _ = writeln!(out, "# TYPE {name} histogram");
+                for (i, shard) in self.shards.iter().enumerate() {
+                    pick(shard).render_series(name, &format!("shard=\"{i}\""), &mut out);
+                }
             }
         }
-        self.gap_us.render("pcap_serve_gap_us", &mut out);
-        self.run_eval_us.render("pcap_serve_run_eval_us", &mut out);
+        self.gap_us.render(
+            "pcap_serve_gap_us",
+            "Merged idle-gap length distribution (us).",
+            &mut out,
+        );
+        self.run_eval_us.render(
+            "pcap_serve_run_eval_us",
+            "Server-side run evaluation latency (us).",
+            &mut out,
+        );
         out
     }
 }
@@ -300,7 +437,7 @@ mod tests {
     }
 
     #[test]
-    fn rendered_exposition_validates() {
+    fn rendered_exposition_validates_strictly() {
         let m = ServeMetrics::new(3, 1, 16);
         m.connections.fetch_add(2, Ordering::Relaxed);
         m.shards[0].enqueued.fetch_add(5, Ordering::Relaxed);
@@ -308,14 +445,35 @@ mod tests {
         m.observe_decision(&record(GapVerdict::Hit, 20_000_000));
         m.observe_decision(&record(GapVerdict::Short, 5));
         m.run_eval_us.record(130);
+        m.shards[1].decode_ns.record(800);
+        m.shards[1].queue_wait_us.record(12);
+        m.shards[1].eval_us.record(130);
+        m.shards[1].encode_us.record(3);
         let text = m.render_prometheus();
-        let samples = pcap_obs::validate_prometheus(&text).expect("valid exposition");
+        let samples =
+            pcap_obs::validate_prometheus_strict(&text).expect("strictly valid exposition");
         assert!(samples > 50, "counters + shard series + histograms");
+        assert!(text.contains("pcap_build_info{version=\""));
+        assert!(text.contains("# TYPE pcap_uptime_seconds gauge"));
         assert!(text.contains("pcap_serve_decisions_total 2"));
         assert!(text.contains("pcap_serve_decisions_hit_total 1"));
         assert!(text.contains("pcap_serve_shard_depth{shard=\"0\"} 2"));
         assert!(text.contains("pcap_serve_gap_us_count 2"));
         assert!(text.contains("pcap_serve_bad_frames_total 0"));
+        assert!(text.contains("pcap_serve_stage_queue_wait_us_count{shard=\"1\"} 1"));
+        assert!(text.contains("pcap_serve_stage_decode_ns_sum{shard=\"1\"} 800"));
+        // One metadata pair covers all per-shard instances of a stage
+        // family.
+        assert_eq!(text.matches("# TYPE pcap_serve_stage_eval_us ").count(), 1);
+    }
+
+    #[test]
+    fn uptime_is_monotone_and_rendered() {
+        let m = ServeMetrics::new(1, 0, 0);
+        let a = m.uptime_seconds();
+        let b = m.uptime_seconds();
+        assert!(b >= a && a >= 0.0);
+        assert!(m.render_prometheus().contains("pcap_uptime_seconds "));
     }
 
     #[test]

@@ -39,6 +39,8 @@
 
 use crate::frame::{self, ClientFrame, ServerFrame};
 use crate::metrics::ServeMetrics;
+use pcap_obs::log::{self, RateGate};
+use pcap_obs::{FlightKind, FlightRecorder};
 use pcap_sim::{
     DecisionObserver, DecisionRecord, GapEnergy, Manager, PowerManagerKind, ShardEvaluator,
     SimConfig,
@@ -82,6 +84,12 @@ pub struct ServeConfig {
     pub sample_every: u64,
     /// Capacity of the audit sample ring.
     pub sample_capacity: usize,
+    /// Flight-recorder slots per ring (one ring per shard plus one for
+    /// the reader threads; 0 disables recording entirely).
+    pub flight_capacity: usize,
+    /// Record per-shard stage-latency histograms
+    /// (decode / queue-wait / evaluate / encode).
+    pub stage_metrics: bool,
 }
 
 impl Default for ServeConfig {
@@ -93,6 +101,8 @@ impl Default for ServeConfig {
             queue_depth: 1024,
             sample_every: 64,
             sample_capacity: 256,
+            flight_capacity: 4096,
+            stage_metrics: true,
         }
     }
 }
@@ -142,9 +152,17 @@ enum ShardMsg {
 }
 
 enum DeviceOp {
-    RunStart { root: Pid },
+    RunStart {
+        root: Pid,
+    },
     Event(TraceEvent),
-    RunEnd,
+    /// `enqueued_at` is stamped by the reader just before the blocking
+    /// send, so the shard can attribute queue-wait separately from
+    /// evaluation. Only run-completing messages carry a stamp — they
+    /// are the ones whose end-to-end latency the client observes.
+    RunEnd {
+        enqueued_at: Instant,
+    },
     DeviceEnd,
 }
 
@@ -155,14 +173,15 @@ struct Session {
     run: u32,
 }
 
-/// Emits one `Decision` frame per engine decision into a per-run
+/// Collects one record per engine decision into a per-shard scratch
 /// buffer, stamping the device's run index exactly as the offline
-/// `AuditCollector` does.
+/// `AuditCollector` does. Encoding happens afterwards in a separately
+/// timed pass ([`handle_op`]), so evaluate and encode are attributable
+/// stages — the emitted byte stream is unchanged because records are
+/// encoded in decision order before the run summary.
 struct EmitObserver<'a> {
-    device: u64,
     run: u32,
-    decisions: u32,
-    buf: &'a mut Vec<u8>,
+    records: &'a mut Vec<DecisionRecord>,
     metrics: &'a ServeMetrics,
 }
 
@@ -170,14 +189,7 @@ impl DecisionObserver for EmitObserver<'_> {
     fn on_decision(&mut self, mut record: DecisionRecord, _energy: &GapEnergy) {
         record.run = self.run;
         self.metrics.observe_decision(&record);
-        frame::encode_server(
-            &ServerFrame::Decision {
-                device: self.device,
-                record,
-            },
-            self.buf,
-        );
-        self.decisions += 1;
+        self.records.push(record);
     }
 }
 
@@ -186,6 +198,7 @@ impl DecisionObserver for EmitObserver<'_> {
 pub struct ServerHandle {
     stop: Arc<AtomicBool>,
     metrics: Arc<ServeMetrics>,
+    flight: Arc<FlightRecorder>,
     tcp_addr: Option<SocketAddr>,
     metrics_addr: Option<SocketAddr>,
     uds_paths: Vec<PathBuf>,
@@ -199,6 +212,13 @@ impl ServerHandle {
     /// The shared metrics registry.
     pub fn metrics(&self) -> &Arc<ServeMetrics> {
         &self.metrics
+    }
+
+    /// The shared flight recorder (ring `shards` is the reader-thread
+    /// ring; rings `0..shards` belong to the shard workers). Clone the
+    /// `Arc` to dump from signal or panic handlers.
+    pub fn flight(&self) -> &Arc<FlightRecorder> {
+        &self.flight
     }
 
     /// The bound TCP address, if a TCP endpoint was requested (useful
@@ -265,6 +285,12 @@ pub fn start(
         config.sample_every,
         config.sample_capacity,
     ));
+    // One flight ring per shard (single-writer) plus one shared ring
+    // for all reader threads.
+    let flight = Arc::new(FlightRecorder::new(
+        config.shards + 1,
+        config.flight_capacity,
+    ));
     let stop = Arc::new(AtomicBool::new(false));
     let readers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
     let conn_ids = Arc::new(AtomicU64::new(0));
@@ -276,14 +302,22 @@ pub fn start(
         let (tx, rx) = sync_channel::<ShardMsg>(config.queue_depth.max(1));
         shard_txs.push(tx);
         let metrics = Arc::clone(&metrics);
+        let flight = Arc::clone(&flight);
         let config = config.clone();
         shard_joins.push(
             std::thread::Builder::new()
                 .name(format!("pcap-shard-{shard}"))
-                .spawn(move || shard_worker(shard, rx, &config, &metrics))
+                .spawn(move || shard_worker(shard, rx, &config, &metrics, &flight))
                 .expect("spawn shard worker"),
         );
     }
+    let shared = Arc::new(ReaderShared {
+        stop: Arc::clone(&stop),
+        metrics: Arc::clone(&metrics),
+        flight: Arc::clone(&flight),
+        shard_txs: shard_txs.clone(),
+        stage_metrics: config.stage_metrics,
+    });
 
     let mut threads = Vec::new();
     let mut tcp_addr = None;
@@ -296,11 +330,9 @@ pub fn start(
                 tcp_addr = Some(listener.local_addr()?);
                 threads.push(spawn_acceptor(
                     listener,
-                    Arc::clone(&stop),
-                    Arc::clone(&metrics),
+                    Arc::clone(&shared),
                     Arc::clone(&readers),
                     Arc::clone(&conn_ids),
-                    shard_txs.clone(),
                     |stream| {
                         stream.set_nodelay(true).ok();
                         let write: Box<dyn Write + Send> = Box::new(stream.try_clone()?);
@@ -317,11 +349,9 @@ pub fn start(
                 uds_paths.push(path.clone());
                 threads.push(spawn_acceptor(
                     listener,
-                    Arc::clone(&stop),
-                    Arc::clone(&metrics),
+                    Arc::clone(&shared),
                     Arc::clone(&readers),
                     Arc::clone(&conn_ids),
-                    shard_txs.clone(),
                     |stream| {
                         let write: Box<dyn Write + Send> = Box::new(stream.try_clone()?);
                         Ok((Box::new(stream) as Box<dyn ReadHalf>, write))
@@ -338,10 +368,11 @@ pub fn start(
         metrics_addr = Some(listener.local_addr()?);
         let stop = Arc::clone(&stop);
         let metrics = Arc::clone(&metrics);
+        let flight = Arc::clone(&flight);
         threads.push(
             std::thread::Builder::new()
                 .name("pcap-metrics-http".to_owned())
-                .spawn(move || metrics_http_loop(listener, &stop, &metrics))
+                .spawn(move || metrics_http_loop(listener, &stop, &metrics, &flight))
                 .expect("spawn metrics http"),
         );
     }
@@ -349,6 +380,7 @@ pub fn start(
     Ok(ServerHandle {
         stop,
         metrics,
+        flight,
         tcp_addr,
         metrics_addr,
         uds_paths,
@@ -397,19 +429,34 @@ impl Acceptable for UnixListener {
 
 type SplitFn<S> = fn(S) -> std::io::Result<(Box<dyn ReadHalf>, Box<dyn Write + Send>)>;
 
-fn spawn_acceptor<L: Acceptable>(
-    listener: L,
+/// Immutable state shared by every acceptor and reader thread.
+struct ReaderShared {
     stop: Arc<AtomicBool>,
     metrics: Arc<ServeMetrics>,
+    flight: Arc<FlightRecorder>,
+    shard_txs: Vec<SyncSender<ShardMsg>>,
+    stage_metrics: bool,
+}
+
+impl ReaderShared {
+    /// The flight ring shared by all reader threads (the last one;
+    /// rings `0..shards` are single-writer shard rings).
+    fn io_ring(&self) -> usize {
+        self.flight.rings() - 1
+    }
+}
+
+fn spawn_acceptor<L: Acceptable>(
+    listener: L,
+    shared: Arc<ReaderShared>,
     readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
     conn_ids: Arc<AtomicU64>,
-    shard_txs: Vec<SyncSender<ShardMsg>>,
     split: SplitFn<L::Stream>,
 ) -> JoinHandle<()> {
     std::thread::Builder::new()
         .name("pcap-acceptor".to_owned())
         .spawn(move || loop {
-            if stop.load(Ordering::Relaxed) {
+            if shared.stop.load(Ordering::Relaxed) {
                 return;
             }
             match listener.try_accept() {
@@ -417,15 +464,13 @@ fn spawn_acceptor<L: Acceptable>(
                     let Ok((read, write)) = split(stream) else {
                         continue;
                     };
-                    metrics.connections.fetch_add(1, Ordering::Relaxed);
+                    shared.metrics.connections.fetch_add(1, Ordering::Relaxed);
                     let conn = conn_ids.fetch_add(1, Ordering::Relaxed);
-                    let stop = Arc::clone(&stop);
-                    let metrics = Arc::clone(&metrics);
-                    let shard_txs = shard_txs.clone();
+                    let shared = Arc::clone(&shared);
                     let handle = std::thread::Builder::new()
                         .name(format!("pcap-conn-{conn}"))
                         .spawn(move || {
-                            connection_reader(conn, read, write, &stop, &metrics, &shard_txs);
+                            connection_reader(conn, read, write, &shared);
                         })
                         .expect("spawn connection reader");
                     readers
@@ -442,6 +487,29 @@ fn spawn_acceptor<L: Acceptable>(
         .expect("spawn acceptor")
 }
 
+/// Sample one frame decode per this many frames per connection: dense
+/// enough to keep per-shard decode histograms live under load, sparse
+/// enough that the two clock reads stay invisible in the budget.
+const DECODE_SAMPLE_EVERY: u64 = 64;
+
+/// At most this many bad-frame warn lines per second process-wide;
+/// the rest are counted and reported on the next admitted line.
+static BAD_FRAME_LOG: RateGate = RateGate::new(5, 1_000_000);
+
+fn warn_bad_frame(shared: &ReaderShared, conn: u64, what: &str) {
+    if let Some(suppressed) = BAD_FRAME_LOG.admit(shared.flight.now_ns() / 1_000) {
+        log::warn(
+            "serve",
+            "bad frame",
+            &[
+                ("conn", &conn.to_string()),
+                ("what", what),
+                ("suppressed", &suppressed.to_string()),
+            ],
+        );
+    }
+}
+
 /// Reads frames off one connection, decodes, and hash-routes to the
 /// shard queues. Malformed-frame policy:
 ///
@@ -452,23 +520,29 @@ fn spawn_acceptor<L: Acceptable>(
 ///   connection (the byte stream cannot be resynchronized);
 /// * EOF with a partial frame buffered (truncated header) → count
 ///   `bad_frames` on the way out.
+///
+/// Every malformed frame also lands a `bad_frame` flight event and a
+/// rate-limited structured warn line.
 fn connection_reader(
     conn: u64,
     mut read: Box<dyn ReadHalf>,
     write: Box<dyn Write + Send>,
-    stop: &AtomicBool,
-    metrics: &ServeMetrics,
-    shard_txs: &[SyncSender<ShardMsg>],
+    shared: &ReaderShared,
 ) {
+    let metrics = &*shared.metrics;
     let reply = Arc::new(Reply {
         stream: Mutex::new(write),
         dead: AtomicBool::new(false),
     });
     let _ = read.set_timeout(Some(Duration::from_millis(50)));
+    shared
+        .flight
+        .record(shared.io_ring(), FlightKind::ConnOpen, conn, 0, 0);
     let mut buf: Vec<u8> = Vec::with_capacity(64 * 1024);
     let mut chunk = [0u8; 64 * 1024];
+    let mut frames_seen: u64 = 0;
     'conn: loop {
-        if stop.load(Ordering::Relaxed) {
+        if shared.stop.load(Ordering::Relaxed) {
             break;
         }
         let n = match read.read(&mut chunk) {
@@ -489,21 +563,40 @@ fn connection_reader(
             match wire::read_frame(&buf[consumed..]) {
                 Ok(None) => break,
                 Ok(Some((payload, used))) => {
+                    frames_seen += 1;
+                    // Sampled decode timing: two clock reads every
+                    // 64th frame keeps the hot path flat.
+                    let timed = (shared.stage_metrics || shared.flight.enabled())
+                        && frames_seen.is_multiple_of(DECODE_SAMPLE_EVERY);
+                    let decode_start = timed.then(Instant::now);
                     match frame::decode_client(payload) {
                         Ok(frame) => {
+                            let decode_ns = decode_start.map(|t| t.elapsed().as_nanos() as u64);
                             metrics.frames.fetch_add(1, Ordering::Relaxed);
-                            route(conn, frame, &reply, metrics, shard_txs);
+                            route(conn, frame, decode_ns, &reply, shared);
                         }
                         Err(_) => {
                             // The frame boundary is known: drop just
                             // this frame, keep the connection.
                             metrics.bad_frames.fetch_add(1, Ordering::Relaxed);
+                            shared.flight.record(
+                                shared.io_ring(),
+                                FlightKind::BadFrame,
+                                conn,
+                                0,
+                                0,
+                            );
+                            warn_bad_frame(shared, conn, "undecodable payload");
                         }
                     }
                     consumed += used;
                 }
                 Err(WireError::Oversized { .. }) => {
                     metrics.bad_frames.fetch_add(1, Ordering::Relaxed);
+                    shared
+                        .flight
+                        .record(shared.io_ring(), FlightKind::BadFrame, conn, 1, 0);
+                    warn_bad_frame(shared, conn, "oversized length prefix");
                     buf.clear();
                     break 'conn;
                 }
@@ -515,10 +608,21 @@ fn connection_reader(
     if !buf.is_empty() {
         // Truncated header or mid-frame EOF.
         metrics.bad_frames.fetch_add(1, Ordering::Relaxed);
+        shared
+            .flight
+            .record(shared.io_ring(), FlightKind::BadFrame, conn, 2, 0);
+        warn_bad_frame(shared, conn, "truncated at EOF");
     }
     metrics.disconnects.fetch_add(1, Ordering::Relaxed);
+    shared.flight.record(
+        shared.io_ring(),
+        FlightKind::ConnClose,
+        conn,
+        frames_seen,
+        0,
+    );
     reply.dead.store(true, Ordering::Relaxed);
-    for tx in shard_txs {
+    for tx in &shared.shard_txs {
         let _ = tx.send(ShardMsg::ConnClosed { conn });
     }
 }
@@ -526,25 +630,48 @@ fn connection_reader(
 fn route(
     conn: u64,
     frame: ClientFrame,
+    decode_ns: Option<u64>,
     reply: &Arc<Reply>,
-    metrics: &ServeMetrics,
-    shard_txs: &[SyncSender<ShardMsg>],
+    shared: &ReaderShared,
 ) {
+    let metrics = &*shared.metrics;
     let (device, op) = match frame {
         // The hello is connection-scoped; nothing to route. Version
         // mismatches are tolerated within v1 (there is only v1).
         ClientFrame::Hello { .. } => return,
         ClientFrame::RunStart { device, root } => (device, DeviceOp::RunStart { root }),
         ClientFrame::Event { device, event } => (device, DeviceOp::Event(event)),
-        ClientFrame::RunEnd { device } => (device, DeviceOp::RunEnd),
+        ClientFrame::RunEnd { device } => (
+            device,
+            DeviceOp::RunEnd {
+                enqueued_at: Instant::now(),
+            },
+        ),
         ClientFrame::DeviceEnd { device } => (device, DeviceOp::DeviceEnd),
     };
-    let shard = shard_of(device, shard_txs.len());
+    let shard = shard_of(device, shared.shard_txs.len());
+    if let Some(ns) = decode_ns {
+        if shared.stage_metrics {
+            metrics.shards[shard].decode_ns.record(ns);
+        }
+        shared
+            .flight
+            .record(shared.io_ring(), FlightKind::FrameDecode, device, ns, 0);
+    }
+    if matches!(op, DeviceOp::RunEnd { .. }) {
+        shared.flight.record(
+            shared.io_ring(),
+            FlightKind::Enqueue,
+            device,
+            shard as u64,
+            0,
+        );
+    }
     metrics.shards[shard]
         .enqueued
         .fetch_add(1, Ordering::Release);
     // A full queue blocks here — that is the backpressure contract.
-    if shard_txs[shard]
+    if shared.shard_txs[shard]
         .send(ShardMsg::Op {
             conn,
             device,
@@ -566,10 +693,12 @@ fn shard_worker(
     rx: Receiver<ShardMsg>,
     config: &ServeConfig,
     metrics: &ServeMetrics,
+    flight: &FlightRecorder,
 ) {
     let mut evaluator = ShardEvaluator::new(&config.sim);
     let mut sessions: HashMap<(u64, u64), Session> = HashMap::new();
     let mut out = Vec::with_capacity(64 * 1024);
+    let mut records: Vec<DecisionRecord> = Vec::with_capacity(1024);
     let stats = &metrics.shards[shard];
     while let Ok(msg) = rx.recv() {
         match msg {
@@ -592,10 +721,12 @@ fn shard_worker(
                     &reply,
                     config,
                     metrics,
+                    flight,
                     shard,
                     &mut evaluator,
                     &mut sessions,
                     &mut out,
+                    &mut records,
                 );
                 stats.processed.fetch_add(1, Ordering::Release);
             }
@@ -611,10 +742,12 @@ fn handle_op(
     reply: &Arc<Reply>,
     config: &ServeConfig,
     metrics: &ServeMetrics,
+    flight: &FlightRecorder,
     shard: usize,
     evaluator: &mut ShardEvaluator,
     sessions: &mut HashMap<(u64, u64), Session>,
     out: &mut Vec<u8>,
+    records: &mut Vec<DecisionRecord>,
 ) {
     let key = (conn, device);
     match op {
@@ -631,6 +764,7 @@ fn handle_op(
                 // RunStart with a run already open: the open run can
                 // never be completed coherently; discard it.
                 metrics.stray_frames.fetch_add(1, Ordering::Relaxed);
+                flight.record(shard, FlightKind::StrayFrame, device, 0, 0);
             }
             session.builder = Some(TraceRunBuilder::new(root));
         }
@@ -641,9 +775,10 @@ fn handle_op(
             }
             None => {
                 metrics.stray_frames.fetch_add(1, Ordering::Relaxed);
+                flight.record(shard, FlightKind::StrayFrame, device, 1, 0);
             }
         },
-        DeviceOp::RunEnd => {
+        DeviceOp::RunEnd { enqueued_at } => {
             let Some(session) = sessions.get_mut(&key) else {
                 metrics.stray_frames.fetch_add(1, Ordering::Relaxed);
                 return;
@@ -653,14 +788,18 @@ fn handle_op(
                 return;
             };
             out.clear();
+            let stats = &metrics.shards[shard];
+            let started = Instant::now();
+            let queue_wait_us = started.duration_since(enqueued_at).as_micros() as u64;
+            if config.stage_metrics {
+                stats.queue_wait_us.record(queue_wait_us);
+            }
+            flight.record(shard, FlightKind::Dequeue, device, queue_wait_us, 0);
             match builder.finish() {
                 Ok(trace_run) => {
-                    let started = Instant::now();
                     let mut observer = EmitObserver {
-                        device,
                         run: session.run,
-                        decisions: 0,
-                        buf: out,
+                        records,
                         metrics,
                     };
                     observer.on_run_start(session.run);
@@ -669,7 +808,20 @@ fn handle_op(
                         &mut session.manager,
                         &mut observer,
                     );
-                    let decisions = observer.decisions;
+                    let evaluated = Instant::now();
+                    // Encode as a separately-timed stage: decision
+                    // frames in decision order, then the run summary —
+                    // byte-identical to the former inline encoding.
+                    let decisions = records.len() as u32;
+                    for record in records.iter() {
+                        frame::encode_server(
+                            &ServerFrame::Decision {
+                                device,
+                                record: *record,
+                            },
+                            out,
+                        );
+                    }
                     frame::encode_server(
                         &ServerFrame::RunSummary {
                             device,
@@ -679,19 +831,43 @@ fn handle_op(
                         },
                         out,
                     );
-                    let elapsed = started.elapsed().as_micros() as u64;
+                    let done = Instant::now();
+                    let eval_us = evaluated.duration_since(started).as_micros() as u64;
+                    let encode_us = done.duration_since(evaluated).as_micros() as u64;
+                    let elapsed = done.duration_since(started).as_micros() as u64;
+                    if config.stage_metrics {
+                        stats.eval_us.record(eval_us);
+                        stats.encode_us.record(encode_us);
+                    }
                     metrics.run_eval_us.record(elapsed);
                     metrics.runs.fetch_add(1, Ordering::Relaxed);
-                    metrics.shards[shard].runs.fetch_add(1, Ordering::Relaxed);
-                    metrics.shards[shard]
-                        .busy_us
-                        .fetch_add(elapsed, Ordering::Relaxed);
+                    stats.runs.fetch_add(1, Ordering::Relaxed);
+                    stats.busy_us.fetch_add(elapsed, Ordering::Relaxed);
+                    let ts = flight.now_ns();
+                    flight.record_at(
+                        shard,
+                        ts,
+                        FlightKind::RunEval,
+                        device,
+                        eval_us,
+                        decisions as u64,
+                    );
+                    flight.record_at(
+                        shard,
+                        ts,
+                        FlightKind::Emit,
+                        device,
+                        out.len() as u64,
+                        encode_us,
+                    );
+                    records.clear();
                     session.run += 1;
                 }
                 Err(_) => {
                     // Invalid run: device state is as if the run never
                     // happened (the manager was never touched).
                     metrics.run_rejects.fetch_add(1, Ordering::Relaxed);
+                    flight.record(shard, FlightKind::RunReject, device, 0, 0);
                     frame::encode_server(
                         &ServerFrame::RunRejected {
                             device,
@@ -724,42 +900,128 @@ fn handle_op(
     }
 }
 
-/// Minimal HTTP/1.1 responder for `/metrics` (Prometheus text) and
-/// `/audit` (sampled decision records as JSONL).
-fn metrics_http_loop(listener: TcpListener, stop: &AtomicBool, metrics: &ServeMetrics) {
+/// Longest request head the metrics endpoint accepts; anything larger
+/// is answered `431` and closed (no buffering of unbounded garbage).
+const HTTP_MAX_HEAD: usize = 8 * 1024;
+
+/// Concurrent metrics-HTTP handler cap; excess connections get `503`
+/// immediately instead of queueing behind slow readers.
+const HTTP_MAX_INFLIGHT: u64 = 32;
+
+/// Reads one request head (through the `\r\n\r\n` terminator) and
+/// returns the request path, or an error status line to answer with.
+/// Byte soup, truncation, slow-loris stalls, and oversized heads all
+/// map to error responses — never a panic, never a wedged listener.
+fn read_request_path(stream: &mut TcpStream) -> Result<String, &'static str> {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let deadline = Instant::now() + Duration::from_secs(2);
+    let mut head: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 1024];
+    loop {
+        if head.windows(4).any(|w| w == b"\r\n\r\n") || head.windows(2).any(|w| w == b"\n\n") {
+            break;
+        }
+        if head.len() > HTTP_MAX_HEAD {
+            return Err("431 Request Header Fields Too Large");
+        }
+        if Instant::now() > deadline {
+            return Err("408 Request Timeout");
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => break, // client closed; judge what we have
+            Ok(n) => head.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut
+                    || e.kind() == std::io::ErrorKind::Interrupted =>
+            {
+                continue;
+            }
+            Err(_) => return Err("400 Bad Request"),
+        }
+    }
+    let head = String::from_utf8_lossy(&head);
+    let mut parts = head.lines().next().unwrap_or("").split_whitespace();
+    match (parts.next(), parts.next()) {
+        (Some(method), Some(path)) if method.chars().all(|c| c.is_ascii_alphabetic()) => {
+            Ok(path.to_owned())
+        }
+        _ => Err("400 Bad Request"),
+    }
+}
+
+fn answer(stream: &mut TcpStream, status: &str, content_type: &str, body: &str) {
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+    let _ = write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+}
+
+/// Minimal HTTP/1.1 responder for `/metrics` (Prometheus text),
+/// `/audit` (sampled decision records as JSONL) and `/debug/flight`
+/// (the flight-recorder dump as JSONL). Each accepted connection is
+/// handled on a short-lived thread with read/write deadlines, so one
+/// stalled or malicious client cannot wedge the scrape path.
+fn metrics_http_loop(
+    listener: TcpListener,
+    stop: &AtomicBool,
+    metrics: &Arc<ServeMetrics>,
+    flight: &Arc<FlightRecorder>,
+) {
+    let inflight = Arc::new(AtomicU64::new(0));
     loop {
         if stop.load(Ordering::Relaxed) {
             return;
         }
         match listener.accept() {
             Ok((mut stream, _)) => {
-                let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
-                let mut req = [0u8; 1024];
-                let n = stream.read(&mut req).unwrap_or(0);
-                let head = String::from_utf8_lossy(&req[..n]);
-                let path = head
-                    .lines()
-                    .next()
-                    .and_then(|line| line.split_whitespace().nth(1))
-                    .unwrap_or("/");
-                let (status, content_type, body) = match path {
-                    "/metrics" => (
-                        "200 OK",
-                        "text/plain; version=0.0.4",
-                        metrics.render_prometheus(),
-                    ),
-                    "/audit" => (
-                        "200 OK",
-                        "application/jsonl",
-                        pcap_sim::records_to_jsonl(&metrics.sampled_records()),
-                    ),
-                    _ => ("404 Not Found", "text/plain", "not found\n".to_owned()),
-                };
-                let _ = write!(
-                    stream,
-                    "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
-                    body.len()
-                );
+                if inflight.load(Ordering::Relaxed) >= HTTP_MAX_INFLIGHT {
+                    answer(
+                        &mut stream,
+                        "503 Service Unavailable",
+                        "text/plain",
+                        "too many connections\n",
+                    );
+                    continue;
+                }
+                inflight.fetch_add(1, Ordering::Relaxed);
+                let handler_inflight = Arc::clone(&inflight);
+                let metrics = Arc::clone(metrics);
+                let flight = Arc::clone(flight);
+                let spawned = std::thread::Builder::new()
+                    .name("pcap-metrics-req".to_owned())
+                    .spawn(move || {
+                        match read_request_path(&mut stream) {
+                            Ok(path) => {
+                                let (status, content_type, body) = match path.as_str() {
+                                    "/metrics" => (
+                                        "200 OK",
+                                        "text/plain; version=0.0.4",
+                                        metrics.render_prometheus(),
+                                    ),
+                                    "/audit" => (
+                                        "200 OK",
+                                        "application/jsonl",
+                                        pcap_sim::records_to_jsonl(&metrics.sampled_records()),
+                                    ),
+                                    "/debug/flight" => {
+                                        ("200 OK", "application/jsonl", flight.dump_jsonl())
+                                    }
+                                    _ => ("404 Not Found", "text/plain", "not found\n".to_owned()),
+                                };
+                                answer(&mut stream, status, content_type, &body);
+                            }
+                            Err(status) => {
+                                answer(&mut stream, status, "text/plain", "bad request\n");
+                            }
+                        }
+                        handler_inflight.fetch_sub(1, Ordering::Relaxed);
+                    });
+                if spawned.is_err() {
+                    inflight.fetch_sub(1, Ordering::Relaxed);
+                }
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(5));

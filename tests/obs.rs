@@ -172,3 +172,82 @@ fn committed_trajectory_roundtrips_and_passes_the_gate() {
     let lines = check_trajectory(&entries).expect("gate passes");
     assert!(!lines.is_empty(), "gate reports per-group verdicts");
 }
+
+// --------------------------------------------- exporter edge cases
+
+/// A recorder that never saw a span still exports: the Chrome trace
+/// validates with zero spans and tracks, and the Prometheus
+/// exposition (build info + uptime only) parses. Observability must
+/// not require traffic to be scrape-safe.
+#[test]
+fn empty_recorder_exports_validate() {
+    let recorder = TraceRecorder::new();
+    let trace = render_chrome_trace(&recorder);
+    let stats = validate_chrome_trace(&trace).expect("empty chrome trace validates");
+    assert_eq!(stats.spans, 0, "no spans recorded");
+    assert_eq!(stats.tracks, 0, "no tracks registered");
+    let text = render_prometheus(&recorder);
+    validate_prometheus(&text).expect("empty exposition validates");
+}
+
+/// Many threads opening and closing nested spans concurrently — with
+/// counters and histogram observations interleaved — must still
+/// produce a schema-valid Chrome trace with balanced begin/end pairs
+/// and one track per writer thread.
+#[test]
+fn concurrent_span_writers_render_a_valid_chrome_trace() {
+    use pcap_dpm::obs::PipelineObserver;
+    const WRITERS: usize = 8;
+    const ITERS: u64 = 200;
+    let recorder = TraceRecorder::new();
+    std::thread::scope(|scope| {
+        for worker in 0..WRITERS {
+            let recorder = &recorder;
+            scope.spawn(move || {
+                recorder.thread_label(&format!("writer {worker}"));
+                for i in 0..ITERS {
+                    recorder.span_begin("outer");
+                    recorder.counter_add("spans", 1);
+                    recorder.span_begin("inner");
+                    recorder.observe_us("span_us", i);
+                    recorder.span_end("inner");
+                    recorder.span_end("outer");
+                }
+            });
+        }
+    });
+    let trace = render_chrome_trace(&recorder);
+    let stats = validate_chrome_trace(&trace).expect("concurrent chrome trace validates");
+    assert_eq!(stats.spans as u64, WRITERS as u64 * ITERS * 2);
+    assert_eq!(stats.tracks, WRITERS, "one track per writer thread");
+    validate_prometheus(&render_prometheus(&recorder)).expect("exposition validates");
+}
+
+/// Flight dumps taken *while* writers race must parse and hold the
+/// per-ring monotone-timestamp invariant every time: the seqlock
+/// protocol drops torn slots instead of emitting garbage. The final
+/// quiescent dump sees every ring at capacity.
+#[test]
+fn flight_dump_revalidates_while_writers_race() {
+    use pcap_dpm::obs::{validate_flight_dump, FlightKind, FlightRecorder};
+    const RINGS: usize = 4;
+    const CAPACITY: usize = 128;
+    let flight = FlightRecorder::new(RINGS, CAPACITY);
+    std::thread::scope(|scope| {
+        for ring in 0..RINGS {
+            let flight = &flight;
+            scope.spawn(move || {
+                for i in 0..5_000u64 {
+                    flight.record(ring, FlightKind::RunEval, i, i * 3, 1);
+                }
+            });
+        }
+        for _ in 0..50 {
+            let stats = validate_flight_dump(&flight.dump_jsonl()).expect("mid-flight dump");
+            assert!(stats.rings <= RINGS);
+        }
+    });
+    let stats = validate_flight_dump(&flight.dump_jsonl()).expect("final dump");
+    assert_eq!(stats.rings, RINGS);
+    assert_eq!(stats.events, RINGS * CAPACITY, "every ring dumps full");
+}

@@ -1,0 +1,142 @@
+//! Hardened metrics acceptor: byte soup, truncated requests, and
+//! oversized headers pointed at the daemon's HTTP listener must never
+//! panic a thread or wedge the acceptor — after every abuse a
+//! well-formed scrape must still answer, strict-validate, and the
+//! flight-recorder debug dump must still parse.
+
+mod serve_common;
+
+use pcap_dpm::obs::{validate_flight_dump, validate_prometheus_strict};
+use pcap_dpm::serve::{Endpoint, ServeConfig, ServerHandle};
+use serve_common::temp_sock;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+fn start_daemon(tag: &str) -> (ServerHandle, SocketAddr) {
+    let config = ServeConfig {
+        shards: 2,
+        ..ServeConfig::default()
+    };
+    let metrics: SocketAddr = "127.0.0.1:0".parse().unwrap();
+    let handle = pcap_dpm::serve::start(config, &[Endpoint::Uds(temp_sock(tag))], Some(metrics))
+        .expect("daemon starts");
+    let addr = handle.metrics_addr().expect("metrics listener bound");
+    (handle, addr)
+}
+
+/// A plain scrape of `path`; panics on connect/read errors so a wedged
+/// acceptor fails the test instead of hanging it.
+fn scrape(addr: SocketAddr, path: &str) -> String {
+    let mut stream =
+        TcpStream::connect_timeout(&addr, Duration::from_secs(5)).expect("connect for scrape");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    write!(stream, "GET {path} HTTP/1.0\r\n\r\n").expect("write request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let (head, body) = response.split_once("\r\n\r\n").expect("header terminator");
+    assert!(
+        head.starts_with("HTTP/1.1 200"),
+        "scrape of {path} failed: {head}"
+    );
+    body.to_owned()
+}
+
+/// Sends raw `bytes` (possibly nothing) and optionally half-closes the
+/// write side; drains whatever the server answers. The only failure
+/// mode is hanging past the read timeout — any reply, including an
+/// abrupt close, is acceptable for malformed input.
+fn abuse(addr: SocketAddr, bytes: &[u8], shutdown_write: bool) -> String {
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5)).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    if !bytes.is_empty() {
+        // The server may already have replied and closed (e.g. 431
+        // mid-upload); a send error then is fine.
+        let _ = stream.write_all(bytes);
+    }
+    if shutdown_write {
+        let _ = stream.shutdown(std::net::Shutdown::Write);
+    }
+    let mut response = String::new();
+    let _ = stream.read_to_string(&mut response);
+    response
+}
+
+#[test]
+fn acceptor_survives_abuse_and_still_scrapes() {
+    let (handle, addr) = start_daemon("http-abuse");
+
+    // Baseline: both endpoints answer and validate before any abuse.
+    validate_prometheus_strict(&scrape(addr, "/metrics")).expect("baseline /metrics validates");
+    validate_flight_dump(&scrape(addr, "/debug/flight")).expect("baseline /debug/flight parses");
+
+    // Byte soup: binary garbage, not even ASCII.
+    let soup: Vec<u8> = (0..512u32).map(|i| (i * 37 % 251) as u8).collect();
+    abuse(addr, &soup, true);
+
+    // Empty connect-then-close.
+    abuse(addr, b"", true);
+
+    // Truncated request line, half-closed: EOF before the header
+    // terminator must produce an error response, not a stuck reader.
+    let reply = abuse(addr, b"GET /metr", true);
+    assert!(
+        reply.is_empty() || reply.starts_with("HTTP/1.1 4"),
+        "truncated request got: {reply}"
+    );
+
+    // Oversized header block: far past the acceptor's cap, never
+    // terminated. Must be rejected (431) or dropped, not buffered
+    // forever.
+    let oversized = vec![b'A'; 64 * 1024];
+    let reply = abuse(addr, &oversized, false);
+    assert!(
+        reply.is_empty() || reply.starts_with("HTTP/1.1 431"),
+        "oversized header got: {reply}"
+    );
+
+    // Bad method / bad path shapes.
+    abuse(addr, b"\r\n\r\n", true);
+    abuse(addr, b"123 /metrics HTTP/1.0\r\n\r\n", true);
+    let reply = abuse(addr, b"GET /nope HTTP/1.0\r\n\r\n", true);
+    assert!(reply.starts_with("HTTP/1.1 404"), "unknown path: {reply}");
+
+    // After every abuse the acceptor still answers a clean scrape with
+    // a strictly valid exposition and a parseable flight dump.
+    let body = scrape(addr, "/metrics");
+    let samples = validate_prometheus_strict(&body).expect("post-abuse /metrics validates");
+    assert!(samples > 0, "exposition carries samples");
+    assert!(
+        body.contains("pcap_build_info{version=\""),
+        "build info series present"
+    );
+    validate_flight_dump(&scrape(addr, "/debug/flight")).expect("post-abuse /debug/flight parses");
+
+    handle.shutdown();
+}
+
+/// A header that trickles in and then stalls must hit the read
+/// deadline and get 408, releasing the handler thread.
+#[test]
+fn stalled_header_times_out_with_408() {
+    let (handle, addr) = start_daemon("http-stall");
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5)).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream.write_all(b"GET /metrics HT").expect("partial write");
+    // No terminator ever arrives; the server's 2s deadline must fire.
+    let mut response = String::new();
+    let _ = stream.read_to_string(&mut response);
+    assert!(
+        response.is_empty() || response.starts_with("HTTP/1.1 408"),
+        "stalled header got: {response}"
+    );
+    // The listener is free again.
+    validate_prometheus_strict(&scrape(addr, "/metrics")).expect("post-stall scrape validates");
+    handle.shutdown();
+}
